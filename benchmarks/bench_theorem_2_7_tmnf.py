@@ -1,0 +1,45 @@
+"""Experiment E4 (Theorem 2.7): the TMNF rewriting runs in linear time and
+produces linear-size output."""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.mdatalog import MonadicProgram, to_tmnf
+
+
+def deep_rule_program(path_length: int) -> MonadicProgram:
+    """A single rule whose body is a child-path of ``path_length`` atoms."""
+    body = ", ".join(f"child(X{i}, X{i + 1})" for i in range(path_length))
+    labels = ", ".join(f"label_a(X{i})" for i in range(path_length + 1))
+    text = f"deep(X{path_length}) :- {body}, {labels}."
+    return MonadicProgram.parse(text)
+
+
+LENGTHS = (4, 8, 16, 32)
+
+
+def test_rewriting_output_grows_linearly():
+    rows = []
+    for length in LENGTHS:
+        program = deep_rule_program(length)
+        start = time.perf_counter()
+        rewritten = to_tmnf(program)
+        elapsed = time.perf_counter() - start
+        rows.append((program.size(), rewritten.size(), elapsed))
+    print("\nE4  Theorem 2.7: TMNF rewriting (input |P| vs output |P'|)")
+    print(f"{'|P|':>8} {'|TMNF(P)|':>12} {'seconds':>10} {'ratio':>8}")
+    for original, rewritten_size, elapsed in rows:
+        print(f"{original:>8} {rewritten_size:>12} {elapsed:>10.5f} {rewritten_size / original:>8.2f}")
+    ratios = [rewritten_size / original for original, rewritten_size, _ in rows]
+    # linear-size output: the expansion factor stays bounded as |P| grows
+    assert max(ratios) < 12
+    assert ratios[-1] < ratios[0] * 2
+
+
+@pytest.mark.benchmark(group="E4-tmnf")
+def test_benchmark_tmnf_rewriting(benchmark):
+    program = deep_rule_program(24)
+    benchmark(to_tmnf, program)

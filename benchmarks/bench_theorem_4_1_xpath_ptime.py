@@ -1,0 +1,80 @@
+"""Experiment E8 (Theorems 4.1/4.2): Core XPath is PTIME; naive engines are
+exponential in the query size.
+
+The query family //a[.//a[.//a[...]]] with nested predicates is evaluated by
+
+* the context-set (linear-time) evaluator of [15], and
+* the node-at-a-time baseline reproducing the pre-2002 engine behaviour.
+
+The printed table shows the crossover: the naive engine's time explodes with
+the nesting depth while the linear evaluator barely moves — the shape behind
+Figure 6's placement of Core XPath inside PTIME.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.bench import nested_predicate_xpath
+from repro.tree import random_tree
+from repro.xpath import CoreXPathEvaluator, NaiveXPathEvaluator
+
+# The comparison document is deliberately small: the naive strategy is
+# exponential in the predicate nesting depth, so even 200 nodes are enough to
+# show the blow-up within seconds.
+COMPARISON_DOCUMENT = random_tree(200, labels=("a", "a", "a", "b"), max_children=3, seed=11)
+LINEAR_DOCUMENT = random_tree(5_000, labels=("a", "a", "a", "b"), max_children=3, seed=12)
+DEPTHS = (1, 2, 3)
+
+
+def test_linear_vs_naive_blowup():
+    rows = []
+    for depth in DEPTHS:
+        query = nested_predicate_xpath(depth)
+        linear = CoreXPathEvaluator(COMPARISON_DOCUMENT)
+        start = time.perf_counter()
+        linear_result = linear.evaluate(query)
+        linear_time = time.perf_counter() - start
+
+        naive = NaiveXPathEvaluator(COMPARISON_DOCUMENT)
+        start = time.perf_counter()
+        naive_result = naive.evaluate(query)
+        naive_time = time.perf_counter() - start
+        assert [n.preorder_index for n in naive_result] == [
+            n.preorder_index for n in linear_result
+        ]
+        rows.append((depth, linear_time, naive_time))
+    print("\nE8  Core XPath on 200 nodes: context-set (linear) vs node-at-a-time (naive)")
+    print(f"{'depth':>6} {'linear s':>12} {'naive s':>12} {'naive/linear':>14}")
+    for depth, linear_time, naive_time in rows:
+        ratio = naive_time / linear_time if linear_time else float("inf")
+        print(f"{depth:>6} {linear_time:>12.5f} {naive_time:>12.5f} {ratio:>14.1f}")
+    # the naive engine must degrade much faster with depth than the linear one
+    linear_growth = rows[-1][1] / max(rows[0][1], 1e-9)
+    naive_growth = rows[-1][2] / max(rows[0][2], 1e-9)
+    assert naive_growth > linear_growth
+
+
+def test_linear_evaluator_scales_to_large_documents():
+    query = nested_predicate_xpath(5)
+    start = time.perf_counter()
+    CoreXPathEvaluator(LINEAR_DOCUMENT).evaluate(query)
+    elapsed = time.perf_counter() - start
+    print(f"\nE8b  linear evaluator, 5000 nodes, depth-5 query: {elapsed:.4f} s")
+    assert elapsed < 10.0
+
+
+@pytest.mark.benchmark(group="E8-xpath")
+def test_benchmark_linear_core_xpath(benchmark):
+    query = nested_predicate_xpath(4)
+    evaluator = CoreXPathEvaluator(LINEAR_DOCUMENT)
+    benchmark(evaluator.evaluate, query)
+
+
+@pytest.mark.benchmark(group="E8-xpath")
+def test_benchmark_naive_core_xpath_small_depth(benchmark):
+    query = nested_predicate_xpath(2)
+    evaluator = NaiveXPathEvaluator(COMPARISON_DOCUMENT)
+    benchmark(evaluator.evaluate, query)

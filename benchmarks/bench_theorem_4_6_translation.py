@@ -1,0 +1,64 @@
+"""Experiment E11 (Theorem 4.6): Core XPath -> TMNF translation is linear and
+the translated programs evaluate correctly and efficiently."""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.bench import scaling_tree
+from repro.mdatalog import MonadicTreeEvaluator, is_tmnf
+from repro.xpath import CoreXPathEvaluator, query_size, parse_xpath, translate_to_tmnf
+
+LABELS = ("a", "b", "c", "d")
+DOCUMENT = scaling_tree(2_000, seed=31, labels=LABELS)
+
+
+def query_family(depth: int) -> str:
+    segment = "/a[b]/descendant::c[following-sibling::d]"
+    return "/" + "a" + segment * depth
+
+
+def test_translation_size_and_time_linear():
+    rows = []
+    for depth in (1, 2, 4, 8):
+        query = query_family(depth)
+        parsed = parse_xpath(query)
+        start = time.perf_counter()
+        program = translate_to_tmnf(parsed, labels=LABELS)
+        elapsed = time.perf_counter() - start
+        assert is_tmnf(program)
+        rows.append((query_size(parsed), len(program.rules), elapsed))
+    print("\nE11  Theorem 4.6: Core XPath -> TMNF translation")
+    print(f"{'|Q|':>6} {'rules':>8} {'seconds':>10} {'rules/|Q|':>10}")
+    for size, rules, elapsed in rows:
+        print(f"{size:>6} {rules:>8} {elapsed:>10.5f} {rules / size:>10.1f}")
+    ratios = [rules / size for size, rules, _ in rows]
+    assert max(ratios) / min(ratios) < 3  # linear-size output
+
+
+def test_translated_program_agrees_with_evaluator():
+    query = query_family(2)
+    program = translate_to_tmnf(query, labels=LABELS)
+    expected = {
+        node.preorder_index for node in CoreXPathEvaluator(DOCUMENT).evaluate(query)
+    }
+    got = {
+        node.preorder_index
+        for node in MonadicTreeEvaluator(program).select(DOCUMENT, "answer")
+    }
+    assert got == expected
+
+
+@pytest.mark.benchmark(group="E11-translation")
+def test_benchmark_translation(benchmark):
+    query = parse_xpath(query_family(4))
+    benchmark(translate_to_tmnf, query, LABELS)
+
+
+@pytest.mark.benchmark(group="E11-translation")
+def test_benchmark_translated_program_evaluation(benchmark):
+    program = translate_to_tmnf(query_family(2), labels=LABELS)
+    evaluator = MonadicTreeEvaluator(program)
+    benchmark(evaluator.evaluate, DOCUMENT)

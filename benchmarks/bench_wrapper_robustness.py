@@ -1,0 +1,43 @@
+"""Experiment E18 (Section 2.5): schema-less wrappers survive layout changes
+in parts of the page not relevant to the extracted objects."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.elog import Extractor, figure5_program
+from repro.html import parse_html
+from repro.web.sites.ebay import generate_items, perturb_layout, render_page
+
+ITEM_COUNT = 20
+PERTURBATIONS = 5
+
+
+def test_extraction_identical_under_layout_perturbations():
+    items = generate_items(ITEM_COUNT, seed=77)
+    original_html = render_page(items)
+    program = figure5_program()
+    reference = Extractor(program).extract(
+        document=parse_html(original_html, url="www.ebay.com")
+    )
+    survived = 0
+    for seed in range(PERTURBATIONS):
+        perturbed = perturb_layout(original_html, seed=seed)
+        base = Extractor(program).extract(document=parse_html(perturbed, url="www.ebay.com"))
+        identical = all(
+            base.values_of(pattern) == reference.values_of(pattern)
+            for pattern in ("record", "itemdes", "price", "bids")
+        )
+        survived += int(identical)
+    print(f"\nE18  robustness: wrapper unchanged under {survived}/{PERTURBATIONS} "
+          "layout perturbations (paper's claim: schema-less wrappers are robust)")
+    assert survived == PERTURBATIONS
+
+
+@pytest.mark.benchmark(group="E18-robustness")
+def test_benchmark_extraction_on_perturbed_page(benchmark):
+    items = generate_items(ITEM_COUNT, seed=78)
+    perturbed = perturb_layout(render_page(items), seed=1)
+    document = parse_html(perturbed, url="www.ebay.com")
+    program = figure5_program()
+    benchmark(lambda: Extractor(program).extract(document=document))

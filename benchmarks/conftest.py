@@ -1,0 +1,25 @@
+"""Shared configuration for the benchmark suite.
+
+Every benchmark prints, in addition to the pytest-benchmark timing table, the
+series the corresponding experiment in EXPERIMENTS.md reports (counts,
+speed-up factors, crossover points), so a single
+``pytest benchmarks/ --benchmark-only`` run regenerates all reported numbers.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--quick",
+        action="store_true",
+        default=False,
+        help="run the benchmark workloads at reduced sizes",
+    )
+
+
+@pytest.fixture(scope="session")
+def quick(request):
+    return request.config.getoption("--quick")

@@ -1,0 +1,92 @@
+"""A tour of the theory layer: one query, every formalism of Figure 6.
+
+Evaluates "b-nodes below an a-node" as monadic datalog, Core XPath (linear
+and naive), a conjunctive query, a tree automaton, and through the
+translations between the formalisms, checking that all agree.
+
+Run with:  python examples/complexity_tour.py
+"""
+
+import time
+
+from repro.automata import compile_automaton, leaf_selector_automaton
+from repro.cq import classify, query, to_positive_core_xpath, unary_answers
+from repro.mdatalog import MonadicProgram, MonadicTreeEvaluator, is_tmnf, to_tmnf
+from repro.tree import random_tree
+from repro.xpath import CoreXPathEvaluator, NaiveXPathEvaluator, translate_to_tmnf
+
+LABELS = ("a", "b", "c")
+
+
+def timed(label, function, *args):
+    start = time.perf_counter()
+    result = function(*args)
+    print(f"  {label:<42} {time.perf_counter() - start:>8.4f} s")
+    return result
+
+
+def main() -> None:
+    document = random_tree(3_000, labels=LABELS, seed=99)
+    print(f"document: {len(document)} nodes, labels {sorted(document.labels())}\n")
+
+    print("the same unary query in every formalism:")
+    xpath_answers = timed(
+        "Core XPath //a//b (linear evaluator)",
+        lambda: CoreXPathEvaluator(document).evaluate("//a//b"),
+    )
+    timed(
+        "Core XPath //a//b (naive 2002-style)",
+        lambda: NaiveXPathEvaluator(document).evaluate("//a//b"),
+    )
+
+    program = MonadicProgram.parse(
+        """
+        below(X) :- label_a(X0), child(X0, X).
+        below(X) :- below(X0), child(X0, X).
+        answer(X) :- below(X), label_b(X).
+        """,
+        query_predicates=["answer"],
+    )
+    datalog_answers = timed(
+        "monadic datalog (Theorem 2.4 pipeline)",
+        lambda: MonadicTreeEvaluator(program).select(document, "answer"),
+    )
+    print(f"      program in TMNF already? {is_tmnf(program)}; "
+          f"after Theorem 2.7 rewriting: {is_tmnf(to_tmnf(program))}")
+
+    cq = query(free=["X"], labels=[("X", "b"), ("A", "a")], axes=[("child+", "A", "X")])
+    cq_answers = timed("conjunctive query (child+)", lambda: unary_answers(cq, document))
+    print(f"      dichotomy verdict for its axis set: {classify(cq)}")
+
+    translated = translate_to_tmnf("//a//b", labels=LABELS)
+    translated_answers = timed(
+        "Core XPath -> TMNF -> evaluate (Theorem 4.6)",
+        lambda: MonadicTreeEvaluator(translated).select(document, "answer"),
+    )
+    back_to_xpath = to_positive_core_xpath(cq)
+    round_trip_answers = timed(
+        "CQ -> positive Core XPath -> evaluate",
+        lambda: CoreXPathEvaluator(document).evaluate(back_to_xpath),
+    )
+
+    automaton = leaf_selector_automaton(LABELS)
+    automaton_program = compile_automaton(automaton, LABELS)
+    timed("tree automaton (leaf selector), direct run", lambda: automaton.select(document))
+    timed(
+        "tree automaton compiled to monadic datalog",
+        lambda: MonadicTreeEvaluator(automaton_program).select(document, "selected"),
+    )
+
+    reference = {node.preorder_index for node in xpath_answers}
+    for name, answers in (
+        ("monadic datalog", datalog_answers),
+        ("conjunctive query", cq_answers),
+        ("translated TMNF", translated_answers),
+        ("CQ via XPath", round_trip_answers),
+    ):
+        assert {node.preorder_index for node in answers} == reference, name
+    print(f"\nall formalisms agree: {len(reference)} answer nodes")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,43 @@
+"""The Figure 5 eBay wrapper, end to end, on the synthetic eBay site.
+
+Run with:  python examples/ebay_auctions.py
+"""
+
+from repro.elog import Extractor, FIGURE5_TEXT, figure5_program
+from repro.web import SimulatedWeb
+from repro.web.sites.ebay import ebay_site
+from repro.xmlgen import to_xml
+
+
+def main() -> None:
+    # Publish a two-page synthetic eBay result list.
+    web = SimulatedWeb()
+    web.publish_many(ebay_site(pages=1, items_per_page=12, seed=2004))
+
+    print("The Elog program of Figure 5 (adapted paths, see DESIGN.md):")
+    print(FIGURE5_TEXT)
+
+    program = figure5_program()
+    base = Extractor(program, fetcher=web).extract(url="www.ebay.com")
+
+    print(f"extracted {base.count('record')} records")
+    for record in base.instances_of("record"):
+        description = record.find_all("itemdes")
+        price = record.find_all("price")
+        bids = record.find_all("bids")
+        currency = record.find_all("currency")
+        print(
+            " -",
+            description[0].text() if description else "?",
+            "|", price[0].text() if price else "?",
+            "|", bids[0].text() if bids else "?",
+            "| currency:", currency[0].text() if currency else "?",
+        )
+
+    print("\nXML output (first lines):")
+    xml = to_xml(base.to_xml(root_name="auctions", auxiliary=["tableseq"]))
+    print("\n".join(xml.splitlines()[:25]))
+
+
+if __name__ == "__main__":
+    main()

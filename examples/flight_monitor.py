@@ -1,0 +1,78 @@
+"""Section 6.2 — flight schedule monitoring with SMS-on-change delivery.
+
+The departures board of a simulated airport is wrapped periodically; the
+subscriber is notified by (simulated) SMS only when the status of one of the
+watched flights changes between consecutive requests.
+
+Run with:  python examples/flight_monitor.py
+"""
+
+from repro.elog import parse_elog
+from repro.server import (
+    ChangeDetector,
+    ChangeGatedDeliverer,
+    FilterComponent,
+    InformationPipe,
+    SmsDeliverer,
+    TransformationServer,
+    WrapperComponent,
+)
+from repro.web import SimulatedWeb
+from repro.web.sites.flights import advance_statuses, departures_page, generate_flights
+
+BOARD_WRAPPER = parse_elog(
+    """
+    flight(S, X) <- document(_, S), subelem(S, ?.tr, X), contains(X, (?.td, [(class, flight, exact)]))
+    number(S, X) <- flight(_, S), subelem(S, (?.td, [(class, flight, exact)]), X)
+    dest(S, X)   <- flight(_, S), subelem(S, (?.td, [(class, dest, exact)]), X)
+    status(S, X) <- flight(_, S), subelem(S, (?.td, [(class, status, exact)]), X)
+    """
+)
+
+
+def main() -> None:
+    flights = generate_flights(8, seed=14, airport="Vienna")
+    watched = flights[0].number
+    web = SimulatedWeb()
+    url = "vienna-airport.test/departures"
+    web.publish(url, departures_page("Vienna", flights))
+
+    sms = SmsDeliverer("sms", "+43 660 0000", summarise=lambda doc: doc.full_text())
+    gate = ChangeGatedDeliverer(
+        "gate",
+        sms,
+        ChangeDetector("flight", key="number"),
+        message=lambda report: "flight update: " + ", ".join(
+            f"{f.findtext('number')} now {f.findtext('status')}"
+            for f in report.changed + report.added
+        ),
+    )
+
+    pipe = InformationPipe("flight-monitor")
+    pipe.add(WrapperComponent("board", BOARD_WRAPPER, web, url, root_name="departures"))
+    pipe.add(FilterComponent("watched", "flight",
+                             lambda f: f.findtext("number") == watched, root_name="watchlist"))
+    pipe.add(gate)
+    pipe.chain("board", "watched", "gate")
+
+    server = TransformationServer()
+    server.register(pipe, period=1)
+
+    print(f"subscribed to flight {watched}")
+    server.tick()                      # baseline snapshot — no SMS
+    server.tick()                      # unchanged — no SMS
+    print(f"after 2 polls without change: {len(sms.deliveries)} SMS sent")
+
+    # the airport delays the watched flight
+    web.publish(url, departures_page("Vienna", advance_statuses(flights, {watched: "delayed"})))
+    server.tick()
+    web.publish(url, departures_page("Vienna", advance_statuses(flights, {watched: "departed"})))
+    server.tick()
+
+    print(f"after two status changes: {len(sms.deliveries)} SMS sent")
+    for delivery in sms.deliveries:
+        print(f"  SMS to {delivery.recipient}: {delivery.body}")
+
+
+if __name__ == "__main__":
+    main()

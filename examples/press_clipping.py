@@ -1,0 +1,86 @@
+"""Section 6.3 — press clipping: financial news aggregated with stock quotes.
+
+Two press sites and a quotes page are wrapped, integrated, renamed into the
+NITF element vocabulary, and delivered as XML for a downstream content
+system.
+
+Run with:  python examples/press_clipping.py
+"""
+
+from repro.elog import parse_elog
+from repro.server import (
+    InformationPipe,
+    IntegrationComponent,
+    RenameComponent,
+    WrapperComponent,
+    XmlDeliverer,
+)
+from repro.web import SimulatedWeb
+from repro.web.sites.news import press_clipping_site
+
+DAILY_WRAPPER = parse_elog(
+    """
+    article(S, X)  <- document(_, S), subelem(S, (?.div, [(class, article, exact)]), X)
+    headline(S, X) <- article(_, S), subelem(S, (?.h2, [(class, headline, exact)]), X)
+    date(S, X)     <- article(_, S), subelem(S, (?.span, [(class, date, exact)]), X)
+    body(S, X)     <- article(_, S), subelem(S, (?.p, [(class, body, exact)]), X)
+    """
+)
+WIRE_WRAPPER = parse_elog(
+    """
+    article(S, X)  <- document(_, S), subelem(S, ?.tr, X), contains(X, (?.td, [(class, headline, exact)]))
+    headline(S, X) <- article(_, S), subelem(S, ?.a, X)
+    date(S, X)     <- article(_, S), subelem(S, (?.td, [(class, date, exact)]), X)
+    """
+)
+QUOTES_WRAPPER = parse_elog(
+    """
+    quote(S, X)   <- document(_, S), subelem(S, ?.tr, X), contains(X, (?.td, [(class, company, exact)]))
+    company(S, X) <- quote(_, S), subelem(S, (?.td, [(class, company, exact)]), X)
+    price(S, X)   <- quote(_, S), subelem(S, (?.td, [(class, price, exact)]), X)
+    change(S, X)  <- quote(_, S), subelem(S, (?.td, [(class, change, exact)]), X)
+    """
+)
+
+# Pattern names -> NITF-ish element names (NewsML/NITF, as in the paper).
+NITF_MAPPING = {
+    "clipping": "nitf",
+    "article": "block",
+    "headline": "hl1",
+    "body": "p",
+    "date": "dateline",
+}
+
+
+def main() -> None:
+    web = SimulatedWeb()
+    web.publish_many(press_clipping_site(count=6, seed=12))
+
+    pipe = InformationPipe("press-clipping")
+    pipe.add(WrapperComponent("daily", DAILY_WRAPPER, web, "financial-daily.test/news", root_name="news"))
+    pipe.add(WrapperComponent("wire", WIRE_WRAPPER, web, "market-wire.test/stories", root_name="news"))
+    pipe.add(WrapperComponent("quotes", QUOTES_WRAPPER, web, "exchange.test/quotes", root_name="quotes"))
+    pipe.add(IntegrationComponent("merge", root_name="clipping"))
+    pipe.add(RenameComponent("nitf", NITF_MAPPING))
+    pipe.add(XmlDeliverer("deliver", recipient="content-management-system"))
+    for source in ("daily", "wire", "quotes"):
+        pipe.connect(source, "merge")
+    pipe.chain("merge", "nitf", "deliver")
+
+    results = pipe.run()
+    nitf = results["nitf"]
+    blocks = list(nitf.iter("block"))
+    quotes = list(nitf.iter("quote"))
+    print(f"aggregated {len(blocks)} news blocks and {len(quotes)} quotes into NITF")
+    for block in blocks[:5]:
+        print("  headline:", block.findtext("hl1"))
+    print("\nquotes:")
+    for quote in quotes:
+        print(f"  {quote.findtext('company'):<16} {quote.findtext('price'):>8}  {quote.findtext('change')}")
+
+    delivery = pipe.component("deliver").last_delivery()
+    print(f"\ndelivered {len(delivery.body)} characters of NITF XML to {delivery.recipient!r}")
+
+
+if __name__ == "__main__":
+    main()

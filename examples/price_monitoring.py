@@ -1,0 +1,85 @@
+"""Sections 6.6/6.7 — business intelligence: competitor price monitoring.
+
+Three competitor part catalogues are wrapped and integrated; for every
+product the cheapest competitor is reported, and a change-gated deliverer
+raises an alert when a competitor moves a price.
+
+Run with:  python examples/price_monitoring.py
+"""
+
+from collections import defaultdict
+
+from repro.elog import parse_elog
+from repro.elog.concepts import parse_number
+from repro.server import (
+    ChangeDetector,
+    ChangeGatedDeliverer,
+    EmailDeliverer,
+    InformationPipe,
+    IntegrationComponent,
+    TransformationServer,
+    WrapperComponent,
+)
+from repro.web import SimulatedWeb
+from repro.web.sites.markets import competitor_sites
+
+PRICE_WRAPPER = parse_elog(
+    """
+    offer(S, X)   <- document(_, S), subelem(S, ?.tr, X)
+    product(S, X) <- offer(_, S), subelem(S, (?.td, [(class, product, exact)]), X)
+    price(S, X)   <- offer(_, S), subelem(S, (?.td, [(class, price, exact)]), X)
+    """
+)
+
+
+def main() -> None:
+    web = SimulatedWeb()
+    web.publish_many(competitor_sites(shops=3, count=6, seed=9))
+
+    email = EmailDeliverer("alerts", "analyst@example.test", subject="price change alert")
+    gate = ChangeGatedDeliverer("gate", email, ChangeDetector("offer", key="product"))
+
+    pipe = InformationPipe("price-watch")
+    for index in range(3):
+        name = f"competitor_{index + 1}"
+        pipe.add(
+            WrapperComponent(name, PRICE_WRAPPER, web,
+                             f"competitor-{index + 1}.test/prices", root_name=name)
+        )
+    pipe.add(IntegrationComponent("market", root_name="market"))
+    pipe.add(gate)
+    for index in range(3):
+        pipe.connect(f"competitor_{index + 1}", "market")
+    # the analyst watches competitor 2 specifically for price moves
+    pipe.connect("competitor_2", "gate")
+
+    server = TransformationServer()
+    server.register(pipe, period=1)
+    server.tick()
+
+    market = pipe.last_results["market"]
+    best = defaultdict(lambda: (None, float("inf")))
+    for shop in market.children:
+        for offer in shop.iter("offer"):
+            product = offer.findtext("product")
+            price = parse_number(offer.findtext("price")) or float("inf")
+            if price < best[product][1]:
+                best[product] = (shop.name, price)
+    print("cheapest source per product:")
+    for product, (shop, price) in sorted(best.items()):
+        print(f"  {product:<16} {shop:<14} EUR {price:.2f}")
+
+    # competitor 2 undercuts on one product -> the analyst gets one alert
+    def undercut_first_price(html: str) -> str:
+        old_price = html.split('class="price">')[1].split("<")[0]
+        return html.replace(old_price, "EUR 9.99", 1)
+
+    web.update("competitor-2.test/prices", undercut_first_price)
+    server.tick()
+    print(f"\nalerts sent after the price change: {len(email.deliveries)}")
+    if email.deliveries:
+        print("alert subject:", email.deliveries[-1].subject)
+
+
+if __name__ == "__main__":
+    main()

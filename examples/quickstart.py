@@ -1,0 +1,51 @@
+"""Quickstart: write a small Elog wrapper and run it over an HTML page.
+
+Run with:  python examples/quickstart.py
+"""
+
+from repro.elog import Extractor, parse_elog
+from repro.html import parse_html
+from repro.xmlgen import to_xml
+
+PAGE = """
+<html><body>
+  <h1>Second-hand cameras</h1>
+  <table class="offers">
+    <tr><td class="model"><a href="/c/1">Reflexa 35</a></td><td class="price">$ 120.00</td></tr>
+    <tr><td class="model"><a href="/c/2">Panorama II</a></td><td class="price">EUR 89.50</td></tr>
+    <tr><td class="model">Boxcam (no link)</td><td class="price">$ 45.00</td></tr>
+  </table>
+</body></html>
+"""
+
+# An Elog wrapper: one pattern per concept, defined relative to its parent
+# pattern, exactly as in Section 3 of the paper.
+WRAPPER = r"""
+offer(S, X)  <- document(_, S), subelem(S, ?.tr, X)
+model(S, X)  <- offer(_, S), subelem(S, (?.td, [(class, model, exact)]), X)
+price(S, X)  <- offer(_, S), subelem(S, (?.td, [(elementtext, \var[Y].*, regvar)]), X), isCurrency(Y)
+link(S, X)   <- model(_, S), subelem(S, .a, X)
+url(S, X)    <- link(_, S), subatt(S, href, X)
+"""
+
+
+def main() -> None:
+    document = parse_html(PAGE, url="cameras.example/offers")
+    program = parse_elog(WRAPPER).mark_auxiliary("link")
+    extractor = Extractor(program)
+
+    # 1. The pattern instance base: the hierarchical extraction result.
+    base = extractor.extract(document=document)
+    print("patterns extracted:", ", ".join(base.patterns()))
+    for offer in base.instances_of("offer"):
+        model = offer.find_all("model")
+        price = offer.find_all("price")
+        print(" -", model[0].text() if model else "?", "/", price[0].text() if price else "?")
+
+    # 2. The XML Designer / Transformer output (the machine-friendly view).
+    print("\nXML output:\n")
+    print(to_xml(base.to_xml(root_name="offers", auxiliary=program.auxiliary_patterns)))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,63 @@
+"""Section 3.2 / Figures 3-4 — a simulated visual wrapper-specification session.
+
+A bestseller page is "displayed"; the user defines patterns by selecting
+regions of the rendered text; the system generates Elog filters, the user
+refines one that is too general, and the finished wrapper is run.
+
+Run with:  python examples/visual_wrapper_session.py
+"""
+
+from repro.elog import ContainsCondition, ElementPath, Extractor
+from repro.html import parse_html
+from repro.visual import PatternBuilderSession
+from repro.web.sites.bookstore import generate_books, table_shop_page
+from repro.xmlgen import to_xml
+
+
+def main() -> None:
+    books = generate_books(6, seed=23)
+    document = parse_html(table_shop_page(books), url="books-a.test/bestsellers")
+    session = PatternBuilderSession(document)
+
+    print("rendered example page (what the user sees):\n")
+    print("\n".join(session.page.text.splitlines()[:12]))
+
+    # 1. Drag over the first book row to define the <bookrow> pattern.
+    text = session.page.text
+    start = text.find(books[0].title)
+    price_text = f"$ {books[0].price:.2f}"
+    end = text.find(price_text) + len(price_text)
+    proposal = session.propose_filter_region("bookrow", "document", start, end)
+    print(f"\nproposed filter: {proposal.rule}")
+    print(f"matches {proposal.match_count()} regions (one too many: the header row)")
+
+    # 2. The filter is too general -> refine it visually: a book row must
+    #    contain a hyperlinked title.
+    proposal = session.refine_with_condition(
+        proposal, ContainsCondition(path=ElementPath.parse(".a"))
+    )
+    print(f"after refinement: matches {proposal.match_count()} regions")
+    session.accept(proposal)
+
+    # 3. Click on a price to define <price> below <bookrow>.
+    price_proposal = session.propose_filter("price", "bookrow", price_text)
+    session.accept(price_proposal)
+    # 4. Click on a title to define <title> below <bookrow>.
+    title_proposal = session.propose_filter("title", "bookrow", books[1].title)
+    session.accept(title_proposal)
+
+    print("\npattern/filter tree (Figure 4, top-left panel):")
+    for pattern, filters in session.program_tree().items():
+        print(f"  <{pattern}>")
+        for filter_text in filters:
+            print(f"      {filter_text}")
+
+    print("\ntesting the <price> pattern:", session.test_pattern("price"))
+
+    base = Extractor(session.wrapper()).extract(document=document)
+    print("\nfinal XML output:\n")
+    print(to_xml(base.to_xml(root_name="bestsellers")))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,16 @@
+"""repro — a reproduction of the Lixto data extraction project (PODS 2004).
+
+The package is organised in layers:
+
+* substrates: :mod:`repro.tree`, :mod:`repro.html`, :mod:`repro.xmlgen`,
+  :mod:`repro.datalog`, :mod:`repro.web`;
+* theory core: :mod:`repro.mdatalog` (monadic datalog over trees, TMNF),
+  :mod:`repro.automata`, :mod:`repro.xpath`, :mod:`repro.cq`;
+* the Lixto system: :mod:`repro.elog` (the Elog language and Extractor),
+  :mod:`repro.visual` (visual wrapper specification),
+  :mod:`repro.server` (the Transformation Server).
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

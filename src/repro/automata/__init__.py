@@ -1,0 +1,35 @@
+"""Tree automata: the executable face of the MSO <-> monadic datalog bridge."""
+
+from .ranked import (
+    BOTTOM,
+    NondeterministicTreeAutomaton,
+    TreeAutomaton,
+    label_reachability_automaton,
+    leaf_selector_automaton,
+)
+from .strings import ANY, DFA, EPSILON, NFA, NFABuilder, determinize
+from .to_datalog import compile_automaton, state_predicate
+from .unranked import (
+    HorizontalRule,
+    UnrankedTreeAutomaton,
+    automaton_from_child_pattern,
+)
+
+__all__ = [
+    "ANY",
+    "BOTTOM",
+    "DFA",
+    "EPSILON",
+    "HorizontalRule",
+    "NFA",
+    "NFABuilder",
+    "NondeterministicTreeAutomaton",
+    "TreeAutomaton",
+    "UnrankedTreeAutomaton",
+    "automaton_from_child_pattern",
+    "compile_automaton",
+    "determinize",
+    "label_reachability_automaton",
+    "leaf_selector_automaton",
+    "state_predicate",
+]

@@ -1,0 +1,249 @@
+"""Bottom-up tree automata on the binary (firstchild/nextsibling) encoding.
+
+MSO over trees has the same expressive power as tree automata ([37, 10] in
+the paper), and Theorem 2.5 transfers that power to monadic datalog.  To make
+this executable, this module provides deterministic and nondeterministic
+bottom-up automata running on the binary encoding of unranked documents
+(:mod:`repro.tree.encoding`), plus selection of nodes via selecting states —
+the operational form of a unary MSO query.
+
+Transitions are given by a function-like table::
+
+    delta(label, left_state, right_state) -> state          (deterministic)
+    delta(label, left_state, right_state) -> set of states  (nondeterministic)
+
+Missing children are fed the distinguished :data:`BOTTOM` state.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Hashable, Iterable, List, Mapping, Optional, Set, Tuple
+
+from ..tree.document import Document
+from ..tree.encoding import BinaryNode, encode
+from ..tree.node import Node
+
+State = Hashable
+BOTTOM = "__bottom__"  # state assigned to absent children
+
+TransitionKey = Tuple[str, State, State]
+
+
+@dataclass
+class TreeAutomaton:
+    """A deterministic bottom-up binary tree automaton.
+
+    Parameters
+    ----------
+    transitions:
+        Mapping ``(label, left_state, right_state) -> state``.  A wildcard
+        label ``"*"`` may be used as fallback for labels without an explicit
+        entry.
+    accepting:
+        Tree acceptance: the run accepts iff the state at the encoded root is
+        in this set.
+    selecting:
+        States that *select* the node they are assigned to; selection is only
+        reported for accepting runs (standard query-automaton convention).
+    """
+
+    transitions: Dict[TransitionKey, State]
+    accepting: Set[State]
+    selecting: Set[State] = field(default_factory=set)
+    name: str = "automaton"
+
+    # ------------------------------------------------------------------
+    def states(self) -> Set[State]:
+        result: Set[State] = set(self.accepting) | set(self.selecting) | {BOTTOM}
+        for (_, left, right), target in self.transitions.items():
+            result |= {left, right, target}
+        return result
+
+    def labels(self) -> Set[str]:
+        return {label for (label, _, _) in self.transitions}
+
+    def transition(self, label: str, left: State, right: State) -> Optional[State]:
+        key = (label, left, right)
+        if key in self.transitions:
+            return self.transitions[key]
+        wildcard = ("*", left, right)
+        return self.transitions.get(wildcard)
+
+    # ------------------------------------------------------------------
+    def run(self, document: Document) -> Dict[int, State]:
+        """Run bottom-up over the encoded document.
+
+        Returns the assignment {preorder index -> state}; nodes for which no
+        transition is defined map to ``None`` and make the run rejecting.
+        """
+        binary_root = encode(document)
+        assignment: Dict[int, State] = {}
+        states: Dict[int, Optional[State]] = {}
+        for binary in binary_root.iter_postorder():
+            left_state = states.get(id(binary.left), BOTTOM) if binary.left else BOTTOM
+            right_state = states.get(id(binary.right), BOTTOM) if binary.right else BOTTOM
+            if left_state is None or right_state is None:
+                states[id(binary)] = None
+                continue
+            state = self.transition(binary.label, left_state, right_state)
+            states[id(binary)] = state
+            if binary.source is not None and state is not None:
+                assignment[binary.source.preorder_index] = state
+        root_state = states[id(binary_root)]
+        if root_state is None:
+            return {}
+        return assignment
+
+    def accepts(self, document: Document) -> bool:
+        assignment = self.run(document)
+        if not assignment:
+            return False
+        return assignment[document.root.preorder_index] in self.accepting
+
+    def select(self, document: Document) -> List[Node]:
+        """Nodes assigned a selecting state by an accepting run."""
+        assignment = self.run(document)
+        if not assignment:
+            return []
+        if assignment.get(document.root.preorder_index) not in self.accepting:
+            return []
+        return [
+            document.node_at(index)
+            for index in sorted(assignment)
+            if assignment[index] in self.selecting
+        ]
+
+
+@dataclass
+class NondeterministicTreeAutomaton:
+    """A nondeterministic bottom-up binary tree automaton.
+
+    ``transitions`` maps ``(label, left_state, right_state)`` to a *set* of
+    possible states.  Acceptance is existential.
+    """
+
+    transitions: Dict[TransitionKey, FrozenSet[State]]
+    accepting: Set[State]
+    name: str = "nta"
+
+    def possible(self, label: str, left: State, right: State) -> FrozenSet[State]:
+        result: Set[State] = set()
+        result |= self.transitions.get((label, left, right), frozenset())
+        result |= self.transitions.get(("*", left, right), frozenset())
+        return frozenset(result)
+
+    def reachable_states(self, document: Document) -> Dict[int, FrozenSet[State]]:
+        """For every node, the set of states of *some* run of its encoded subtree."""
+        binary_root = encode(document)
+        states: Dict[int, FrozenSet[State]] = {}
+        for binary in binary_root.iter_postorder():
+            left_states = states[id(binary.left)] if binary.left else frozenset({BOTTOM})
+            right_states = states[id(binary.right)] if binary.right else frozenset({BOTTOM})
+            reachable: Set[State] = set()
+            for left in left_states:
+                for right in right_states:
+                    reachable |= self.possible(binary.label, left, right)
+            states[id(binary)] = frozenset(reachable)
+        result: Dict[int, FrozenSet[State]] = {}
+        for binary in binary_root.iter_postorder():
+            if binary.source is not None:
+                result[binary.source.preorder_index] = states[id(binary)]
+        return result
+
+    def accepts(self, document: Document) -> bool:
+        reachable = self.reachable_states(document)
+        return bool(reachable.get(document.root.preorder_index, frozenset()) & self.accepting)
+
+    def determinize(self) -> TreeAutomaton:
+        """Subset construction (on demand over the automaton's label set).
+
+        The resulting deterministic automaton works over the same labels plus
+        the wildcard entries of this automaton; unseen (label, states)
+        combinations map to the empty subset (a rejecting sink).
+        """
+        labels = {label for (label, _, _) in self.transitions}
+        initial = frozenset({BOTTOM})
+        subsets: Set[FrozenSet[State]] = {initial}
+        frontier = [initial]
+        transitions: Dict[TransitionKey, State] = {}
+        # Iterate to a fixpoint over reachable subsets.
+        while frontier:
+            _ = frontier.pop()
+            new_subsets: Set[FrozenSet[State]] = set()
+            for label in labels:
+                for left in list(subsets):
+                    for right in list(subsets):
+                        target: Set[State] = set()
+                        for left_state in left:
+                            for right_state in right:
+                                target |= self.possible(label, left_state, right_state)
+                        target_frozen = frozenset(target)
+                        transitions[(label, left, right)] = target_frozen
+                        if target_frozen not in subsets:
+                            new_subsets.add(target_frozen)
+            if not new_subsets:
+                break
+            subsets |= new_subsets
+            frontier.extend(new_subsets)
+        accepting = {subset for subset in subsets if subset & self.accepting}
+        # Map the deterministic initial convention: BOTTOM plays itself, so add
+        # identity handling by renaming frozenset({BOTTOM}) to BOTTOM.
+        def rename(state: FrozenSet[State]) -> State:
+            return BOTTOM if state == initial else state
+
+        renamed_transitions = {
+            (label, rename(left), rename(right)): rename(target)
+            for (label, left, right), target in transitions.items()
+        }
+        renamed_accepting = {rename(state) for state in accepting}
+        return TreeAutomaton(
+            transitions=renamed_transitions,
+            accepting=renamed_accepting,
+            name=f"det({self.name})",
+        )
+
+
+# ---------------------------------------------------------------------------
+# Example automata used in tests, examples and benchmarks
+# ---------------------------------------------------------------------------
+
+
+def label_reachability_automaton(target_label: str, labels: Iterable[str]) -> TreeAutomaton:
+    """Accepts documents containing at least one ``target_label`` node.
+
+    Two states: "seen" propagates upwards through the binary encoding.
+    """
+    transitions: Dict[TransitionKey, State] = {}
+    for label in set(labels) | {target_label}:
+        for left in (BOTTOM, "seen", "clean"):
+            for right in (BOTTOM, "seen", "clean"):
+                seen = label == target_label or left == "seen" or right == "seen"
+                transitions[(label, left, right)] = "seen" if seen else "clean"
+    return TreeAutomaton(
+        transitions=transitions,
+        accepting={"seen"},
+        selecting=set(),
+        name=f"contains({target_label})",
+    )
+
+
+def leaf_selector_automaton(labels: Iterable[str]) -> TreeAutomaton:
+    """Selects every node that is a leaf of the *unranked* tree.
+
+    A node is an unranked leaf iff its encoded first-child pointer is absent,
+    i.e. the left child in the binary encoding is BOTTOM.
+    """
+    transitions: Dict[TransitionKey, State] = {}
+    all_labels = set(labels)
+    states = (BOTTOM, "leaf", "internal")
+    for label in all_labels:
+        for left in states:
+            for right in states:
+                transitions[(label, left, right)] = "leaf" if left == BOTTOM else "internal"
+    return TreeAutomaton(
+        transitions=transitions,
+        accepting={"leaf", "internal"},
+        selecting={"leaf"},
+        name="select-leaves",
+    )

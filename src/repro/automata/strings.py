@@ -1,0 +1,245 @@
+"""Finite automata over symbol alphabets.
+
+These string automata serve two purposes in the reproduction:
+
+* they provide the *horizontal languages* of unranked tree automata (the
+  children of a node form a word over the state alphabet), and
+* they execute the regular expressions over tag names used by Elog element
+  path definitions (Section 3.3).
+
+Symbols are arbitrary hashable Python values (tag names, automaton states),
+not characters, so Python's ``re`` module is not applicable; the classical
+Thompson construction / subset construction are implemented directly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Hashable, Iterable, List, Optional, Sequence, Set, Tuple
+
+Symbol = Hashable
+
+EPSILON = object()  # sentinel for epsilon transitions
+ANY = object()  # sentinel wildcard symbol matching any input symbol
+
+
+@dataclass
+class NFA:
+    """A nondeterministic finite automaton with epsilon moves.
+
+    States are integers.  ``transitions[state]`` maps a symbol (or the
+    :data:`EPSILON` / :data:`ANY` sentinels) to a set of successor states.
+    """
+
+    initial: int
+    accepting: Set[int]
+    transitions: Dict[int, Dict[Hashable, Set[int]]] = field(default_factory=dict)
+
+    # -- construction helpers -------------------------------------------
+    def add_transition(self, source: int, symbol: Hashable, target: int) -> None:
+        self.transitions.setdefault(source, {}).setdefault(symbol, set()).add(target)
+
+    def states(self) -> Set[int]:
+        result = {self.initial} | set(self.accepting)
+        for source, moves in self.transitions.items():
+            result.add(source)
+            for targets in moves.values():
+                result |= targets
+        return result
+
+    # -- execution -------------------------------------------------------
+    def _epsilon_closure(self, states: Set[int]) -> Set[int]:
+        closure = set(states)
+        frontier = list(states)
+        while frontier:
+            state = frontier.pop()
+            for target in self.transitions.get(state, {}).get(EPSILON, ()):
+                if target not in closure:
+                    closure.add(target)
+                    frontier.append(target)
+        return closure
+
+    def _step(self, states: Set[int], symbol: Symbol) -> Set[int]:
+        result: Set[int] = set()
+        for state in states:
+            moves = self.transitions.get(state, {})
+            result |= moves.get(symbol, set())
+            result |= moves.get(ANY, set())
+        return self._epsilon_closure(result)
+
+    def accepts(self, word: Sequence[Symbol]) -> bool:
+        current = self._epsilon_closure({self.initial})
+        for symbol in word:
+            current = self._step(current, symbol)
+            if not current:
+                return False
+        return bool(current & self.accepting)
+
+    def matches_prefix(self, word: Sequence[Symbol]) -> List[int]:
+        """Lengths of all prefixes of ``word`` accepted by the automaton."""
+        lengths: List[int] = []
+        current = self._epsilon_closure({self.initial})
+        if current & self.accepting:
+            lengths.append(0)
+        for position, symbol in enumerate(word, start=1):
+            current = self._step(current, symbol)
+            if not current:
+                break
+            if current & self.accepting:
+                lengths.append(position)
+        return lengths
+
+
+class NFABuilder:
+    """Thompson-style construction of NFAs from combinators."""
+
+    def __init__(self) -> None:
+        self._next_state = 0
+
+    def _new_state(self) -> int:
+        state = self._next_state
+        self._next_state += 1
+        return state
+
+    def _fragment(self) -> Tuple[int, int, NFA]:
+        start = self._new_state()
+        end = self._new_state()
+        return start, end, NFA(initial=start, accepting={end})
+
+    # -- atomic fragments --------------------------------------------------
+    def symbol(self, symbol: Symbol) -> NFA:
+        start, end, nfa = self._fragment()
+        nfa.add_transition(start, symbol, end)
+        return nfa
+
+    def any_symbol(self) -> NFA:
+        start, end, nfa = self._fragment()
+        nfa.add_transition(start, ANY, end)
+        return nfa
+
+    def empty(self) -> NFA:
+        start, end, nfa = self._fragment()
+        nfa.add_transition(start, EPSILON, end)
+        return nfa
+
+    # -- combinators --------------------------------------------------------
+    def _merge(self, target: NFA, source: NFA) -> None:
+        for state, moves in source.transitions.items():
+            for symbol, successors in moves.items():
+                for successor in successors:
+                    target.add_transition(state, symbol, successor)
+
+    def concat(self, first: NFA, second: NFA) -> NFA:
+        result = NFA(initial=first.initial, accepting=set(second.accepting))
+        self._merge(result, first)
+        self._merge(result, second)
+        for state in first.accepting:
+            result.add_transition(state, EPSILON, second.initial)
+        return result
+
+    def union(self, first: NFA, second: NFA) -> NFA:
+        start, end, result = self._fragment()
+        self._merge(result, first)
+        self._merge(result, second)
+        result.add_transition(start, EPSILON, first.initial)
+        result.add_transition(start, EPSILON, second.initial)
+        for state in first.accepting | second.accepting:
+            result.add_transition(state, EPSILON, end)
+        return result
+
+    def star(self, inner: NFA) -> NFA:
+        start, end, result = self._fragment()
+        self._merge(result, inner)
+        result.add_transition(start, EPSILON, inner.initial)
+        result.add_transition(start, EPSILON, end)
+        for state in inner.accepting:
+            result.add_transition(state, EPSILON, inner.initial)
+            result.add_transition(state, EPSILON, end)
+        return result
+
+    def plus(self, inner: NFA) -> NFA:
+        return self.concat(inner, self.star(inner))
+
+    def optional(self, inner: NFA) -> NFA:
+        return self.union(inner, self.empty())
+
+    def sequence(self, symbols: Iterable[Symbol]) -> NFA:
+        result = self.empty()
+        for symbol in symbols:
+            result = self.concat(result, self.symbol(symbol))
+        return result
+
+
+@dataclass
+class DFA:
+    """A deterministic finite automaton over an explicit alphabet."""
+
+    initial: FrozenSet[int]
+    accepting: Set[FrozenSet[int]]
+    transitions: Dict[Tuple[FrozenSet[int], Symbol], FrozenSet[int]]
+    alphabet: FrozenSet[Symbol]
+    # moves on symbols outside the explicit alphabet (from ANY transitions)
+    default_transitions: Dict[FrozenSet[int], FrozenSet[int]] = field(default_factory=dict)
+
+    def accepts(self, word: Sequence[Symbol]) -> bool:
+        state = self.initial
+        for symbol in word:
+            key = (state, symbol)
+            if key in self.transitions:
+                state = self.transitions[key]
+            elif state in self.default_transitions:
+                state = self.default_transitions[state]
+            else:
+                return False
+        return state in self.accepting
+
+    def state_count(self) -> int:
+        states = {self.initial} | set(self.accepting)
+        for (source, _), target in self.transitions.items():
+            states.add(source)
+            states.add(target)
+        return len(states)
+
+
+def determinize(nfa: NFA, alphabet: Iterable[Symbol]) -> DFA:
+    """Subset construction of an equivalent DFA over ``alphabet``."""
+    alphabet_set = frozenset(alphabet)
+    initial = frozenset(nfa._epsilon_closure({nfa.initial}))
+    transitions: Dict[Tuple[FrozenSet[int], Symbol], FrozenSet[int]] = {}
+    default_transitions: Dict[FrozenSet[int], FrozenSet[int]] = {}
+    accepting: Set[FrozenSet[int]] = set()
+    seen = {initial}
+    frontier = [initial]
+    while frontier:
+        state = frontier.pop()
+        if state & nfa.accepting:
+            accepting.add(state)
+        # Default (wildcard-only) successor for symbols outside the alphabet.
+        wildcard_successor = frozenset(nfa._step(set(state), _FRESH_SYMBOL))
+        if wildcard_successor:
+            default_transitions[state] = wildcard_successor
+            if wildcard_successor not in seen:
+                seen.add(wildcard_successor)
+                frontier.append(wildcard_successor)
+        for symbol in alphabet_set:
+            successor = frozenset(nfa._step(set(state), symbol))
+            if not successor:
+                continue
+            transitions[(state, symbol)] = successor
+            if successor not in seen:
+                seen.add(successor)
+                frontier.append(successor)
+    return DFA(
+        initial=initial,
+        accepting=accepting,
+        transitions=transitions,
+        alphabet=alphabet_set,
+        default_transitions=default_transitions,
+    )
+
+
+class _Fresh:
+    """A symbol guaranteed not to occur in any input alphabet."""
+
+
+_FRESH_SYMBOL = _Fresh()

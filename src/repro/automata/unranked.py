@@ -1,0 +1,213 @@
+"""Unranked tree automata with regular horizontal languages.
+
+An unranked (hedge) automaton assigns a state to every node of an unranked
+tree: a node with label ``a`` may get state ``q`` if the word formed by its
+children's states belongs to the horizontal language ``L(a, q)``.  Horizontal
+languages are given as string automata over the state alphabet
+(:mod:`repro.automata.strings`).
+
+This is the automaton model closest to how MSO over unranked trees is
+usually presented; the ranked automata of :mod:`repro.automata.ranked` give a
+second, independently implemented evaluation path (over the binary encoding)
+that the test-suite compares against.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Hashable, Iterable, List, Sequence, Set, Tuple
+
+from ..tree.document import Document
+from ..tree.node import Node
+from .strings import NFA, NFABuilder
+
+State = Hashable
+
+
+@dataclass
+class HorizontalRule:
+    """One transition of an unranked automaton.
+
+    ``label`` may be ``"*"`` to match any label; ``language`` is an NFA over
+    the automaton's states that the children's state word must satisfy.
+    """
+
+    label: str
+    state: State
+    language: NFA
+
+
+@dataclass
+class UnrankedTreeAutomaton:
+    """A nondeterministic unranked (hedge) automaton."""
+
+    rules: List[HorizontalRule]
+    accepting: Set[State]
+    selecting: Set[State] = field(default_factory=set)
+    name: str = "hedge"
+
+    def states(self) -> Set[State]:
+        result = set(self.accepting) | set(self.selecting)
+        for rule in self.rules:
+            result.add(rule.state)
+        return result
+
+    def _rules_for(self, label: str) -> List[HorizontalRule]:
+        return [rule for rule in self.rules if rule.label in (label, "*")]
+
+    # ------------------------------------------------------------------
+    def reachable_states(self, document: Document) -> Dict[int, FrozenSet[State]]:
+        """Per node, the states assignable by some run of its subtree.
+
+        Bottom-up: a node may get state q via rule (label, q, L) iff some
+        choice of children states (each from the child's reachable set) forms
+        a word in L.  The membership test "is there a word in L choosing one
+        state per child" is decided by simulating the NFA over the sequence
+        of child state-sets (a product construction evaluated on the fly).
+        """
+        result: Dict[int, FrozenSet[State]] = {}
+        # post-order traversal of the unranked tree
+        order: List[Node] = []
+        stack: List[Tuple[Node, bool]] = [(document.root, False)]
+        while stack:
+            node, expanded = stack.pop()
+            if expanded:
+                order.append(node)
+                continue
+            stack.append((node, True))
+            for child in node.children:
+                stack.append((child, False))
+        for node in order:
+            child_state_sets = [result[child.preorder_index] for child in node.children]
+            reachable: Set[State] = set()
+            for rule in self._rules_for(node.label):
+                if _language_reachable(rule.language, child_state_sets):
+                    reachable.add(rule.state)
+            result[node.preorder_index] = frozenset(reachable)
+        return result
+
+    def accepts(self, document: Document) -> bool:
+        reachable = self.reachable_states(document)
+        return bool(reachable[document.root.preorder_index] & self.accepting)
+
+    def select(self, document: Document) -> List[Node]:
+        """Nodes that can carry a selecting state in some accepting run.
+
+        Computed with the standard two-pass (bottom-up reachability, then
+        top-down filtering of states consistent with acceptance at the root).
+        """
+        reachable = self.reachable_states(document)
+        if not (reachable[document.root.preorder_index] & self.accepting):
+            return []
+        # Top-down pass: keep, for each node, the states that occur in at
+        # least one accepting run.
+        allowed: Dict[int, Set[State]] = {
+            document.root.preorder_index: set(
+                reachable[document.root.preorder_index] & self.accepting
+            )
+        }
+        order = list(document)  # preorder
+        for node in order:
+            node_allowed = allowed.get(node.preorder_index, set())
+            if not node.children or not node_allowed:
+                continue
+            child_state_sets = [reachable[child.preorder_index] for child in node.children]
+            per_child_allowed: List[Set[State]] = [set() for _ in node.children]
+            for rule in self._rules_for(node.label):
+                if rule.state not in node_allowed:
+                    continue
+                witnesses = _language_witness_states(rule.language, child_state_sets)
+                for position, states in enumerate(witnesses):
+                    per_child_allowed[position] |= states
+            for child, states in zip(node.children, per_child_allowed):
+                allowed.setdefault(child.preorder_index, set()).update(states)
+        return [
+            document.node_at(index)
+            for index in sorted(allowed)
+            if allowed[index] & self.selecting
+        ]
+
+
+def _language_reachable(language: NFA, child_state_sets: Sequence[FrozenSet[State]]) -> bool:
+    """Is some word w (|w| = number of children, w[i] in child_state_sets[i])
+    accepted by ``language``?"""
+    current = language._epsilon_closure({language.initial})
+    for options in child_state_sets:
+        successor: Set[int] = set()
+        for symbol in options:
+            successor |= language._step(current, symbol)
+        current = successor
+        if not current:
+            return False
+    return bool(current & language.accepting)
+
+
+def _language_witness_states(
+    language: NFA, child_state_sets: Sequence[FrozenSet[State]]
+) -> List[Set[State]]:
+    """For each child position, the set of child states used by at least one
+    accepted word (empty everywhere when no word is accepted)."""
+    count = len(child_state_sets)
+    # forward[i]: NFA states reachable after consuming i children
+    forward: List[Set[int]] = [language._epsilon_closure({language.initial})]
+    for options in child_state_sets:
+        successor: Set[int] = set()
+        for symbol in options:
+            successor |= language._step(forward[-1], symbol)
+        forward.append(successor)
+    if not (forward[count] & language.accepting):
+        return [set() for _ in range(count)]
+    # backward[i]: NFA states from which the remaining suffix can reach accept
+    backward: List[Set[int]] = [set() for _ in range(count + 1)]
+    backward[count] = set(forward[count] & language.accepting)
+    witnesses: List[Set[State]] = [set() for _ in range(count)]
+    for position in range(count - 1, -1, -1):
+        useful_sources: Set[int] = set()
+        for symbol in child_state_sets[position]:
+            targets = language._step(forward[position], symbol)
+            if targets & backward[position + 1]:
+                witnesses[position].add(symbol)
+                # sources in forward[position] that can reach those targets
+                for state in forward[position]:
+                    if language._step({state}, symbol) & backward[position + 1]:
+                        useful_sources.add(state)
+        backward[position] = useful_sources
+    return witnesses
+
+
+# ---------------------------------------------------------------------------
+# Convenience constructors
+# ---------------------------------------------------------------------------
+
+
+def automaton_from_child_pattern(
+    label: str,
+    child_pattern: Sequence[str],
+    labels: Iterable[str],
+    name: str = "pattern",
+) -> UnrankedTreeAutomaton:
+    """An automaton selecting nodes labelled ``label`` whose children's labels
+    match ``child_pattern`` exactly (a simple but useful MSO query family).
+
+    All other nodes are assigned the neutral state ``ok`` regardless of their
+    children (so acceptance only hinges on the existence of a match being
+    irrelevant — selection does the real work).
+    """
+    builder = NFABuilder()
+    any_word = builder.star(builder.any_symbol())
+
+    rules: List[HorizontalRule] = []
+    # Neutral state for every node.
+    rules.append(HorizontalRule("*", "ok", any_word))
+    # The match state: children must expose the "is-<label>" states in order.
+    match_language = builder.sequence([f"is_{child}" for child in child_pattern])
+    rules.append(HorizontalRule(label, "match", match_language))
+    # Child-label exposure states.
+    for child_label in set(child_pattern):
+        rules.append(HorizontalRule(child_label, f"is_{child_label}", any_word))
+    return UnrankedTreeAutomaton(
+        rules=rules,
+        accepting={"ok", "match"} | {f"is_{c}" for c in child_pattern},
+        selecting={"match"},
+        name=name,
+    )

@@ -1,0 +1,21 @@
+"""Benchmark support: deterministic workload generators."""
+
+from .workloads import (
+    branching_positive_xpath,
+    chain_program,
+    cyclic_cq,
+    nested_predicate_xpath,
+    path_cq,
+    scaling_tree,
+    wide_program,
+)
+
+__all__ = [
+    "branching_positive_xpath",
+    "chain_program",
+    "cyclic_cq",
+    "nested_predicate_xpath",
+    "path_cq",
+    "scaling_tree",
+    "wide_program",
+]

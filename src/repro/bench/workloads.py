@@ -1,0 +1,111 @@
+"""Workload generators for the benchmark harness.
+
+Every generator is deterministic in its seed so that benchmark runs are
+repeatable.  The query families mirror the constructions used in the paper's
+complexity arguments: programs whose size grows linearly (Theorem 2.4),
+XPath queries with deeply nested predicates (the exponential-blowup family
+for pre-2002 engines), and conjunctive queries over chosen axis sets (the
+dichotomy of Section 4).
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+from ..cq.ast import ConjunctiveQuery, query
+from ..mdatalog.program import MonadicProgram
+from ..tree.builder import random_tree
+from ..tree.document import Document
+
+DEFAULT_LABELS = ("a", "b", "c", "d", "e")
+
+
+def scaling_tree(size: int, seed: int = 0, labels: Sequence[str] = DEFAULT_LABELS) -> Document:
+    """A pseudo-random document with exactly ``size`` nodes."""
+    return random_tree(size, labels=labels, max_children=6, seed=seed)
+
+
+def chain_program(rule_count: int, labels: Sequence[str] = DEFAULT_LABELS) -> MonadicProgram:
+    """A monadic datalog program with ``rule_count`` rules (|P| ~ rule_count).
+
+    The program marks ``a``-labelled nodes and then alternately steps to
+    first children and next siblings, so every rule actually fires on random
+    documents (no dead rules that an optimiser could skip).
+    """
+    lines = ["p0(X) :- label_a(X)."]
+    for index in range(1, rule_count):
+        relation = "firstchild" if index % 2 else "nextsibling"
+        lines.append(f"p{index}(X) :- p{index - 1}(X0), {relation}(X0, X).")
+    return MonadicProgram.parse("\n".join(lines), query_predicates=[f"p{rule_count - 1}"])
+
+
+def wide_program(rule_count: int, labels: Sequence[str] = DEFAULT_LABELS) -> MonadicProgram:
+    """A program with many independent rules over one query predicate."""
+    lines = []
+    for index in range(rule_count):
+        label = labels[index % len(labels)]
+        relation = "firstchild" if index % 2 else "nextsibling"
+        lines.append(f"hit(X) :- label_{label}(X0), {relation}(X0, X).")
+    return MonadicProgram.parse("\n".join(lines), query_predicates=["hit"])
+
+
+def nested_predicate_xpath(depth: int, tail_label: str = "b") -> str:
+    """The query family q_n = //a[.//a[.//a[...]]] .
+
+    The naive node-at-a-time strategy re-evaluates the nested predicate for
+    every candidate, which makes its cost grow exponentially with ``depth``;
+    the context-set algorithm stays linear (Theorem 4.1 vs the 2002 state of
+    the art).
+    """
+    inner = tail_label
+    for _ in range(depth):
+        inner = f"a[.//{inner}]"
+    return "//" + inner
+
+
+def branching_positive_xpath(depth: int) -> str:
+    """A positive Core XPath family with two predicates per level."""
+    inner = "b"
+    for _ in range(depth):
+        inner = f"a[.//{inner} and .//c]"
+    return "//" + inner
+
+
+def path_cq(length: int, tractable: bool = True) -> ConjunctiveQuery:
+    """A path-shaped conjunctive query of ``length`` axis atoms.
+
+    With ``tractable=True`` all atoms use ``child+`` (inside the tractable
+    class {child+, child*}); otherwise the atoms alternate between ``child``
+    and ``child+`` — the smallest NP-complete axis combination of the
+    dichotomy.
+    """
+    labels = [("X0", "a")]
+    axes: List[Tuple[str, str, str]] = []
+    for index in range(length):
+        source, target = f"X{index}", f"X{index + 1}"
+        if tractable:
+            relation = "child+"
+        else:
+            relation = "child" if index % 2 else "child+"
+        axes.append((relation, source, target))
+        labels.append((target, "a" if index % 2 else "b"))
+    return query(free=["X0"], labels=labels, axes=axes)
+
+
+def cyclic_cq(size: int, tractable: bool = True) -> ConjunctiveQuery:
+    """A cyclic conjunctive query (a 'ladder') over a chosen axis set.
+
+    Cyclic queries are where the dichotomy bites: over {child+, child*} they
+    stay polynomial, over {child, child+} they are NP-hard.
+    """
+    labels = []
+    axes: List[Tuple[str, str, str]] = []
+    for index in range(size):
+        top, bottom = f"T{index}", f"B{index}"
+        labels.append((top, "a"))
+        labels.append((bottom, "b"))
+        axes.append(("child+" if tractable else "child", top, bottom))
+        if index > 0:
+            axes.append(("child+", f"T{index - 1}", top))
+            axes.append(("child+" if tractable else "child+", f"B{index - 1}", bottom))
+    return query(free=["T0"], labels=labels, axes=axes)

@@ -1,0 +1,146 @@
+"""Acyclic conjunctive queries: GYO recognition and Yannakakis evaluation.
+
+The paper (Section 4) recalls that *acyclic* conjunctive queries over
+arbitrary axes can be evaluated in linear time [14].  For the binary-atom
+queries used here, acyclicity of the hypergraph coincides with the axis-atom
+graph being a forest; Yannakakis' algorithm then evaluates the query with two
+semijoin passes over a join tree followed by an answer-collection pass —
+polynomial combined complexity, no exponential search.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from ..tree.axes import AxisIndex, holds
+from ..tree.document import Document
+from ..tree.node import Node
+from .ast import AxisAtom, ConjunctiveQuery
+from .evaluator import AnswerTuple, CQEvaluationError, _initial_domains
+
+
+def is_acyclic(query: ConjunctiveQuery) -> bool:
+    """True iff the axis-atom multigraph on the variables is a forest."""
+    adjacency = query.adjacency()
+    seen: Set[str] = set()
+    for start in query.variables():
+        if start in seen:
+            continue
+        # BFS detecting any cycle (including multi-edges).
+        seen.add(start)
+        frontier: List[Tuple[str, Optional[int]]] = [(start, None)]
+        edge_count = 0
+        component = {start}
+        while frontier:
+            variable, incoming_edge = frontier.pop()
+            for neighbour, atom in adjacency[variable]:
+                edge_count += 1
+                if neighbour not in component:
+                    component.add(neighbour)
+                    seen.add(neighbour)
+                    frontier.append((neighbour, id(atom)))
+        # each undirected edge counted twice
+        if edge_count // 2 != len(component) - 1:
+            return False
+    return True
+
+
+def evaluate_acyclic(
+    query: ConjunctiveQuery, document: Document
+) -> Set[AnswerTuple]:
+    """Yannakakis-style evaluation of an acyclic query.
+
+    Requires an acyclic query whose free variables (if any) induce a connected
+    prefix of the join tree; for the unary queries used throughout the paper
+    (a single free variable) this always holds.
+    """
+    if not is_acyclic(query):
+        raise CQEvaluationError("query is cyclic; use the generic evaluator")
+    domains = _initial_domains(query, document)
+    adjacency = query.adjacency()
+    variables = sorted(query.variables())
+    if not variables:
+        return {()}
+
+    # Build a rooted spanning forest; root components at a free variable when
+    # possible so answer collection starts there.
+    roots: List[str] = []
+    parent: Dict[str, Optional[Tuple[str, AxisAtom]]] = {}
+    order: List[str] = []
+    visited: Set[str] = set()
+    preferred = [v for v in query.free_variables if v in adjacency] + variables
+    for candidate in preferred:
+        if candidate in visited:
+            continue
+        roots.append(candidate)
+        visited.add(candidate)
+        parent[candidate] = None
+        frontier = [candidate]
+        while frontier:
+            variable = frontier.pop()
+            order.append(variable)
+            for neighbour, atom in adjacency[variable]:
+                if neighbour not in visited:
+                    visited.add(neighbour)
+                    parent[neighbour] = (variable, atom)
+                    frontier.append(neighbour)
+
+    candidate_sets: Dict[str, List[Node]] = {v: list(domains[v]) for v in variables}
+
+    # Bottom-up semijoin pass: a value for a variable survives iff every child
+    # variable in the join tree has a compatible value.
+    children: Dict[str, List[Tuple[str, AxisAtom]]] = {v: [] for v in variables}
+    for variable, info in parent.items():
+        if info is not None:
+            children[info[0]].append((variable, info[1]))
+    for variable in reversed(order):
+        for child_variable, atom in children[variable]:
+            child_values = candidate_sets[child_variable]
+            surviving = []
+            for value in candidate_sets[variable]:
+                source = value if atom.source == variable else None
+                ok = False
+                for child_value in child_values:
+                    s = value if atom.source == variable else child_value
+                    t = value if atom.target == variable else child_value
+                    if holds(atom.relation, s, t):
+                        ok = True
+                        break
+                if ok:
+                    surviving.append(value)
+            candidate_sets[variable] = surviving
+
+    # Top-down pass: restrict children to values compatible with a surviving
+    # parent value.
+    for variable in order:
+        for child_variable, atom in children[variable]:
+            surviving = []
+            for child_value in candidate_sets[child_variable]:
+                ok = False
+                for value in candidate_sets[variable]:
+                    s = value if atom.source == variable else child_value
+                    t = value if atom.target == variable else child_value
+                    if holds(atom.relation, s, t):
+                        ok = True
+                        break
+                if ok:
+                    surviving.append(child_value)
+            candidate_sets[child_variable] = surviving
+
+    if any(not candidate_sets[v] for v in variables):
+        return set()
+
+    # Answer collection.  For Boolean queries we are done; for queries whose
+    # free variables all lie in distinct components or a single variable, the
+    # filtered candidate sets are exact.  The general case enumerates
+    # assignments over the (already strongly filtered) join tree.
+    free = query.free_variables
+    if not free:
+        return {()}
+    if len(free) == 1:
+        return {(node.preorder_index,) for node in candidate_sets[free[0]]}
+    # General case: backtrack over the filtered domains (still far smaller
+    # than the unfiltered search space).
+    from .evaluator import _answers
+
+    return _answers(query, document, candidate_sets)

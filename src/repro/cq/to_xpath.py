@@ -1,0 +1,105 @@
+"""Translating conjunctive queries into positive Core XPath (Corollary 4.5).
+
+Corollary 4.5 of the paper: for every conjunctive query over trees there is
+an equivalent positive Core XPath query (although no polynomial translation
+exists in general).  This module implements the constructive case that covers
+the tree-shaped (acyclic, connected) queries with one free variable — the
+shape produced by wrappers and by the benchmark workload generators: the join
+tree is rooted at the free variable and every subtree becomes a nested
+predicate; axis atoms map to XPath axes (downward or upward depending on the
+orientation of the edge relative to the root).
+
+Cyclic queries would require the (exponential) general construction of [18]
+and are rejected with :class:`CQToXPathError`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set, Tuple
+
+from ..xpath.ast import And, Condition, LocationPath, NodeTest, PathExists, Step
+from .ast import AxisAtom, ConjunctiveQuery
+
+# Axis atom -> (forward XPath axis, inverse XPath axis)
+_AXIS_TO_XPATH = {
+    "child": ("child", "parent"),
+    "child+": ("descendant", "ancestor"),
+    "child*": ("descendant-or-self", "ancestor-or-self"),
+    "nextsibling+": ("following-sibling", "preceding-sibling"),
+    "following": ("following", "preceding"),
+}
+
+
+class CQToXPathError(ValueError):
+    """Raised when the constructive translation does not apply."""
+
+
+def to_positive_core_xpath(query: ConjunctiveQuery) -> LocationPath:
+    """Translate a tree-shaped unary conjunctive query into Core XPath.
+
+    The result is an absolute query of the form
+    ``//<test of the free variable>[...nested predicates...]`` whose answers
+    coincide with the query's answers on every document.
+    """
+    if len(query.free_variables) != 1:
+        raise CQToXPathError("translation requires exactly one free variable")
+    if not query.is_tree_shaped():
+        raise CQToXPathError(
+            "translation implemented for tree-shaped (acyclic, connected) queries; "
+            "cyclic queries need the exponential general construction"
+        )
+    unsupported = query.axis_relations() - set(_AXIS_TO_XPATH)
+    if unsupported:
+        raise CQToXPathError(
+            f"axis relations {sorted(unsupported)} have no direct Core XPath axis; "
+            "supported: " + ", ".join(sorted(_AXIS_TO_XPATH))
+        )
+
+    root_variable = query.free_variables[0]
+    adjacency = query.adjacency()
+
+    def subtree_condition(variable: str, via: Optional[AxisAtom], parent_var: str) -> Condition:
+        """The predicate expressing the subtree of the join tree rooted at
+        ``variable`` reached from ``parent_var`` via ``via``."""
+        step = Step(
+            _axis_name(via, source=parent_var, target=variable),
+            _node_test(query, variable),
+            tuple(_child_conditions(variable, via)),
+        )
+        return PathExists(LocationPath((step,), absolute=False))
+
+    def _child_conditions(variable: str, incoming: Optional[AxisAtom]) -> List[Condition]:
+        conditions: List[Condition] = []
+        for neighbour, atom in adjacency[variable]:
+            if atom is incoming:
+                continue
+            conditions.append(subtree_condition(neighbour, atom, variable))
+        return conditions
+
+    root_step = Step(
+        "descendant-or-self",
+        _node_test(query, root_variable),
+        tuple(_child_conditions(root_variable, None)),
+    )
+    return LocationPath(
+        (Step("descendant-or-self", NodeTest("any")), root_step), absolute=True
+    )
+
+
+def _axis_name(atom: Optional[AxisAtom], source: str, target: str) -> str:
+    assert atom is not None
+    forward, inverse = _AXIS_TO_XPATH[atom.relation]
+    if atom.source == source and atom.target == target:
+        return forward
+    return inverse
+
+
+def _node_test(query: ConjunctiveQuery, variable: str) -> NodeTest:
+    labels = query.labels_for(variable)
+    if not labels:
+        return NodeTest("any")
+    if len(set(labels)) > 1:
+        # two different labels on one variable: unsatisfiable; encode with a
+        # label that cannot match (XPath has no "false" node test).
+        return NodeTest("name", "__unsatisfiable__")
+    return NodeTest("name", labels[0])

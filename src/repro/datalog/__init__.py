@@ -1,0 +1,59 @@
+"""Function-free datalog: AST, parser, stratification, and evaluation."""
+
+from .ast import (
+    Atom,
+    Constant,
+    Database,
+    Literal,
+    Program,
+    Rule,
+    Variable,
+    atom,
+    const,
+    fact,
+    neg,
+    rule,
+    var,
+)
+from .engine import SemiNaiveEngine, evaluate_program, query_program
+from .ltur import GroundHornSolver, solve_ground_program
+from .parser import DatalogSyntaxError, parse_atom_text, parse_program, parse_rules
+from .stratify import StratificationError, is_stratifiable, stratify
+from .tree_edb import (
+    label_predicate,
+    nodes_for_indexes,
+    tree_database,
+    tree_signature,
+)
+
+__all__ = [
+    "Atom",
+    "Constant",
+    "Database",
+    "DatalogSyntaxError",
+    "GroundHornSolver",
+    "Literal",
+    "Program",
+    "Rule",
+    "SemiNaiveEngine",
+    "StratificationError",
+    "Variable",
+    "atom",
+    "const",
+    "evaluate_program",
+    "fact",
+    "is_stratifiable",
+    "label_predicate",
+    "neg",
+    "nodes_for_indexes",
+    "parse_atom_text",
+    "parse_program",
+    "parse_rules",
+    "query_program",
+    "rule",
+    "solve_ground_program",
+    "stratify",
+    "tree_database",
+    "tree_signature",
+    "var",
+]

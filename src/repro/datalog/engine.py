@@ -1,0 +1,223 @@
+"""Generic bottom-up datalog evaluation (semi-naive, stratified negation).
+
+This is the reference engine the theory packages compare against.  It works
+for arbitrary (function-free, safe) datalog programs over an extensional
+database given as ``{predicate: set of tuples}``.
+
+The specialised linear-time evaluation for monadic datalog over trees
+(Theorem 2.4) lives in :mod:`repro.mdatalog.evaluator`; property-based tests
+check both engines agree.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from .ast import Atom, Constant, Database, Literal, Program, Rule, Term, Variable
+from .stratify import stratify
+
+Substitution = Dict[Variable, object]
+
+
+class EvaluationError(RuntimeError):
+    """Raised on unsafe rules or missing relations during evaluation."""
+
+
+def _match_atom(
+    atom: Atom,
+    fact: Tuple[object, ...],
+    substitution: Substitution,
+) -> Optional[Substitution]:
+    """Try to extend ``substitution`` so that ``atom`` matches ``fact``."""
+    if len(atom.terms) != len(fact):
+        return None
+    extended = substitution
+    copied = False
+    for term, value in zip(atom.terms, fact):
+        if isinstance(term, Constant):
+            if term.value != value:
+                return None
+        else:
+            bound = extended.get(term, _UNBOUND)
+            if bound is _UNBOUND:
+                if not copied:
+                    extended = dict(extended)
+                    copied = True
+                extended[term] = value
+            elif bound != value:
+                return None
+    return extended
+
+
+class _Unbound:
+    __slots__ = ()
+
+
+_UNBOUND = _Unbound()
+
+
+def _ground_terms(terms: Sequence[Term], substitution: Substitution) -> Tuple[object, ...]:
+    values: List[object] = []
+    for term in terms:
+        if isinstance(term, Constant):
+            values.append(term.value)
+        else:
+            if term not in substitution:
+                raise EvaluationError(f"unbound variable {term} in rule head")
+            values.append(substitution[term])
+    return tuple(values)
+
+
+class SemiNaiveEngine:
+    """Semi-naive bottom-up evaluation with stratified negation.
+
+    Builtin comparison predicates (``lt``, ``le``, ``gt``, ``ge``, ``eq``,
+    ``neq``) are evaluated on bound arguments, supporting the paper's
+    comparison conditions (Section 3.3).
+    """
+
+    BUILTINS = {
+        "lt": lambda a, b: a < b,
+        "le": lambda a, b: a <= b,
+        "gt": lambda a, b: a > b,
+        "ge": lambda a, b: a >= b,
+        "eq": lambda a, b: a == b,
+        "neq": lambda a, b: a != b,
+    }
+
+    def __init__(self, program: Program) -> None:
+        program.check_safety()
+        self.program = program
+        self.strata = stratify(program)
+
+    # ------------------------------------------------------------------
+    def evaluate(self, database: Database) -> Database:
+        """Return all derived facts (EDB facts included in the result)."""
+        facts: Database = defaultdict(set)
+        for predicate, tuples in database.items():
+            facts[predicate] |= set(tuples)
+        for stratum_rules in self.strata:
+            self._evaluate_stratum(stratum_rules, facts)
+        return dict(facts)
+
+    def query(self, database: Database, predicate: str) -> Set[Tuple[object, ...]]:
+        """Evaluate and return the extension of ``predicate``."""
+        return set(self.evaluate(database).get(predicate, set()))
+
+    # ------------------------------------------------------------------
+    def _evaluate_stratum(self, rules: List[Rule], facts: Database) -> None:
+        head_predicates = {rule.head.predicate for rule in rules}
+        # Naive first round, then semi-naive iteration on the deltas.
+        delta: Database = defaultdict(set)
+        for rule in rules:
+            for derived in self._apply_rule(rule, facts, None):
+                if derived[1] not in facts[derived[0]]:
+                    facts[derived[0]].add(derived[1])
+                    delta[derived[0]].add(derived[1])
+        while any(delta.values()):
+            new_delta: Database = defaultdict(set)
+            for rule in rules:
+                relevant = any(
+                    not literal.negated and literal.atom.predicate in delta
+                    and literal.atom.predicate in head_predicates
+                    for literal in rule.body
+                )
+                if not relevant:
+                    continue
+                for derived in self._apply_rule(rule, facts, delta):
+                    if derived[1] not in facts[derived[0]]:
+                        facts[derived[0]].add(derived[1])
+                        new_delta[derived[0]].add(derived[1])
+            delta = new_delta
+
+    def _apply_rule(
+        self,
+        rule: Rule,
+        facts: Database,
+        delta: Optional[Database],
+    ) -> Iterable[Tuple[str, Tuple[object, ...]]]:
+        """Yield (predicate, fact) pairs derivable by ``rule``.
+
+        When ``delta`` is given, at least one positive body literal must be
+        matched against the delta relation (semi-naive restriction); this is
+        implemented by trying each positive literal as the "delta position".
+        """
+        positive_positions = [
+            index for index, literal in enumerate(rule.body) if not literal.negated
+        ]
+        if delta is None or not positive_positions:
+            yield from self._join(rule, facts, None, -1)
+            return
+        seen: Set[Tuple[object, ...]] = set()
+        for delta_position in positive_positions:
+            predicate = rule.body[delta_position].atom.predicate
+            if predicate not in delta or not delta[predicate]:
+                continue
+            for produced in self._join(rule, facts, delta, delta_position):
+                if produced[1] not in seen:
+                    seen.add(produced[1])
+                    yield produced
+
+    def _join(
+        self,
+        rule: Rule,
+        facts: Database,
+        delta: Optional[Database],
+        delta_position: int,
+    ) -> Iterable[Tuple[str, Tuple[object, ...]]]:
+        substitutions: List[Substitution] = [{}]
+        for index, literal in enumerate(rule.body):
+            if literal.negated:
+                continue
+            predicate = literal.atom.predicate
+            if predicate in self.BUILTINS:
+                continue
+            if index == delta_position and delta is not None:
+                relation = delta.get(predicate, set())
+            else:
+                relation = facts.get(predicate, set())
+            next_substitutions: List[Substitution] = []
+            for substitution in substitutions:
+                for fact in relation:
+                    extended = _match_atom(literal.atom, fact, substitution)
+                    if extended is not None:
+                        next_substitutions.append(extended)
+            substitutions = next_substitutions
+            if not substitutions:
+                return
+        # Builtins and negative literals act as filters over full substitutions.
+        for substitution in substitutions:
+            if not self._passes_filters(rule, substitution, facts):
+                continue
+            yield rule.head.predicate, _ground_terms(rule.head.terms, substitution)
+
+    def _passes_filters(
+        self, rule: Rule, substitution: Substitution, facts: Database
+    ) -> bool:
+        for literal in rule.body:
+            predicate = literal.atom.predicate
+            if predicate in self.BUILTINS and not literal.negated:
+                values = _ground_terms(literal.atom.terms, substitution)
+                if len(values) != 2 or not self.BUILTINS[predicate](*values):
+                    return False
+            elif literal.negated:
+                values = _ground_terms(literal.atom.terms, substitution)
+                if predicate in self.BUILTINS:
+                    if self.BUILTINS[predicate](*values):
+                        return False
+                elif values in facts.get(predicate, set()):
+                    return False
+        return True
+
+
+def evaluate_program(program: Program, database: Database) -> Database:
+    """One-shot helper: evaluate ``program`` over ``database``."""
+    return SemiNaiveEngine(program).evaluate(database)
+
+
+def query_program(
+    program: Program, database: Database, predicate: str
+) -> Set[Tuple[object, ...]]:
+    """One-shot helper: the extension of ``predicate`` after evaluation."""
+    return SemiNaiveEngine(program).query(database, predicate)

@@ -1,0 +1,181 @@
+"""Textual parser for datalog programs.
+
+Supported syntax (a superset of the examples in the paper, e.g. Example 2.1)::
+
+    Italic(X) :- label_i(X).
+    Italic(X) :- Italic(X0), firstchild(X0, X).
+    Italic(X) :- Italic(X0), nextsibling(X0, X).
+
+* ``:-`` and the arrow ``<-`` are both accepted as the rule separator.
+* Identifiers starting with an uppercase letter or ``_`` are variables;
+  everything else (including quoted strings and numbers) is a constant.
+* ``not`` or ``!`` in front of a body atom negates it.
+* ``%`` and ``#`` start line comments.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import FrozenSet, Iterable, List, Optional, Tuple
+
+from .ast import Atom, Constant, Literal, Program, Rule, Term, Variable
+
+
+class DatalogSyntaxError(ValueError):
+    """Raised when a program text cannot be parsed."""
+
+
+_TOKEN_PATTERN = re.compile(
+    r"""
+    (?P<WS>\s+)
+  | (?P<COMMENT>[%#][^\n]*)
+  | (?P<ARROW>:-|<-|←)
+  | (?P<LPAREN>\()
+  | (?P<RPAREN>\))
+  | (?P<COMMA>,)
+  | (?P<DOT>\.)
+  | (?P<NOT>\bnot\b|!)
+  | (?P<STRING>"(?:[^"\\]|\\.)*"|'(?:[^'\\]|\\.)*')
+  | (?P<NUMBER>-?\d+(?:\.\d+)?)
+  | (?P<NAME>[A-Za-z_][A-Za-z0-9_\-*+]*)
+    """,
+    re.VERBOSE,
+)
+
+
+def _tokenize(text: str) -> List[Tuple[str, str]]:
+    tokens: List[Tuple[str, str]] = []
+    position = 0
+    while position < len(text):
+        match = _TOKEN_PATTERN.match(text, position)
+        if match is None:
+            raise DatalogSyntaxError(
+                f"unexpected character {text[position]!r} at offset {position}"
+            )
+        kind = match.lastgroup or ""
+        value = match.group()
+        position = match.end()
+        if kind in ("WS", "COMMENT"):
+            continue
+        tokens.append((kind, value))
+    return tokens
+
+
+class _TokenStream:
+    def __init__(self, tokens: List[Tuple[str, str]]) -> None:
+        self._tokens = tokens
+        self._position = 0
+
+    def peek(self) -> Optional[Tuple[str, str]]:
+        if self._position < len(self._tokens):
+            return self._tokens[self._position]
+        return None
+
+    def next(self) -> Tuple[str, str]:
+        token = self.peek()
+        if token is None:
+            raise DatalogSyntaxError("unexpected end of input")
+        self._position += 1
+        return token
+
+    def expect(self, kind: str) -> str:
+        token_kind, value = self.next()
+        if token_kind != kind:
+            raise DatalogSyntaxError(f"expected {kind}, found {value!r}")
+        return value
+
+    def at_end(self) -> bool:
+        return self._position >= len(self._tokens)
+
+
+def _parse_term(stream: _TokenStream) -> Term:
+    kind, value = stream.next()
+    if kind == "STRING":
+        return Constant(value[1:-1])
+    if kind == "NUMBER":
+        number = float(value)
+        if number.is_integer():
+            return Constant(int(number))
+        return Constant(number)
+    if kind == "NAME":
+        if value[0].isupper() or value[0] == "_":
+            return Variable(value)
+        return Constant(value)
+    raise DatalogSyntaxError(f"expected a term, found {value!r}")
+
+
+def _parse_atom(stream: _TokenStream) -> Atom:
+    predicate = stream.expect("NAME")
+    terms: List[Term] = []
+    token = stream.peek()
+    if token is not None and token[0] == "LPAREN":
+        stream.next()
+        token = stream.peek()
+        if token is not None and token[0] != "RPAREN":
+            terms.append(_parse_term(stream))
+            while stream.peek() is not None and stream.peek()[0] == "COMMA":
+                stream.next()
+                terms.append(_parse_term(stream))
+        stream.expect("RPAREN")
+    return Atom(predicate, tuple(terms))
+
+
+def _parse_literal(stream: _TokenStream) -> Literal:
+    token = stream.peek()
+    negated = False
+    if token is not None and token[0] == "NOT":
+        stream.next()
+        negated = True
+    return Literal(_parse_atom(stream), negated=negated)
+
+
+def _parse_rule(stream: _TokenStream) -> Rule:
+    head = _parse_atom(stream)
+    token = stream.peek()
+    body: List[Literal] = []
+    if token is not None and token[0] == "ARROW":
+        stream.next()
+        body.append(_parse_literal(stream))
+        while stream.peek() is not None and stream.peek()[0] == "COMMA":
+            stream.next()
+            body.append(_parse_literal(stream))
+    stream.expect("DOT")
+    return Rule(head, tuple(body))
+
+
+def parse_rules(text: str) -> List[Rule]:
+    """Parse a sequence of rules/facts from program text."""
+    stream = _TokenStream(_tokenize(text))
+    rules: List[Rule] = []
+    while not stream.at_end():
+        rules.append(_parse_rule(stream))
+    return rules
+
+
+def parse_program(
+    text: str,
+    edb_predicates: Iterable[str] = (),
+) -> Program:
+    """Parse program text into a :class:`Program`.
+
+    ``edb_predicates`` declares the extensional predicates; when omitted,
+    every predicate that never occurs in a rule head is treated as EDB.
+    """
+    rules = parse_rules(text)
+    declared: FrozenSet[str] = frozenset(edb_predicates)
+    if not declared:
+        heads = {rule.head.predicate for rule in rules}
+        body_predicates = {
+            literal.atom.predicate for rule in rules for literal in rule.body
+        }
+        declared = frozenset(body_predicates - heads)
+    return Program(rules=rules, edb_predicates=declared)
+
+
+def parse_atom_text(text: str) -> Atom:
+    """Parse a single atom such as ``price(X)`` (useful in tests)."""
+    stream = _TokenStream(_tokenize(text))
+    parsed = _parse_atom(stream)
+    if not stream.at_end():
+        raise DatalogSyntaxError(f"trailing input after atom in {text!r}")
+    return parsed

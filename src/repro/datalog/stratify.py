@@ -1,0 +1,81 @@
+"""Stratification of datalog programs with negation.
+
+Elog supports stratified (datalog) negation (Section 3.3); the generic engine
+therefore evaluates programs stratum by stratum.  A program is stratifiable
+iff its predicate dependency graph has no cycle through a negative edge.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, List, Set, Tuple
+
+from .ast import Program, Rule
+
+
+class StratificationError(ValueError):
+    """Raised when a program is not stratifiable."""
+
+
+def dependency_graph(program: Program) -> Dict[str, Set[Tuple[str, bool]]]:
+    """Predicate dependency graph.
+
+    ``graph[p]`` contains ``(q, negated)`` whenever some rule with head ``p``
+    has a body literal over ``q``.
+    """
+    graph: Dict[str, Set[Tuple[str, bool]]] = defaultdict(set)
+    for rule in program.rules:
+        head = rule.head.predicate
+        graph.setdefault(head, set())
+        for literal in rule.body:
+            graph[head].add((literal.atom.predicate, literal.negated))
+    return dict(graph)
+
+
+def stratify(program: Program) -> List[List[Rule]]:
+    """Split ``program`` into strata (lists of rules), lowest stratum first.
+
+    Raises :class:`StratificationError` when negation occurs in a recursive
+    cycle.  EDB predicates always live in stratum 0.
+    """
+    graph = dependency_graph(program)
+    idb = program.idb_predicates()
+
+    # Iteratively compute stratum numbers: stratum(p) >= stratum(q) for
+    # positive edges p -> q and stratum(p) >= stratum(q) + 1 for negative
+    # edges.  A fixpoint beyond |IDB| strata means there is a negative cycle.
+    stratum: Dict[str, int] = {predicate: 0 for predicate in graph}
+    limit = len(idb) + 1
+    changed = True
+    iterations = 0
+    while changed:
+        changed = False
+        iterations += 1
+        if iterations > limit + 1:
+            raise StratificationError("program is not stratifiable (negative cycle)")
+        for head, dependencies in graph.items():
+            for body_predicate, negated in dependencies:
+                if body_predicate not in stratum:
+                    continue
+                required = stratum[body_predicate] + (1 if negated else 0)
+                if stratum.get(head, 0) < required:
+                    stratum[head] = required
+                    if stratum[head] > limit:
+                        raise StratificationError(
+                            "program is not stratifiable (negative cycle)"
+                        )
+                    changed = True
+
+    # Bucket rules by the stratum of their head predicate.
+    buckets: Dict[int, List[Rule]] = defaultdict(list)
+    for rule in program.rules:
+        buckets[stratum.get(rule.head.predicate, 0)].append(rule)
+    return [buckets[level] for level in sorted(buckets)]
+
+
+def is_stratifiable(program: Program) -> bool:
+    try:
+        stratify(program)
+    except StratificationError:
+        return False
+    return True

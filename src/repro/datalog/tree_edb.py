@@ -1,0 +1,94 @@
+"""The tau_ur extensional database of a document tree.
+
+Section 2.2 defines the relational structure
+
+    t_ur = <dom, root, leaf, (label_a)_{a in Sigma},
+            firstchild, nextsibling, lastsibling>
+
+This module materialises those relations (plus the commonly used ``child``
+relation and the derived ``firstsibling`` unary relation mentioned in
+Section 4) as a datalog database whose domain elements are the document's
+preorder indexes.  Keeping the domain integral makes facts hashable and keeps
+the generic engine fast.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, List, Set, Tuple
+
+from ..tree.document import Document
+from ..tree.node import Node
+from .ast import Database
+
+# Relation names of the tau_ur signature (label relations are "label_<a>").
+TAU_UR_UNARY = ("root", "leaf", "lastsibling", "firstsibling")
+TAU_UR_BINARY = ("firstchild", "nextsibling", "lastchild")
+EXTENDED_BINARY = ("child",)
+
+
+def label_predicate(label: str) -> str:
+    """The EDB predicate name for label ``a`` (``label_a`` in the paper)."""
+    return f"label_{label}"
+
+
+def tree_signature(document: Document, include_child: bool = True) -> FrozenSet[str]:
+    """The EDB predicate names available for ``document``."""
+    names: Set[str] = set(TAU_UR_UNARY) | set(TAU_UR_BINARY)
+    if include_child:
+        names |= set(EXTENDED_BINARY)
+    for label in document.labels():
+        names.add(label_predicate(label))
+    return frozenset(names)
+
+
+def tree_database(document: Document, include_child: bool = True) -> Database:
+    """Materialise the tau_ur relations of ``document`` as a datalog database.
+
+    Domain elements are preorder indexes (ints); use
+    :func:`nodes_for_indexes` to map query answers back to nodes.
+    """
+    database: Database = {name: set() for name in TAU_UR_UNARY + TAU_UR_BINARY}
+    if include_child:
+        database["child"] = set()
+
+    label_relations: Dict[str, Set[Tuple[object, ...]]] = {}
+
+    for node in document:
+        index = node.preorder_index
+        label_relation = label_relations.setdefault(label_predicate(node.label), set())
+        label_relation.add((index,))
+        if node.is_root:
+            database["root"].add((index,))
+        if node.is_leaf:
+            database["leaf"].add((index,))
+        if node.is_last_sibling:
+            database["lastsibling"].add((index,))
+        if node.is_first_sibling:
+            database["firstsibling"].add((index,))
+        if node.children:
+            database["firstchild"].add((index, node.children[0].preorder_index))
+            database["lastchild"].add((index, node.children[-1].preorder_index))
+            if include_child:
+                for child in node.children:
+                    database["child"].add((index, child.preorder_index))
+        sibling = node.next_sibling
+        if sibling is not None:
+            database["nextsibling"].add((index, sibling.preorder_index))
+
+    database.update(label_relations)
+    return database
+
+
+def nodes_for_indexes(document: Document, indexes) -> List[Node]:
+    """Map an iterable of preorder indexes (or 1-tuples) back to nodes."""
+    result: List[Node] = []
+    for item in indexes:
+        if isinstance(item, tuple):
+            item = item[0]
+        result.append(document.node_at(item))
+    result.sort(key=lambda node: node.preorder_index)
+    return result
+
+
+def indexes_for_nodes(nodes) -> Set[int]:
+    return {node.preorder_index for node in nodes}

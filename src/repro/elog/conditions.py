@@ -1,0 +1,266 @@
+"""Evaluation of Elog condition atoms.
+
+The paper distinguishes (Section 3.3) context conditions (``before`` /
+``after`` with distance tolerances), internal conditions (``contains``,
+``firstsubtree``), concept conditions (``isCurrency`` ...), comparison
+conditions, and pattern references.  This module evaluates a single condition
+against one extraction candidate.
+
+Path interpretation: extraction paths (``subelem``) are anchored at the
+parent node, but context- and internal-condition paths are matched anywhere
+within the relevant subtree (an implicit leading ``?``) — the paper stresses
+that "before and after predicates are much more flexible in that they allow
+for nodes before or after the target pattern instance node to be arbitrarily
+distant".
+
+Distance semantics: for a witness node B occurring before the target X, the
+distance is the number of document-order positions between the end of B's
+subtree and the start of X (0 = immediately adjacent); symmetrically for
+``after``.  This reproduces the 0/0 tolerances of Figure 5 (the sequence
+starts right after the list header and is immediately followed by an ``hr``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from ..tree.document import Document
+from ..tree.node import Node
+from .ast import (
+    AfterCondition,
+    BeforeCondition,
+    ComparisonCondition,
+    ConceptCondition,
+    Condition,
+    ContainsCondition,
+    FirstSubtreeCondition,
+    PatternReference,
+)
+from .concepts import ConceptRegistry, DEFAULT_CONCEPTS, parse_date, parse_number
+from .epath import ElementPath
+from .instance_base import PatternInstanceBase
+
+Target = Union[Node, Sequence[Node], str]
+
+
+@dataclass
+class ConditionContext:
+    """Everything a condition may need to look at."""
+
+    document: Document
+    parent_node: Optional[Node]
+    parent_nodes: Optional[List[Node]]  # sequence parents
+    target: Target
+    bindings: Dict[str, object] = field(default_factory=dict)
+    instance_base: Optional[PatternInstanceBase] = None
+    concepts: ConceptRegistry = field(default_factory=lambda: DEFAULT_CONCEPTS)
+
+    # -- helpers -----------------------------------------------------------
+    def target_nodes(self) -> List[Node]:
+        if isinstance(self.target, Node):
+            return [self.target]
+        if isinstance(self.target, str):
+            return []
+        return list(self.target)
+
+    def target_span(self) -> Optional[Tuple[int, int]]:
+        """(start, end) of the target in document order; None for strings."""
+        nodes = self.target_nodes()
+        if not nodes:
+            return None
+        start = nodes[0].preorder_index
+        last = nodes[-1]
+        end = last.preorder_index + last.subtree_size()
+        return start, end
+
+    def scope_node(self) -> Optional[Node]:
+        if self.parent_node is not None:
+            return self.parent_node
+        if self.parent_nodes:
+            return self.parent_nodes[0].parent or self.parent_nodes[0]
+        return None
+
+    def value_of(self, argument: str) -> Optional[object]:
+        """The value of a condition argument: X = the target, otherwise a
+        bound variable."""
+        if argument == "X":
+            if isinstance(self.target, str):
+                return self.target
+            nodes = self.target_nodes()
+            return nodes[0].normalized_text() if nodes else None
+        value = self.bindings.get(argument)
+        if isinstance(value, Node):
+            return value.normalized_text()
+        return value
+
+
+def _lenient_path(path: ElementPath) -> ElementPath:
+    """Prefix the path with '?' so it matches anywhere within the subtree."""
+    if path.steps and path.steps[0] == "?":
+        return path
+    return ElementPath(steps=("?",) + path.steps, conditions=path.conditions)
+
+
+def _witnesses_in_scope(context: ConditionContext, path: ElementPath) -> List[Tuple[Node, Dict[str, str]]]:
+    scope = context.scope_node()
+    if scope is None:
+        return []
+    return _lenient_path(path).find_targets(scope)
+
+
+def evaluate_condition(condition: Condition, context: ConditionContext) -> List[Dict[str, object]]:
+    """Evaluate one condition.
+
+    Returns the list of possible binding extensions: empty when the condition
+    fails, one empty dict for plain success, and one dict per witness for
+    binding conditions (``before``/``after``/``contains`` with a ``bind``
+    variable) — the extractor backtracks over these alternatives, so later
+    pattern-reference or concept conditions can reject one witness and accept
+    another.  ``FirstSubtreeCondition`` is handled by the extractor (it is a
+    property of the candidate *set*) and always succeeds here.
+    """
+    if isinstance(condition, BeforeCondition):
+        return _evaluate_context_condition(condition, context, before=True)
+    if isinstance(condition, AfterCondition):
+        return _evaluate_context_condition(condition, context, before=False)
+    if isinstance(condition, ContainsCondition):
+        return _evaluate_contains(condition, context)
+    if isinstance(condition, FirstSubtreeCondition):
+        return [{}]
+    if isinstance(condition, ConceptCondition):
+        return _evaluate_concept(condition, context)
+    if isinstance(condition, ComparisonCondition):
+        return _evaluate_comparison(condition, context)
+    if isinstance(condition, PatternReference):
+        return _evaluate_pattern_reference(condition, context)
+    raise TypeError(f"unknown condition type {type(condition).__name__}")
+
+
+# ---------------------------------------------------------------------------
+# Context conditions
+# ---------------------------------------------------------------------------
+
+
+def _evaluate_context_condition(
+    condition: Union[BeforeCondition, AfterCondition],
+    context: ConditionContext,
+    before: bool,
+) -> List[Dict[str, object]]:
+    span = context.target_span()
+    if span is None:
+        return []
+    target_start, target_end = span
+    target_nodes = set(id(n) for node in context.target_nodes() for n in node.iter_preorder())
+    witnesses = _witnesses_in_scope(context, condition.path)
+    found: List[Dict[str, object]] = []
+    for node, bindings in witnesses:
+        if id(node) in target_nodes:
+            continue
+        if before:
+            witness_end = node.preorder_index + node.subtree_size()
+            if witness_end > target_start:
+                continue
+            distance = target_start - witness_end
+        else:
+            if node.preorder_index < target_end:
+                continue
+            distance = node.preorder_index - target_end
+        if condition.min_distance <= distance <= condition.max_distance:
+            result: Dict[str, object] = dict(bindings)
+            if condition.bind:
+                result[condition.bind] = node
+            found.append(result)
+    if condition.negated:
+        return [{}] if not found else []
+    return found
+
+
+# ---------------------------------------------------------------------------
+# Internal conditions
+# ---------------------------------------------------------------------------
+
+
+def _evaluate_contains(
+    condition: ContainsCondition, context: ConditionContext
+) -> List[Dict[str, object]]:
+    found: List[Dict[str, object]] = []
+    for target_node in context.target_nodes():
+        for node, bindings in _lenient_path(condition.path).find_targets(target_node):
+            result: Dict[str, object] = dict(bindings)
+            if condition.bind:
+                result[condition.bind] = node
+            found.append(result)
+    if condition.negated:
+        return [{}] if not found else []
+    return found
+
+
+# ---------------------------------------------------------------------------
+# Concept / comparison / pattern-reference conditions
+# ---------------------------------------------------------------------------
+
+
+def _evaluate_concept(
+    condition: ConceptCondition, context: ConditionContext
+) -> List[Dict[str, object]]:
+    value = context.value_of(condition.argument)
+    if value is None:
+        return [{}] if condition.negated else []
+    holds = context.concepts.check(condition.concept, value)
+    if condition.negated:
+        holds = not holds
+    return [{}] if holds else []
+
+
+def _evaluate_comparison(
+    condition: ComparisonCondition, context: ConditionContext
+) -> List[Dict[str, object]]:
+    left = context.value_of(condition.left)
+    right = context.value_of(condition.right)
+    if left is None or right is None:
+        return []
+    left_value, right_value = _coerce_pair(left, right)
+    operators = {
+        "lt": lambda a, b: a < b,
+        "le": lambda a, b: a <= b,
+        "gt": lambda a, b: a > b,
+        "ge": lambda a, b: a >= b,
+        "eq": lambda a, b: a == b,
+        "neq": lambda a, b: a != b,
+    }
+    if condition.operator not in operators:
+        raise ValueError(f"unknown comparison operator {condition.operator!r}")
+    try:
+        return [{}] if operators[condition.operator](left_value, right_value) else []
+    except TypeError:
+        return []
+
+
+def _coerce_pair(left: object, right: object) -> Tuple[object, object]:
+    """Try to compare as numbers, then as dates, then as strings."""
+    left_text, right_text = str(left), str(right)
+    left_number, right_number = parse_number(left_text), parse_number(right_text)
+    if left_number is not None and right_number is not None:
+        return left_number, right_number
+    left_date, right_date = parse_date(left_text), parse_date(right_text)
+    if left_date is not None and right_date is not None:
+        return left_date, right_date
+    return left_text, right_text
+
+
+def _evaluate_pattern_reference(
+    condition: PatternReference, context: ConditionContext
+) -> List[Dict[str, object]]:
+    if context.instance_base is None:
+        return []
+    value = context.bindings.get(condition.argument)
+    if condition.argument == "X" and value is None:
+        nodes = context.target_nodes()
+        value = nodes[0] if nodes else None
+    holds = isinstance(value, Node) and context.instance_base.node_is_instance_of(
+        condition.pattern, value
+    )
+    if condition.negated:
+        holds = not holds
+    return [{}] if holds else []

@@ -1,0 +1,285 @@
+"""Element path definitions — the tree-extraction patterns of Elog.
+
+Section 3.3: the ``subelem`` predicate takes an *element path definition*: a
+path over tag names that may contain wildcards (certain regular expressions
+over tag names) and attribute conditions on the target node.
+
+Concrete syntax (as in Figure 5 of the paper)::
+
+    .table                         a direct child labelled table
+    .body.table                    a table child of a body child
+    ?.td                           a td at arbitrary depth
+    ?.td.?.a                       an a somewhere below a td somewhere below
+    (?.td, [(elementtext, \\var[Y].*, regvar)])
+                                   a td whose text matches the pattern,
+                                   binding Y to the matched prefix
+    (.table, [(class, listing, exact)])
+                                   a direct child table with class="listing"
+
+Semantics of the path part: the sequence of labels on the path from the
+parent node (exclusive) to the target node (inclusive) must match the
+sequence of steps, where a named step matches exactly that tag, ``*`` matches
+any single tag, and ``?`` matches any (possibly empty) sequence of tags.
+
+Attribute conditions are triples ``(attribute, value, mode)``:
+
+* ``attribute`` is an HTML attribute name, or ``elementtext`` for the
+  normalised text of the target subtree, or a tag name (asserting that the
+  target contains such a descendant whose text/attributes match — the form
+  used for ``(a, , substr)`` in Figure 5);
+* ``mode`` is ``exact``, ``substr``, ``regexp`` or ``regvar``; ``regvar``
+  makes the condition *binding*: the pattern must contain ``\\var[NAME]`` and
+  the text matched by that group is bound to the Elog variable ``NAME``.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..tree.node import Node
+
+VAR_PATTERN = re.compile(r"\\var\[(?P<name>[A-Za-z_][A-Za-z0-9_]*)\]")
+
+
+class EPathSyntaxError(ValueError):
+    """Raised when an element path definition cannot be parsed."""
+
+
+@dataclass(frozen=True)
+class AttributeCondition:
+    """One attribute condition of an element path definition."""
+
+    attribute: str
+    value: str
+    mode: str = "substr"  # exact | substr | regexp | regvar
+
+    def __post_init__(self) -> None:
+        if self.mode not in ("exact", "substr", "regexp", "regvar"):
+            raise EPathSyntaxError(f"unknown attribute condition mode {self.mode!r}")
+
+    # -- evaluation -----------------------------------------------------
+    def matches(self, node: Node) -> Optional[Dict[str, str]]:
+        """Check the condition on ``node``.
+
+        Returns ``None`` on failure, or a (possibly empty) dict of variable
+        bindings on success.
+        """
+        subject = self._subject_text(node)
+        if subject is None:
+            return None
+        if self.mode == "exact":
+            return {} if subject.strip() == self.value else None
+        if self.mode == "substr":
+            return {} if self.value in subject else None
+        # regexp / regvar
+        pattern, variable_names = compile_variable_pattern(self.value)
+        match = pattern.search(subject)
+        if match is None:
+            return None
+        if self.mode == "regexp":
+            return {}
+        return {name: match.group(name) for name in variable_names}
+
+    def _subject_text(self, node: Node) -> Optional[str]:
+        if self.attribute == "elementtext":
+            return node.normalized_text()
+        if self.attribute in node.attributes:
+            return node.attributes[self.attribute]
+        # Figure 5 uses conditions like (a, , substr): the target must contain
+        # a descendant element with that tag; the "value" (if any) must occur
+        # in its text.
+        for descendant in node.iter_preorder():
+            if descendant is node:
+                continue
+            if descendant.label == self.attribute:
+                return descendant.normalized_text()
+        return None
+
+    def __str__(self) -> str:
+        return f"({self.attribute}, {self.value}, {self.mode})"
+
+
+def compile_variable_pattern(pattern_text: str) -> Tuple[re.Pattern, List[str]]:
+    """Compile a pattern that may contain ``\\var[NAME]`` capture markers.
+
+    A variable marker matches one maximal whitespace-free token (so
+    ``\\var[Y].*`` on the text ``"EUR 12.50"`` binds ``Y`` to ``EUR``); for
+    arbitrary captures write an explicit regular expression group instead.
+    """
+    names: List[str] = []
+
+    def replace(match: re.Match) -> str:
+        name = match.group("name")
+        names.append(name)
+        return f"(?P<{name}>\\S+)"
+
+    regex_text = VAR_PATTERN.sub(replace, pattern_text)
+    try:
+        return re.compile(regex_text), names
+    except re.error as error:
+        raise EPathSyntaxError(f"invalid pattern {pattern_text!r}: {error}") from error
+
+
+@dataclass(frozen=True)
+class ElementPath:
+    """A parsed element path definition: steps plus attribute conditions."""
+
+    steps: Tuple[str, ...]
+    conditions: Tuple[AttributeCondition, ...] = ()
+
+    # -- parsing ------------------------------------------------------------
+    @classmethod
+    def parse(cls, text: str) -> "ElementPath":
+        """Parse the concrete syntax described in the module docstring."""
+        text = text.strip()
+        conditions: Tuple[AttributeCondition, ...] = ()
+        if text.startswith("(") and text.endswith(")"):
+            inner = text[1:-1].strip()
+            path_part, conditions = _split_path_and_conditions(inner)
+        else:
+            path_part = text
+        steps = tuple(step for step in path_part.strip().strip(".").split(".") if step)
+        if not steps:
+            raise EPathSyntaxError(f"empty element path in {text!r}")
+        for step in steps:
+            if step != "?" and step != "*" and not re.fullmatch(r"[A-Za-z0-9_#\-]+", step):
+                raise EPathSyntaxError(f"invalid path step {step!r} in {text!r}")
+        return cls(steps=steps, conditions=conditions)
+
+    # -- evaluation -----------------------------------------------------------
+    def matches_path(self, labels: Sequence[str]) -> bool:
+        """Does the label sequence (parent-exclusive, target-inclusive) match?"""
+        return _match_steps(self.steps, tuple(labels))
+
+    def match_target(self, parent: Node, target: Node) -> Optional[Dict[str, str]]:
+        """Check whether ``target`` is reachable from ``parent`` via this path
+        and satisfies the attribute conditions.
+
+        Returns variable bindings on success, ``None`` on failure.
+        """
+        if target is parent or not parent.is_ancestor_of(target):
+            return None
+        labels: List[str] = []
+        node = target
+        while node is not parent and node is not None:
+            labels.append(node.label)
+            node = node.parent
+        labels.reverse()
+        if not self.matches_path(labels):
+            return None
+        bindings: Dict[str, str] = {}
+        for condition in self.conditions:
+            result = condition.matches(target)
+            if result is None:
+                return None
+            bindings.update(result)
+        return bindings
+
+    def find_targets(self, parent: Node) -> List[Tuple[Node, Dict[str, str]]]:
+        """All descendants of ``parent`` matched by this path, in doc order."""
+        results: List[Tuple[Node, Dict[str, str]]] = []
+        for node in parent.iter_descendants():
+            if node.label in ("#comment",):
+                continue
+            bindings = self.match_target(parent, node)
+            if bindings is not None:
+                results.append((node, bindings))
+        return results
+
+    # -- display ---------------------------------------------------------------
+    def __str__(self) -> str:
+        path_text = "." + ".".join(self.steps) if self.steps[0] != "?" else ".".join(self.steps)
+        if not self.conditions:
+            return path_text
+        condition_text = ", ".join(str(condition) for condition in self.conditions)
+        return f"({path_text}, [{condition_text}])"
+
+
+def _split_path_and_conditions(inner: str) -> Tuple[str, Tuple[AttributeCondition, ...]]:
+    """Split "path, [conditions]" taking nesting into account."""
+    depth = 0
+    for position, character in enumerate(inner):
+        if character in "([":
+            depth += 1
+        elif character in ")]":
+            depth -= 1
+        elif character == "," and depth == 0:
+            path_part = inner[:position]
+            condition_part = inner[position + 1:].strip()
+            return path_part, _parse_conditions(condition_part)
+    return inner, ()
+
+
+def _parse_conditions(text: str) -> Tuple[AttributeCondition, ...]:
+    text = text.strip()
+    if not text or text == "[]":
+        return ()
+    if not (text.startswith("[") and text.endswith("]")):
+        raise EPathSyntaxError(f"attribute conditions must be a [...] list, got {text!r}")
+    inner = text[1:-1].strip()
+    if not inner:
+        return ()
+    conditions: List[AttributeCondition] = []
+    for chunk in _split_top_level(inner):
+        chunk = chunk.strip()
+        if not (chunk.startswith("(") and chunk.endswith(")")):
+            raise EPathSyntaxError(f"attribute condition must be a (...) triple, got {chunk!r}")
+        parts = [part.strip() for part in _split_top_level(chunk[1:-1])]
+        if len(parts) == 2:
+            attribute, value = parts
+            mode = "substr"
+        elif len(parts) == 3:
+            attribute, value, mode = parts
+            mode = mode or "substr"
+        else:
+            raise EPathSyntaxError(f"attribute condition needs 2 or 3 fields: {chunk!r}")
+        conditions.append(AttributeCondition(attribute, value, mode))
+    return tuple(conditions)
+
+
+def _split_top_level(text: str) -> List[str]:
+    parts: List[str] = []
+    depth = 0
+    current: List[str] = []
+    for character in text:
+        if character in "([":
+            depth += 1
+        elif character in ")]":
+            depth -= 1
+        if character == "," and depth == 0:
+            parts.append("".join(current))
+            current = []
+        else:
+            current.append(character)
+    parts.append("".join(current))
+    return parts
+
+
+def _match_steps(steps: Tuple[str, ...], labels: Tuple[str, ...]) -> bool:
+    """Match the step sequence against a label sequence (``?`` = any run)."""
+    memo: Dict[Tuple[int, int], bool] = {}
+
+    def match(step_index: int, label_index: int) -> bool:
+        key = (step_index, label_index)
+        if key in memo:
+            return memo[key]
+        if step_index == len(steps):
+            result = label_index == len(labels)
+        elif steps[step_index] == "?":
+            # '?' matches any (possibly empty) run of labels
+            result = any(
+                match(step_index + 1, next_index)
+                for next_index in range(label_index, len(labels) + 1)
+            )
+        elif label_index >= len(labels):
+            result = False
+        elif steps[step_index] == "*" or steps[step_index] == labels[label_index]:
+            result = match(step_index + 1, label_index + 1)
+        else:
+            result = False
+        memo[key] = result
+        return result
+
+    return match(0, 0)

@@ -1,0 +1,428 @@
+"""The Extractor: the Elog program interpreter.
+
+Section 3.1: "The Extractor is the Elog program interpreter that performs the
+actual extraction based on a given Elog program.  The Extractor, provided
+with an HTML document and a previously constructed program, generates as its
+output a pattern instance base."
+
+Evaluation proceeds to a fixpoint over the program's rules (so patterns may
+reference patterns defined later, and recursive wrapping / crawling works):
+in every round, each rule is applied to all instances of its parent pattern,
+its extraction definition produces candidate targets, candidates are filtered
+through the rule's conditions, and surviving candidates become new pattern
+instances (duplicates are eliminated by the instance base).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from ..tree.document import Document
+from ..tree.node import Node
+from ..xmlgen.document import XmlElement
+from .ast import (
+    DocumentSource,
+    ElogProgram,
+    ElogRule,
+    FirstSubtreeCondition,
+    ROOT_PATTERN,
+    SubAtt,
+    SubElem,
+    SubSequence,
+    SubText,
+)
+from .concepts import ConceptRegistry, DEFAULT_CONCEPTS
+from .conditions import ConditionContext, evaluate_condition
+from .epath import ElementPath
+from .instance_base import PatternInstance, PatternInstanceBase
+
+# A candidate target: a node, a run of sibling nodes, or an extracted string,
+# together with the variable bindings produced by the extraction.
+Candidate = Tuple[Union[Node, List[Node], str], Dict[str, object]]
+
+
+class Fetcher:
+    """Interface for document acquisition (implemented by repro.web)."""
+
+    def fetch(self, url: str) -> Document:  # pragma: no cover - interface
+        raise NotImplementedError
+
+
+class ExtractionError(RuntimeError):
+    """Raised on unresolvable programs (e.g. crawling without a fetcher)."""
+
+
+class Extractor:
+    """Interpreter for Elog programs."""
+
+    def __init__(
+        self,
+        program: ElogProgram,
+        fetcher: Optional[Fetcher] = None,
+        concepts: Optional[ConceptRegistry] = None,
+        max_rounds: int = 10,
+        max_documents: int = 64,
+    ) -> None:
+        self.program = program
+        self.fetcher = fetcher
+        self.concepts = concepts or DEFAULT_CONCEPTS
+        self.max_rounds = max_rounds
+        self.max_documents = max_documents
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+    def extract(
+        self,
+        document: Optional[Document] = None,
+        documents: Optional[Sequence[Document]] = None,
+        url: Optional[str] = None,
+    ) -> PatternInstanceBase:
+        """Run the program and return the pattern instance base.
+
+        Any combination of a single ``document``, several ``documents`` and a
+        start ``url`` (requires a fetcher) may be given; ``document``
+        extraction rules may fetch further pages through the fetcher.
+        """
+        base = PatternInstanceBase()
+        fetched_urls: Dict[str, PatternInstance] = {}
+        for given in list(documents or []) + ([document] if document is not None else []):
+            instance = base.add_document_root(given)
+            if given.url:
+                fetched_urls[given.url] = instance
+        if url is not None:
+            instance = self._fetch_document(url, base, fetched_urls, parent=None)
+            if instance is None:
+                raise ExtractionError(f"cannot fetch start url {url!r} without a fetcher")
+
+        for _ in range(self.max_rounds):
+            changed = False
+            for rule in self.program.rules:
+                if self._apply_rule(rule, base, fetched_urls):
+                    changed = True
+            if not changed:
+                break
+        return base
+
+    def extract_to_xml(
+        self,
+        document: Optional[Document] = None,
+        documents: Optional[Sequence[Document]] = None,
+        url: Optional[str] = None,
+        root_name: str = "result",
+    ) -> XmlElement:
+        """Extraction followed by the XML Designer / Transformer step."""
+        base = self.extract(document=document, documents=documents, url=url)
+        return base.to_xml(root_name=root_name, auxiliary=self.program.auxiliary_patterns)
+
+    # ------------------------------------------------------------------
+    # Rule application
+    # ------------------------------------------------------------------
+    def _apply_rule(
+        self,
+        rule: ElogRule,
+        base: PatternInstanceBase,
+        fetched_urls: Dict[str, PatternInstance],
+    ) -> bool:
+        changed = False
+        for parent_instance in self._parent_instances(rule, base, fetched_urls):
+            candidates = self._candidates(rule, parent_instance)
+            accepted: List[PatternInstance] = []
+            for target, bindings in candidates:
+                instance = self._check_conditions(rule, parent_instance, target, bindings, base)
+                if instance is not None:
+                    accepted.append(instance)
+            if accepted and any(
+                isinstance(condition, FirstSubtreeCondition) for condition in rule.conditions
+            ):
+                accepted = [min(accepted, key=PatternInstance.anchor)]
+            for instance in accepted:
+                if base.add_instance(instance) is not None:
+                    changed = True
+        return changed
+
+    def _parent_instances(
+        self,
+        rule: ElogRule,
+        base: PatternInstanceBase,
+        fetched_urls: Dict[str, PatternInstance],
+    ) -> List[PatternInstance]:
+        if rule.document is None:
+            return base.instances_of(rule.parent)
+        if rule.document.is_variable and rule.document.url == "_":
+            # document(_, S): the rule applies to every supplied document.
+            return base.instances_of(ROOT_PATTERN)
+        if rule.document.is_variable:
+            # crawling: the parent pattern's instances carry URLs to fetch
+            parents: List[PatternInstance] = []
+            for carrier in base.instances_of(rule.parent):
+                target_url = carrier.text().strip()
+                if not target_url:
+                    continue
+                instance = self._fetch_document(target_url, base, fetched_urls, parent=carrier)
+                if instance is not None:
+                    parents.append(instance)
+            return parents
+        # literal URL: reuse an already known document or fetch it
+        literal = rule.document.url
+        matches = [
+            instance
+            for instance in base.instances_of(ROOT_PATTERN)
+            if _url_matches(literal, instance.value)
+        ]
+        if matches:
+            return matches
+        instance = self._fetch_document(literal, base, fetched_urls, parent=None)
+        if instance is not None:
+            return [instance]
+        # Fall back to "any supplied document" so wrappers written against a
+        # live URL still run against locally supplied example pages.
+        return base.instances_of(ROOT_PATTERN)
+
+    def _fetch_document(
+        self,
+        url: str,
+        base: PatternInstanceBase,
+        fetched_urls: Dict[str, PatternInstance],
+        parent: Optional[PatternInstance],
+    ) -> Optional[PatternInstance]:
+        if url in fetched_urls:
+            return fetched_urls[url]
+        if self.fetcher is None or len(fetched_urls) >= self.max_documents:
+            return None
+        try:
+            document = self.fetcher.fetch(url)
+        except KeyError:
+            return None
+        instance = PatternInstance(
+            pattern=ROOT_PATTERN,
+            parent=parent,
+            node=document.root,
+            document=document,
+            value=url,
+        )
+        added = base.add_instance(instance)
+        fetched_urls[url] = added or instance
+        return fetched_urls[url]
+
+    # ------------------------------------------------------------------
+    # Candidate generation (the extraction definition atoms)
+    # ------------------------------------------------------------------
+    def _candidates(self, rule: ElogRule, parent: PatternInstance) -> List[Candidate]:
+        extraction = rule.extraction
+        if extraction is None:
+            # specialisation rule: the candidate is the parent's own node(s)
+            if parent.is_sequence_instance:
+                return [(list(parent.nodes or []), {})]
+            if parent.node is not None:
+                return [(parent.node, {})]
+            return [(parent.value or "", {})]
+        if isinstance(extraction, SubElem):
+            return self._subelem_candidates(extraction, parent)
+        if isinstance(extraction, SubText):
+            return [
+                (value, dict(bindings))
+                for member in parent.member_nodes()
+                for value, bindings in extraction.path.find_matches(member)
+            ]
+        if isinstance(extraction, SubAtt):
+            return [
+                (value, dict(bindings))
+                for member in parent.member_nodes()
+                for value, bindings in extraction.path.find_matches(member)
+            ]
+        if isinstance(extraction, SubSequence):
+            return self._subsq_candidates(extraction, parent)
+        raise ExtractionError(f"unknown extraction atom {extraction!r}")
+
+    def _subelem_candidates(self, extraction: SubElem, parent: PatternInstance) -> List[Candidate]:
+        results: List[Candidate] = []
+        if parent.is_sequence_instance:
+            for member in parent.member_nodes():
+                # the sequence acts as a virtual parent whose children are the
+                # member nodes: the first path step may match the member itself
+                bindings = _match_member(extraction.path, member)
+                if bindings is not None:
+                    results.append((member, bindings))
+                results.extend(
+                    (node, dict(found))
+                    for node, found in extraction.path.find_targets(member)
+                )
+            return results
+        for member in parent.member_nodes():
+            results.extend(
+                (node, dict(found)) for node, found in extraction.path.find_targets(member)
+            )
+        return results
+
+    def _subsq_candidates(self, extraction: SubSequence, parent: PatternInstance) -> List[Candidate]:
+        """Candidate runs of consecutive children (see Figure 5's tableseq).
+
+        For every scope node matched by ``scope``, candidate runs start at a
+        child matching ``first`` and end at a child matching ``last``.  To
+        keep the candidate set linear in the number of children, for every
+        possible start the longest run is generated, and for every possible
+        end the longest run ending there is generated; the rule's context
+        conditions (before/after with distance tolerances) then pick the
+        intended run.
+        """
+        candidates: List[Candidate] = []
+        for parent_node in parent.member_nodes():
+            # the scope path is matched anywhere below the parent (implicit ?),
+            # and the parent itself qualifies when it matches the last step
+            lenient_scope = (
+                extraction.scope
+                if extraction.scope.steps and extraction.scope.steps[0] == "?"
+                else ElementPath(("?",) + extraction.scope.steps, extraction.scope.conditions)
+            )
+            scopes = [node for node, _ in lenient_scope.find_targets(parent_node)]
+            if _match_member(extraction.scope, parent_node) is not None:
+                scopes.append(parent_node)
+            for scope in scopes:
+                children = [c for c in scope.children if c.label not in ("#comment",)]
+                starts = [
+                    index
+                    for index, child in enumerate(children)
+                    if _match_member(extraction.first, child) is not None
+                ]
+                ends = [
+                    index
+                    for index, child in enumerate(children)
+                    if _match_member(extraction.last, child) is not None
+                ]
+                if not starts or not ends:
+                    continue
+                seen_runs = set()
+                for start in starts:
+                    matching_ends = [e for e in ends if e >= start]
+                    if not matching_ends:
+                        continue
+                    end = max(matching_ends)
+                    if (start, end) not in seen_runs:
+                        seen_runs.add((start, end))
+                        candidates.append((children[start:end + 1], {}))
+                for end in ends:
+                    matching_starts = [s for s in starts if s <= end]
+                    if not matching_starts:
+                        continue
+                    start = min(matching_starts)
+                    if (start, end) not in seen_runs:
+                        seen_runs.add((start, end))
+                        candidates.append((children[start:end + 1], {}))
+        return candidates
+
+    # ------------------------------------------------------------------
+    # Conditions
+    # ------------------------------------------------------------------
+    def _check_conditions(
+        self,
+        rule: ElogRule,
+        parent: PatternInstance,
+        target: Union[Node, List[Node], str],
+        bindings: Dict[str, object],
+        base: PatternInstanceBase,
+    ) -> Optional[PatternInstance]:
+        context = ConditionContext(
+            document=self._document_of(parent),
+            parent_node=parent.node,
+            parent_nodes=parent.nodes,
+            target=target,
+            bindings=dict(bindings),
+            instance_base=base,
+            concepts=self.concepts,
+        )
+        conditions = [
+            condition
+            for condition in rule.conditions
+            if not isinstance(condition, FirstSubtreeCondition)
+        ]
+        final_bindings = self._satisfy(conditions, 0, context)
+        if final_bindings is None:
+            return None
+        context.bindings = final_bindings
+        parent_for_instance = parent
+        if rule.is_specialisation() and parent.parent is not None:
+            parent_for_instance = parent.parent
+        if isinstance(target, str):
+            return PatternInstance(
+                pattern=rule.pattern,
+                parent=parent_for_instance,
+                value=target,
+                document=parent.document,
+                bindings=context.bindings,
+            )
+        if isinstance(target, list):
+            return PatternInstance(
+                pattern=rule.pattern,
+                parent=parent_for_instance,
+                nodes=target,
+                document=parent.document,
+                bindings=context.bindings,
+            )
+        return PatternInstance(
+            pattern=rule.pattern,
+            parent=parent_for_instance,
+            node=target,
+            document=parent.document,
+            bindings=context.bindings,
+        )
+
+    def _satisfy(
+        self,
+        conditions: List,
+        position: int,
+        context: ConditionContext,
+    ) -> Optional[Dict[str, object]]:
+        """Depth-first search over witness choices of binding conditions.
+
+        A later condition (e.g. a pattern reference over a variable bound by
+        an earlier ``before``) can reject one witness; backtracking then tries
+        the next one.
+        """
+        if position == len(conditions):
+            return dict(context.bindings)
+        alternatives = evaluate_condition(conditions[position], context)
+        saved = context.bindings
+        for extension in alternatives:
+            context.bindings = {**saved, **extension}
+            result = self._satisfy(conditions, position + 1, context)
+            if result is not None:
+                context.bindings = saved
+                return result
+        context.bindings = saved
+        return None
+
+    def _document_of(self, instance: PatternInstance) -> Document:
+        current: Optional[PatternInstance] = instance
+        while current is not None:
+            if current.document is not None:
+                return current.document
+            current = current.parent
+        raise ExtractionError("pattern instance is not attached to a document")
+
+
+def _match_member(path: ElementPath, node: Node) -> Optional[Dict[str, str]]:
+    """Match a path against a node treating the node itself as the last step
+    (used for sequence members and subsq endpoints)."""
+    labels = [node.label]
+    if not path.matches_path(labels):
+        return None
+    bindings: Dict[str, str] = {}
+    for condition in path.conditions:
+        result = condition.matches(node)
+        if result is None:
+            return None
+        bindings.update(result)
+    return bindings
+
+
+def _url_matches(literal: str, candidate: Optional[str]) -> bool:
+    if candidate is None:
+        return False
+    normalised_literal = literal.strip().rstrip("/").lower()
+    normalised_candidate = candidate.strip().rstrip("/").lower()
+    return (
+        normalised_literal == normalised_candidate
+        or normalised_literal in normalised_candidate
+        or normalised_candidate in normalised_literal
+    )

@@ -1,0 +1,113 @@
+"""Translating the Elog- core fragment into monadic datalog.
+
+Section 3 / [14]: the core of Elog (Elog-) is essentially monadic datalog
+with a binary syntax; in particular a tree-extraction rule
+
+    p(S, X) <- par(_, S), subelem(S, path, X)
+
+corresponds to monadic datalog rules deriving ``p`` at the nodes reached from
+``par`` nodes along ``path`` (the paper notes that ``subelem`` is a shortcut
+for a conjunction of child and label atoms).  This module performs that
+translation for the fragment without string extraction, sequences or
+conditions — enough to make the Elog- = monadic datalog correspondence
+executable and testable (the Extractor and the compiled program must select
+the same nodes per pattern).
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import List
+
+from ..datalog.ast import Atom, Literal, Rule, Variable
+from ..datalog.tree_edb import label_predicate
+from ..mdatalog.program import MonadicProgram
+from .ast import ElogProgram, ElogRule, ROOT_PATTERN, SubElem
+
+X = Variable("X")
+X0 = Variable("X0")
+
+
+class ElogTranslationError(ValueError):
+    """Raised for rules outside the translatable Elog- fragment."""
+
+
+def pattern_predicate(pattern: str) -> str:
+    return f"pattern_{pattern}"
+
+
+def to_monadic_datalog(program: ElogProgram) -> MonadicProgram:
+    """Translate an Elog- program into an equivalent monadic datalog program.
+
+    Supported rules: ``subelem`` extraction from a parent pattern or from the
+    document root, and condition-free specialisation rules.  Anything else
+    (string extraction, sequences, conditions) raises
+    :class:`ElogTranslationError` — those features are exactly what makes full
+    Elog more expressive than MSO (Section 3.3).
+    """
+    rules: List[Rule] = []
+    counter = itertools.count()
+    # The document root pattern.
+    rules.append(Rule(Atom(pattern_predicate(ROOT_PATTERN), (X,)), (Literal(Atom("root", (X,))),)))
+
+    for rule in program.rules:
+        rules.extend(_translate_rule(rule, counter))
+
+    query_predicates = [pattern_predicate(p) for p in program.patterns()]
+    return MonadicProgram(rules, query_predicates=query_predicates)
+
+
+def _translate_rule(rule: ElogRule, counter) -> List[Rule]:
+    if rule.conditions:
+        raise ElogTranslationError(
+            f"rule for {rule.pattern!r} uses conditions; outside the Elog- core fragment"
+        )
+    parent_predicate = pattern_predicate(rule.parent if rule.document is None else ROOT_PATTERN)
+    head_predicate = pattern_predicate(rule.pattern)
+    if rule.extraction is None:
+        return [Rule(Atom(head_predicate, (X,)), (Literal(Atom(parent_predicate, (X,))),))]
+    if not isinstance(rule.extraction, SubElem):
+        raise ElogTranslationError(
+            f"rule for {rule.pattern!r} uses {type(rule.extraction).__name__}; only subelem "
+            "is part of the Elog- core fragment"
+        )
+    if rule.extraction.path.conditions:
+        raise ElogTranslationError(
+            f"rule for {rule.pattern!r} uses attribute conditions; outside the core fragment"
+        )
+
+    produced: List[Rule] = []
+    current = parent_predicate
+    steps = rule.extraction.path.steps
+    for index, step in enumerate(steps):
+        fresh = f"_elog_{rule.pattern}_{next(counter)}"
+        if step == "?":
+            # descendant-or-self closure of the current set
+            produced.append(Rule(Atom(fresh, (X,)), (Literal(Atom(current, (X,))),)))
+            produced.append(
+                Rule(
+                    Atom(fresh, (X,)),
+                    (Literal(Atom(fresh, (X0,))), Literal(Atom("child", (X0, X)))),
+                )
+            )
+        elif step == "*":
+            produced.append(
+                Rule(
+                    Atom(fresh, (X,)),
+                    (Literal(Atom(current, (X0,))), Literal(Atom("child", (X0, X)))),
+                )
+            )
+        else:
+            produced.append(
+                Rule(
+                    Atom(fresh, (X,)),
+                    (
+                        Literal(Atom(current, (X0,))),
+                        Literal(Atom("child", (X0, X))),
+                        Literal(Atom(label_predicate(step), (X,))),
+                    ),
+                )
+            )
+        current = fresh
+    produced.append(Rule(Atom(head_predicate, (X,)), (Literal(Atom(current, (X,))),)))
+    return produced

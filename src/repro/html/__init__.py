@@ -1,0 +1,14 @@
+"""HTML substrate: parsing markup into tau_ur documents and rendering back."""
+
+from .parser import VOID_ELEMENTS, body_of, parse_html, parse_html_fragment
+from .render import render_text, render_text_with_spans, to_html
+
+__all__ = [
+    "VOID_ELEMENTS",
+    "body_of",
+    "parse_html",
+    "parse_html_fragment",
+    "render_text",
+    "render_text_with_spans",
+    "to_html",
+]

@@ -1,0 +1,144 @@
+"""HTML to :class:`~repro.tree.document.Document` parsing.
+
+The paper's wrappers operate on HTML parse trees.  lxml / BeautifulSoup are
+not available in this offline environment, so the parser is built on the
+standard library :class:`html.parser.HTMLParser` and produces the unranked
+ordered labelled trees used by every other package.
+
+The parser is deliberately forgiving: real-world HTML (and the paper's
+screenshots show plenty of it) has unclosed ``<td>``/``<li>``/``<p>``
+elements, void elements without slashes, and stray end tags.  The cleanup
+rules below mirror the relevant parts of the WHATWG tree-construction
+algorithm closely enough for wrapping purposes.
+"""
+
+from __future__ import annotations
+
+from html.parser import HTMLParser
+from typing import Dict, List, Optional, Tuple
+
+from ..tree.builder import TreeBuilder
+from ..tree.document import Document
+
+# Elements that never have content.
+VOID_ELEMENTS = frozenset(
+    {
+        "area", "base", "br", "col", "embed", "hr", "img", "input",
+        "link", "meta", "param", "source", "track", "wbr",
+    }
+)
+
+# When a start tag in the key set is seen and an element in the value set is
+# open, that element is implicitly closed first.
+IMPLIED_END_TAGS: Dict[str, frozenset] = {
+    "li": frozenset({"li"}),
+    "tr": frozenset({"tr", "td", "th"}),
+    "td": frozenset({"td", "th"}),
+    "th": frozenset({"td", "th"}),
+    "p": frozenset({"p"}),
+    "option": frozenset({"option"}),
+    "dt": frozenset({"dt", "dd"}),
+    "dd": frozenset({"dt", "dd"}),
+    "thead": frozenset({"tr", "td", "th"}),
+    "tbody": frozenset({"tr", "td", "th", "thead"}),
+    "tfoot": frozenset({"tr", "td", "th", "tbody"}),
+}
+
+
+class _DocumentHTMLParser(HTMLParser):
+    """Stdlib-based event source feeding a :class:`TreeBuilder`."""
+
+    def __init__(self, keep_whitespace_text: bool = False) -> None:
+        super().__init__(convert_charrefs=True)
+        self.builder = TreeBuilder(root_label="#document")
+        self.keep_whitespace_text = keep_whitespace_text
+        self._open_labels: List[str] = []
+
+    # -- start / end tags ------------------------------------------------
+    def handle_starttag(self, tag: str, attrs: List[Tuple[str, Optional[str]]]) -> None:
+        tag = tag.lower()
+        attributes = {name: (value if value is not None else "") for name, value in attrs}
+        self._close_implied(tag)
+        if tag in VOID_ELEMENTS:
+            self.builder.empty(tag, attributes)
+            return
+        self.builder.start(tag, attributes)
+        self._open_labels.append(tag)
+
+    def handle_startendtag(self, tag: str, attrs: List[Tuple[str, Optional[str]]]) -> None:
+        tag = tag.lower()
+        attributes = {name: (value if value is not None else "") for name, value in attrs}
+        self.builder.empty(tag, attributes)
+
+    def handle_endtag(self, tag: str) -> None:
+        tag = tag.lower()
+        if tag in VOID_ELEMENTS:
+            return
+        if tag in self._open_labels:
+            # Pop up to and including the matching open element.
+            while self._open_labels:
+                closed = self._open_labels.pop()
+                self.builder.end()
+                if closed == tag:
+                    break
+        # A stray end tag with no matching start tag is silently ignored.
+
+    def _close_implied(self, incoming_tag: str) -> None:
+        implied = IMPLIED_END_TAGS.get(incoming_tag)
+        if not implied:
+            return
+        while self._open_labels and self._open_labels[-1] in implied:
+            self._open_labels.pop()
+            self.builder.end()
+
+    # -- character data ----------------------------------------------------
+    def handle_data(self, data: str) -> None:
+        if not self.keep_whitespace_text and not data.strip():
+            return
+        self.builder.text(data)
+
+    def handle_comment(self, data: str) -> None:
+        self.builder.comment(data)
+
+    def handle_decl(self, decl: str) -> None:  # <!DOCTYPE ...>
+        return
+
+    def error(self, message: str) -> None:  # pragma: no cover - py<3.10 shim
+        return
+
+
+def parse_html(
+    markup: str,
+    url: Optional[str] = None,
+    keep_whitespace_text: bool = False,
+) -> Document:
+    """Parse an HTML string into a :class:`Document`.
+
+    The returned document has a synthetic ``#document`` root whose children
+    are the top-level nodes of the markup (typically a single ``html``
+    element).  ``url`` is recorded on the document for crawling support.
+    """
+    parser = _DocumentHTMLParser(keep_whitespace_text=keep_whitespace_text)
+    parser.feed(markup)
+    parser.close()
+    return parser.builder.finish(url=url)
+
+
+def parse_html_fragment(markup: str, keep_whitespace_text: bool = False) -> Document:
+    """Parse an HTML fragment (no surrounding ``html``/``body`` required)."""
+    return parse_html(markup, keep_whitespace_text=keep_whitespace_text)
+
+
+def body_of(document: Document):
+    """Return the ``body`` element of a parsed HTML document.
+
+    Falls back to the document root's first element child when the markup had
+    no explicit body.
+    """
+    body = document.find_first("body")
+    if body is not None:
+        return body
+    for child in document.root.children:
+        if child.label not in ("#text", "#comment"):
+            return child
+    return document.root

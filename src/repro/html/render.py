@@ -1,0 +1,126 @@
+"""Rendering documents back to HTML and to displayed text.
+
+The visual wrapper builder (Section 3.2) maps a user's "mouse selection" on a
+*rendered* page to a node of the parse tree.  To simulate that we need a
+rendering that records, for every node, the character range it occupies in
+the rendered text — :func:`render_text_with_spans` provides exactly that.
+"""
+
+from __future__ import annotations
+
+from html import escape
+from typing import Dict, List, Tuple, Union
+
+from ..tree.document import Document
+from ..tree.node import Node
+
+from .parser import VOID_ELEMENTS
+
+# Elements rendered as block-level (emit line breaks around their content).
+BLOCK_ELEMENTS = frozenset(
+    {
+        "address", "article", "aside", "blockquote", "body", "div", "dl",
+        "dd", "dt", "fieldset", "figure", "footer", "form", "h1", "h2", "h3",
+        "h4", "h5", "h6", "header", "hr", "html", "li", "main", "nav", "ol",
+        "p", "pre", "section", "table", "tbody", "td", "tfoot", "th", "thead",
+        "tr", "ul", "#document",
+    }
+)
+
+SKIPPED_ELEMENTS = frozenset({"script", "style", "head", "#comment"})
+
+
+def to_html(node_or_document: Union[Node, Document]) -> str:
+    """Serialise a node or document back to HTML markup."""
+    root = node_or_document.root if isinstance(node_or_document, Document) else node_or_document
+    parts: List[str] = []
+    _write_html(root, parts)
+    return "".join(parts)
+
+
+def _write_html(node: Node, parts: List[str]) -> None:
+    stack: List[Union[Node, str]] = [node]
+    while stack:
+        item = stack.pop()
+        if isinstance(item, str):
+            parts.append(item)
+            continue
+        if item.label == "#text":
+            parts.append(escape(item.text, quote=False))
+            continue
+        if item.label == "#comment":
+            parts.append(f"<!--{item.text}-->")
+            continue
+        if item.label == "#document":
+            stack.extend(reversed(item.children))
+            continue
+        attributes = "".join(
+            f' {name}="{escape(value, quote=True)}"'
+            for name, value in item.attributes.items()
+        )
+        if item.label in VOID_ELEMENTS and not item.children:
+            parts.append(f"<{item.label}{attributes}/>")
+            continue
+        parts.append(f"<{item.label}{attributes}>")
+        stack.append(f"</{item.label}>")
+        stack.extend(reversed(item.children))
+
+
+def render_text(node_or_document: Union[Node, Document]) -> str:
+    """Plain-text rendering approximating what a browser displays."""
+    text, _ = render_text_with_spans(node_or_document)
+    return text
+
+
+def render_text_with_spans(
+    node_or_document: Union[Node, Document],
+) -> Tuple[str, Dict[int, Tuple[int, int]]]:
+    """Render to text and record each node's character span.
+
+    Returns ``(text, spans)`` where ``spans[id(node)] = (start, end)`` gives
+    the half-open character interval of the rendered text that the node's
+    subtree produced.  Nodes that render nothing get an empty interval at
+    their position.  The visual layer uses the spans to map a selected screen
+    region back to the best-matching tree node.
+    """
+    root = node_or_document.root if isinstance(node_or_document, Document) else node_or_document
+    parts: List[str] = []
+    spans: Dict[int, Tuple[int, int]] = {}
+    length = _render_node(root, parts, spans, 0)
+    del length
+    return "".join(parts), spans
+
+
+def _render_node(
+    node: Node,
+    parts: List[str],
+    spans: Dict[int, Tuple[int, int]],
+    offset: int,
+) -> int:
+    if node.label in SKIPPED_ELEMENTS:
+        spans[id(node)] = (offset, offset)
+        return offset
+    start = offset
+    if node.label == "#text":
+        text = " ".join(node.text.split())
+        if text:
+            if parts and not parts[-1].endswith(("\n", " ")):
+                parts.append(" ")
+                offset += 1
+                start = offset
+            parts.append(text)
+            offset += len(text)
+        spans[id(node)] = (start, offset)
+        return offset
+    is_block = node.label in BLOCK_ELEMENTS
+    if is_block and parts and not parts[-1].endswith("\n"):
+        parts.append("\n")
+        offset += 1
+        start = offset
+    for child in node.children:
+        offset = _render_node(child, parts, spans, offset)
+    if is_block and parts and not parts[-1].endswith("\n"):
+        parts.append("\n")
+        offset += 1
+    spans[id(node)] = (start, offset)
+    return offset

@@ -1,0 +1,38 @@
+"""Monadic datalog over trees: the theoretical core of the Lixto framework."""
+
+from .evaluator import MonadicTreeEvaluator, evaluate, select
+from .program import MonadicityError, MonadicProgram, italic_program
+from .queries import (
+    InformationExtractionFunction,
+    UnaryQuery,
+    extraction_functions,
+    intersection,
+    label_query,
+    query_from_callable,
+    union,
+)
+from .tmnf import TMNFRewriteError, is_tmnf, rule_tmnf_form, to_tmnf
+from .wrap import assignment_from_queries, wrap_tree, wrap_with_program
+
+__all__ = [
+    "InformationExtractionFunction",
+    "MonadicProgram",
+    "MonadicTreeEvaluator",
+    "MonadicityError",
+    "TMNFRewriteError",
+    "UnaryQuery",
+    "assignment_from_queries",
+    "evaluate",
+    "extraction_functions",
+    "intersection",
+    "is_tmnf",
+    "italic_program",
+    "label_query",
+    "query_from_callable",
+    "rule_tmnf_form",
+    "select",
+    "to_tmnf",
+    "union",
+    "wrap_tree",
+    "wrap_with_program",
+]

@@ -1,0 +1,180 @@
+"""Evaluation of monadic datalog over trees in time O(|P| * |dom|).
+
+Theorem 2.4 of the paper: over tau_ur, monadic datalog has O(|P| * |dom|)
+combined complexity.  The proof grounds the program (linear because the
+binary tree relations are functional in both directions) and evaluates the
+ground program with a linear-time unit-resolution procedure [Minoux 29].
+
+:class:`MonadicTreeEvaluator` implements exactly that pipeline:
+
+1. rewrite the program to TMNF (Theorem 2.7) — or accept it as-is when it is
+   already in TMNF;
+2. ground each TMNF rule against the document (at most one ground instance
+   per node or per edge of the relevant relation);
+3. run :class:`~repro.datalog.ltur.GroundHornSolver`.
+
+Programs outside the TMNF-rewritable fragment (cyclic rule bodies, negation)
+transparently fall back to the generic semi-naive engine over the tree
+database, preserving semantics at the price of the general-case complexity.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+from ..datalog.ast import Atom, Rule, Variable
+from ..datalog.engine import SemiNaiveEngine
+from ..datalog.ltur import GroundHornSolver
+from ..datalog.tree_edb import label_predicate, tree_database
+from ..tree.document import Document
+from ..tree.node import Node
+from .program import MonadicProgram
+from .tmnf import TMNFRewriteError, is_tmnf, rule_tmnf_form, to_tmnf
+
+GroundAtom = Tuple[str, int]  # (predicate, preorder index)
+
+
+class MonadicTreeEvaluator:
+    """Evaluates a monadic datalog program over documents.
+
+    The evaluator is reusable: construct once per program, call
+    :meth:`evaluate` per document.
+    """
+
+    def __init__(self, program: MonadicProgram, force_generic: bool = False) -> None:
+        self.program = program
+        self.uses_ground_pipeline = False
+        self._tmnf_program: Optional[MonadicProgram] = None
+        self._generic_engine: Optional[SemiNaiveEngine] = None
+
+        if not force_generic and not program.uses_negation():
+            try:
+                self._tmnf_program = program if is_tmnf(program) else to_tmnf(program)
+                self.uses_ground_pipeline = True
+            except TMNFRewriteError:
+                self._tmnf_program = None
+        if self._tmnf_program is None:
+            self._generic_engine = SemiNaiveEngine(program.to_datalog_program())
+
+    # ------------------------------------------------------------------
+    def evaluate(self, document: Document) -> Dict[str, List[Node]]:
+        """Evaluate and return {query predicate: nodes in document order}."""
+        if self.uses_ground_pipeline:
+            truth = self._evaluate_ground(document)
+            result: Dict[str, List[Node]] = {}
+            for predicate in self.program.query_predicates:
+                indexes = sorted(
+                    index for (name, index) in truth if name == predicate
+                )
+                result[predicate] = [document.node_at(index) for index in indexes]
+            return result
+        return self._evaluate_generic(document)
+
+    def select(self, document: Document, predicate: str) -> List[Node]:
+        """The nodes selected by one query predicate (an information
+        extraction function), in document order."""
+        return self.evaluate(document).get(predicate, [])
+
+    # ------------------------------------------------------------------
+    # Grounding pipeline (Theorem 2.4)
+    # ------------------------------------------------------------------
+    def _evaluate_ground(self, document: Document) -> Set[GroundAtom]:
+        assert self._tmnf_program is not None
+        solver = GroundHornSolver()
+        self._add_edb_facts(document, solver)
+        for rule in self._tmnf_program.rules:
+            self._ground_rule(rule, document, solver)
+        return solver.solve()  # type: ignore[return-value]
+
+    def _add_edb_facts(self, document: Document, solver: GroundHornSolver) -> None:
+        for node in document:
+            index = node.preorder_index
+            solver.add_fact((label_predicate(node.label), index))
+            if node.is_root:
+                solver.add_fact(("root", index))
+            if node.is_leaf:
+                solver.add_fact(("leaf", index))
+            if node.is_last_sibling:
+                solver.add_fact(("lastsibling", index))
+            if node.is_first_sibling:
+                solver.add_fact(("firstsibling", index))
+
+    def _ground_rule(
+        self, rule: Rule, document: Document, solver: GroundHornSolver
+    ) -> None:
+        form = rule_tmnf_form(rule)
+        head_predicate = rule.head.predicate
+        head_variable = rule.head.terms[0]
+        if form == 1:
+            body_predicate = rule.body[0].atom.predicate
+            for node in document:
+                index = node.preorder_index
+                solver.add_rule((head_predicate, index), ((body_predicate, index),))
+            return
+        if form == 3:
+            first, second = (literal.atom.predicate for literal in rule.body)
+            for node in document:
+                index = node.preorder_index
+                solver.add_rule(
+                    (head_predicate, index), ((first, index), (second, index))
+                )
+            return
+        if form == 2:
+            unary_atom = next(l.atom for l in rule.body if l.atom.arity == 1)
+            binary_atom = next(l.atom for l in rule.body if l.atom.arity == 2)
+            body_predicate = unary_atom.predicate
+            relation = binary_atom.predicate
+            source_variable = unary_atom.terms[0]
+            # Orientation: the rule is  p(x) <- p0(x0), B(a, b)  with
+            # {a, b} == {x0, x}.  Enumerate the pairs of B and instantiate.
+            for parent, child in self._relation_pairs(relation, document):
+                assignment: Dict[Variable, int] = {
+                    binary_atom.terms[0]: parent.preorder_index,  # type: ignore[index]
+                    binary_atom.terms[1]: child.preorder_index,  # type: ignore[index]
+                }
+                head_index = assignment[head_variable]  # type: ignore[index]
+                body_index = assignment[source_variable]  # type: ignore[index]
+                solver.add_rule(
+                    (head_predicate, head_index), ((body_predicate, body_index),)
+                )
+            return
+        raise TMNFRewriteError(f"rule {rule} is not in TMNF")  # pragma: no cover
+
+    @staticmethod
+    def _relation_pairs(
+        relation: str, document: Document
+    ) -> Iterable[Tuple[Node, Node]]:
+        if relation == "firstchild":
+            return document.firstchild_pairs()
+        if relation == "nextsibling":
+            return document.nextsibling_pairs()
+        if relation == "lastchild":
+            return (
+                (node, node.children[-1]) for node in document if node.children
+            )
+        if relation == "child":
+            return document.child_pairs()
+        raise TMNFRewriteError(f"unsupported binary relation {relation!r}")
+
+    # ------------------------------------------------------------------
+    # Generic fallback
+    # ------------------------------------------------------------------
+    def _evaluate_generic(self, document: Document) -> Dict[str, List[Node]]:
+        assert self._generic_engine is not None
+        database = tree_database(document)
+        derived = self._generic_engine.evaluate(database)
+        result: Dict[str, List[Node]] = {}
+        for predicate in self.program.query_predicates:
+            indexes = sorted(value[0] for value in derived.get(predicate, set()))
+            result[predicate] = [document.node_at(index) for index in indexes]
+        return result
+
+
+def evaluate(program: MonadicProgram, document: Document) -> Dict[str, List[Node]]:
+    """One-shot evaluation helper."""
+    return MonadicTreeEvaluator(program).evaluate(document)
+
+
+def select(program: MonadicProgram, document: Document, predicate: str) -> List[Node]:
+    """One-shot helper returning the nodes selected by ``predicate``."""
+    return MonadicTreeEvaluator(program).select(document, predicate)

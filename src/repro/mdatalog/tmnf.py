@@ -1,0 +1,405 @@
+"""Tree-Marking Normal Form (TMNF) and the Theorem 2.7 rewriting.
+
+Definition 2.6 of the paper: a monadic datalog program over tau_ur is in TMNF
+if every rule has one of the forms
+
+    (1)  p(x) <- p0(x).
+    (2)  p(x) <- p0(x0), B(x0, x).
+    (3)  p(x) <- p0(x), p1(x).
+
+where p0, p1 are unary (intensional or tau_ur) predicates and B is R or R^-1
+for a binary relation R of tau_ur.
+
+Theorem 2.7: every monadic datalog program over tau_ur + {child} can be
+rewritten into an equivalent TMNF program in time O(|P|).
+
+The rewriting implemented here follows the classical decomposition:
+
+* long bodies whose binary atoms form an acyclic, connected graph on the
+  variables are decomposed along a join tree rooted at the head variable,
+  introducing one auxiliary predicate per decomposition step;
+* ``child`` atoms are eliminated using firstchild / nextsibling chains
+  (child = firstchild . nextsibling*), again via auxiliary predicates;
+* disconnected body components are turned into "global guard" predicates
+  whose truth is propagated to the root of the tree and broadcast back down
+  to every node;
+* conjunctions of several unary atoms on one variable are chained with
+  form-(3) rules.
+
+Rules with *cyclic* binary-atom structure are outside the TMNF fragment; for
+those :func:`to_tmnf` raises :class:`TMNFRewriteError` and callers fall back
+to the generic engine (this mirrors the paper: cyclic rules belong to the
+conjunctive-query complexity discussion of Section 4, not to TMNF).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from ..datalog.ast import Atom, Literal, Rule, Variable
+from .program import ALLOWED_BINARY, MonadicProgram
+
+# Binary relations allowed inside TMNF rules (child is *not* among them:
+# Theorem 2.7 eliminates it).
+TMNF_BINARY = frozenset({"firstchild", "nextsibling", "lastchild"})
+
+
+class TMNFRewriteError(ValueError):
+    """Raised when a rule cannot be brought into TMNF by this rewriting."""
+
+
+# ---------------------------------------------------------------------------
+# TMNF recognition
+# ---------------------------------------------------------------------------
+
+
+def rule_tmnf_form(rule: Rule) -> Optional[int]:
+    """Return 1, 2 or 3 when ``rule`` has the corresponding TMNF form, else None."""
+    if rule.head.arity != 1 or any(literal.negated for literal in rule.body):
+        return None
+    head_variable = rule.head.terms[0]
+    if not isinstance(head_variable, Variable):
+        return None
+    body = [literal.atom for literal in rule.body]
+    if len(body) == 1:
+        atom = body[0]
+        if atom.arity == 1 and atom.terms[0] == head_variable:
+            return 1
+        return None
+    if len(body) == 2:
+        unary = [a for a in body if a.arity == 1]
+        binary = [a for a in body if a.arity == 2]
+        if len(unary) == 2 and all(a.terms[0] == head_variable for a in unary):
+            return 3
+        if len(unary) == 1 and len(binary) == 1:
+            unary_atom, binary_atom = unary[0], binary[0]
+            if binary_atom.predicate not in TMNF_BINARY:
+                return None
+            terms = binary_atom.terms
+            if not all(isinstance(term, Variable) for term in terms):
+                return None
+            other = unary_atom.terms[0]
+            if not isinstance(other, Variable) or other == head_variable:
+                return None
+            # B(x0, x) or B(x, x0) — both orientations are allowed (R or R^-1).
+            if set(terms) == {head_variable, other}:
+                return 2
+        return None
+    return None
+
+
+def is_tmnf(program: MonadicProgram) -> bool:
+    """True iff every rule of ``program`` is in TMNF."""
+    return all(rule_tmnf_form(rule) is not None for rule in program.rules)
+
+
+# ---------------------------------------------------------------------------
+# Rewriting into TMNF (Theorem 2.7)
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class _RewriteContext:
+    """Carries the fresh-name counter and the output rule list."""
+
+    rules: List[Rule]
+    counter: itertools.count
+
+    def fresh(self, hint: str) -> str:
+        return f"_aux_{hint}_{next(self.counter)}"
+
+    def emit(self, head_predicate: str, head_variable: Variable, body: Sequence[Atom]) -> None:
+        self.rules.append(
+            Rule(
+                Atom(head_predicate, (head_variable,)),
+                tuple(Literal(atom) for atom in body),
+            )
+        )
+
+
+def to_tmnf(program: MonadicProgram) -> MonadicProgram:
+    """Rewrite ``program`` into an equivalent TMNF program (Theorem 2.7)."""
+    context = _RewriteContext(rules=[], counter=itertools.count())
+    for rule in program.rules:
+        if any(literal.negated for literal in rule.body):
+            raise TMNFRewriteError(f"negation is outside TMNF: {rule}")
+        form = rule_tmnf_form(rule)
+        if form is not None and not _uses_child(rule):
+            context.rules.append(rule)
+            continue
+        _rewrite_rule(rule, context)
+    return MonadicProgram(context.rules, query_predicates=program.query_predicates)
+
+
+def _uses_child(rule: Rule) -> bool:
+    return any(literal.atom.predicate == "child" for literal in rule.body)
+
+
+def _rewrite_rule(rule: Rule, context: _RewriteContext) -> None:
+    head_variable = rule.head.terms[0]
+    if not isinstance(head_variable, Variable):
+        raise TMNFRewriteError(f"head of {rule} must have a variable argument")
+
+    unary_atoms: Dict[Variable, List[Atom]] = {}
+    binary_atoms: List[Atom] = []
+    for literal in rule.body:
+        atom = literal.atom
+        if atom.arity == 1:
+            variable = atom.terms[0]
+            if not isinstance(variable, Variable):
+                raise TMNFRewriteError(f"constants are not supported in {rule}")
+            unary_atoms.setdefault(variable, []).append(atom)
+        elif atom.arity == 2:
+            if atom.predicate not in ALLOWED_BINARY:
+                raise TMNFRewriteError(
+                    f"binary relation {atom.predicate!r} is not a tree relation in {rule}"
+                )
+            if not all(isinstance(term, Variable) for term in atom.terms):
+                raise TMNFRewriteError(f"constants in binary atoms not supported: {rule}")
+            binary_atoms.append(atom)
+        else:
+            raise TMNFRewriteError(f"atom {atom} has unsupported arity in {rule}")
+
+    variables: Set[Variable] = set(rule.variables())
+    variables.add(head_variable)
+
+    # Build the (multi)graph on variables induced by binary atoms and find the
+    # connected components.
+    adjacency: Dict[Variable, List[Tuple[Variable, Atom]]] = {v: [] for v in variables}
+    for atom in binary_atoms:
+        first, second = atom.terms  # type: ignore[misc]
+        adjacency[first].append((second, atom))
+        adjacency[second].append((first, atom))
+
+    components = _connected_components(variables, adjacency)
+    head_component = next(c for c in components if head_variable in c)
+
+    # Rewrite the component containing the head variable into a predicate on x.
+    main_predicate = _rewrite_component(
+        head_component, head_variable, adjacency, unary_atoms, binary_atoms, context
+    )
+
+    # Every other component becomes a global guard broadcast to all nodes.
+    guard_predicates: List[str] = []
+    for component in components:
+        if component is head_component:
+            continue
+        anchor = next(iter(sorted(component, key=lambda v: v.name)))
+        component_predicate = _rewrite_component(
+            component, anchor, adjacency, unary_atoms, binary_atoms, context
+        )
+        guard_predicates.append(_broadcast_globally(component_predicate, context))
+
+    # Conjoin the main predicate with all guards, two at a time (form 3).
+    current = main_predicate
+    for guard in guard_predicates:
+        combined = context.fresh("and")
+        context.emit(combined, head_variable, [
+            Atom(current, (head_variable,)),
+            Atom(guard, (head_variable,)),
+        ])
+        current = combined
+
+    # Final rule: p(x) <- current(x).   (form 1)
+    context.emit(rule.head.predicate, head_variable, [Atom(current, (head_variable,))])
+
+
+def _connected_components(
+    variables: Set[Variable],
+    adjacency: Dict[Variable, List[Tuple[Variable, Atom]]],
+) -> List[Set[Variable]]:
+    remaining = set(variables)
+    components: List[Set[Variable]] = []
+    while remaining:
+        start = remaining.pop()
+        component = {start}
+        frontier = [start]
+        while frontier:
+            variable = frontier.pop()
+            for neighbour, _ in adjacency[variable]:
+                if neighbour in remaining:
+                    remaining.remove(neighbour)
+                    component.add(neighbour)
+                    frontier.append(neighbour)
+        components.append(component)
+    return components
+
+
+def _rewrite_component(
+    component: Set[Variable],
+    root_variable: Variable,
+    adjacency: Dict[Variable, List[Tuple[Variable, Atom]]],
+    unary_atoms: Dict[Variable, List[Atom]],
+    binary_atoms: List[Atom],
+    context: _RewriteContext,
+) -> str:
+    """Decompose one connected body component into TMNF rules.
+
+    Returns the name of a fresh unary predicate that holds of a node n iff n
+    can be the value of ``root_variable`` in a satisfying assignment of the
+    component.  The component's binary atoms must form a tree (acyclic);
+    otherwise :class:`TMNFRewriteError` is raised.
+    """
+    component_edges = [
+        atom
+        for atom in binary_atoms
+        if atom.terms[0] in component and atom.terms[1] in component
+    ]
+    if len(component_edges) != len(component) - 1:
+        raise TMNFRewriteError(
+            "rule body is cyclic over its variables; TMNF rewriting requires "
+            "acyclic (tree-shaped) rule bodies"
+        )
+
+    # Build a spanning tree rooted at root_variable (it is the whole component
+    # since edge count == |vars| - 1 and the component is connected).
+    order: List[Variable] = []
+    parent_edge: Dict[Variable, Tuple[Variable, Atom]] = {}
+    visited = {root_variable}
+    frontier = [root_variable]
+    while frontier:
+        variable = frontier.pop()
+        order.append(variable)
+        for neighbour, atom in adjacency[variable]:
+            if neighbour in component and neighbour not in visited:
+                visited.add(neighbour)
+                parent_edge[neighbour] = (variable, atom)
+                frontier.append(neighbour)
+    if visited != component:
+        raise TMNFRewriteError("internal error: component traversal incomplete")
+
+    children: Dict[Variable, List[Variable]] = {variable: [] for variable in component}
+    for child_variable, (parent_variable, _) in parent_edge.items():
+        children[parent_variable].append(child_variable)
+
+    # Process variables bottom-up: the predicate for a variable v states
+    # "node n satisfies all unary atoms on v and, for every child w of v in
+    # the join tree, there exists a node m with predicate_w(m) related to n by
+    # the connecting binary atom".
+    predicate_for: Dict[Variable, str] = {}
+    for variable in reversed(order):
+        conjuncts: List[str] = []
+        for atom in unary_atoms.get(variable, []):
+            conjuncts.append(atom.predicate)
+        for child_variable in children[variable]:
+            _, connecting_atom = parent_edge[child_variable]
+            child_predicate = predicate_for[child_variable]
+            conjuncts.append(
+                _edge_predicate(connecting_atom, variable, child_variable, child_predicate, context)
+            )
+        predicate_for[variable] = _conjoin(conjuncts, variable, context)
+    return predicate_for[root_variable]
+
+
+def _conjoin(conjuncts: List[str], variable: Variable, context: _RewriteContext) -> str:
+    """Produce a predicate equivalent to the conjunction of unary predicates."""
+    if not conjuncts:
+        # No constraint at all: every node qualifies.  "any" is derived
+        # bottom-up: leaves qualify, and a node whose first child qualifies
+        # qualifies too (every internal node has a first child).
+        name = context.fresh("any")
+        x, x0 = Variable("X"), Variable("X0")
+        context.emit(name, x, [Atom("leaf", (x,))])
+        context.rules.append(
+            Rule(
+                Atom(name, (x,)),
+                (Literal(Atom(name, (x0,))), Literal(Atom("firstchild", (x, x0)))),
+            )
+        )
+        return name
+    if len(conjuncts) == 1:
+        # Wrap single EDB/IDB predicates in a form-(1) rule so the result is a
+        # fresh intensional name (keeps bookkeeping uniform).
+        name = context.fresh("copy")
+        context.emit(name, variable, [Atom(conjuncts[0], (variable,))])
+        return name
+    current = conjuncts[0]
+    for other in conjuncts[1:]:
+        name = context.fresh("and")
+        context.emit(name, variable, [Atom(current, (variable,)), Atom(other, (variable,))])
+        current = name
+    return current
+
+
+def _edge_predicate(
+    atom: Atom,
+    parent_variable: Variable,
+    child_variable: Variable,
+    child_predicate: str,
+    context: _RewriteContext,
+) -> str:
+    """Predicate over the parent variable expressing
+    "exists m: child_predicate(m) and <atom> relates me and m"."""
+    relation = atom.predicate
+    first, second = atom.terms  # type: ignore[misc]
+    # downward: atom is R(parent, child)  — we need nodes n with exists m:
+    #   child_predicate(m) and R(n, m).
+    downward = first == parent_variable and second == child_variable
+    if relation != "child":
+        name = context.fresh("step")
+        x, x0 = Variable("X"), Variable("X0")
+        if downward:
+            # name(x) <- child_predicate(x0), R(x, x0)    (B = R^-1)
+            body_atom = Atom(relation, (x, x0))
+        else:
+            # atom is R(child, parent): name(x) <- child_predicate(x0), R(x0, x)
+            body_atom = Atom(relation, (x0, x))
+        context.rules.append(
+            Rule(Atom(name, (x,)), (Literal(Atom(child_predicate, (x0,))), Literal(body_atom)))
+        )
+        return name
+    # child elimination: child(a, b)  iff  firstchild(a, c), nextsibling*(c, b).
+    x, x0 = Variable("X"), Variable("X0")
+    if downward:
+        # need: n such that exists m: pred(m) and m is a child of n.
+        # H(z) := pred(z) or (exists z2: H(z2) and nextsibling(z, z2))
+        chain = context.fresh("childchain")
+        context.emit(chain, x, [Atom(child_predicate, (x,))])
+        context.rules.append(
+            Rule(Atom(chain, (x,)), (Literal(Atom(chain, (x0,))), Literal(Atom("nextsibling", (x, x0)))))
+        )
+        # result(n) <- chain(c), firstchild(n, c)
+        result = context.fresh("haschild")
+        context.rules.append(
+            Rule(Atom(result, (x,)), (Literal(Atom(chain, (x0,))), Literal(Atom("firstchild", (x, x0)))))
+        )
+        return result
+    # upward: need n such that exists m: pred(m) and n is a child of m.
+    # D(z) := z is the first child of some pred-node, or the next sibling of a D-node.
+    down = context.fresh("childof")
+    context.rules.append(
+        Rule(Atom(down, (x,)), (Literal(Atom(child_predicate, (x0,))), Literal(Atom("firstchild", (x0, x)))))
+    )
+    context.rules.append(
+        Rule(Atom(down, (x,)), (Literal(Atom(down, (x0,))), Literal(Atom("nextsibling", (x0, x)))))
+    )
+    return down
+
+
+def _broadcast_globally(component_predicate: str, context: _RewriteContext) -> str:
+    """Turn "exists a node satisfying component_predicate" into a predicate
+    that then holds of *every* node (for conjoining disconnected components)."""
+    x, x0 = Variable("X"), Variable("X0")
+    # Propagate satisfaction upwards to the root ...
+    up = context.fresh("up")
+    context.emit(up, x, [Atom(component_predicate, (x,))])
+    context.rules.append(
+        Rule(Atom(up, (x,)), (Literal(Atom(up, (x0,))), Literal(Atom("firstchild", (x, x0)))))
+    )
+    context.rules.append(
+        Rule(Atom(up, (x,)), (Literal(Atom(up, (x0,))), Literal(Atom("nextsibling", (x, x0)))))
+    )
+    at_root = context.fresh("atroot")
+    context.emit(at_root, x, [Atom(up, (x,)), Atom("root", (x,))])
+    # ... and broadcast back down to every node.
+    everywhere = context.fresh("everywhere")
+    context.emit(everywhere, x, [Atom(at_root, (x,))])
+    context.rules.append(
+        Rule(Atom(everywhere, (x,)), (Literal(Atom(everywhere, (x0,))), Literal(Atom("firstchild", (x0, x)))))
+    )
+    context.rules.append(
+        Rule(Atom(everywhere, (x,)), (Literal(Atom(everywhere, (x0,))), Literal(Atom("nextsibling", (x0, x)))))
+    )
+    return everywhere

@@ -1,0 +1,45 @@
+"""The Lixto Transformation Server: streaming integration of wrapped data."""
+
+from .components import (
+    Component,
+    DelivererComponent,
+    Delivery,
+    EmailDeliverer,
+    FilterComponent,
+    HtmlPortalDeliverer,
+    IntegrationComponent,
+    JoinComponent,
+    RenameComponent,
+    SmsDeliverer,
+    SortComponent,
+    TransformerComponent,
+    WrapperComponent,
+    XmlDeliverer,
+    XmlSourceComponent,
+)
+from .monitoring import ChangeDetector, ChangeGatedDeliverer, ChangeReport
+from .pipeline import InformationPipe, PipelineError, TransformationServer
+
+__all__ = [
+    "ChangeDetector",
+    "ChangeGatedDeliverer",
+    "ChangeReport",
+    "Component",
+    "DelivererComponent",
+    "Delivery",
+    "EmailDeliverer",
+    "FilterComponent",
+    "HtmlPortalDeliverer",
+    "InformationPipe",
+    "IntegrationComponent",
+    "JoinComponent",
+    "PipelineError",
+    "RenameComponent",
+    "SmsDeliverer",
+    "SortComponent",
+    "TransformationServer",
+    "TransformerComponent",
+    "WrapperComponent",
+    "XmlDeliverer",
+    "XmlSourceComponent",
+]

@@ -1,0 +1,342 @@
+"""Components of the Lixto Transformation Server.
+
+Section 5: "The overall task of information processing is composed into
+stages that can be used as building blocks for assembling an information
+processing pipeline [...]  The stages are to (1) acquire the required content
+from the source locations; (2) integrate it, (3) transform it, and (4)
+deliver results to the end users.  The actual data flow within the
+Transformation Server is realized by handing over XML documents."
+
+Every component consumes XML documents (:class:`~repro.xmlgen.XmlElement`)
+and produces an XML document; wrapper (source) components consume HTML
+through a fetcher instead.  Components are plain Python objects so new stages
+can be added by subclassing :class:`Component`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, List, Optional, Sequence
+
+from ..elog.ast import ElogProgram
+from ..elog.extractor import Extractor, Fetcher
+from ..xmlgen.document import XmlElement
+from ..xmlgen.serializer import to_compact_xml, to_xml
+
+
+class Component:
+    """Base class of all pipeline stages."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+
+    def process(self, inputs: List[XmlElement]) -> XmlElement:  # pragma: no cover
+        raise NotImplementedError
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"{type(self).__name__}({self.name!r})"
+
+
+# ---------------------------------------------------------------------------
+# Stage 1: acquisition (wrapper / source components)
+# ---------------------------------------------------------------------------
+
+
+class WrapperComponent(Component):
+    """Acquires a page and runs an Elog wrapper over it (stage 1).
+
+    This component resembles the Lixto Visual Wrapper embedded in the server:
+    it is a boundary component that can activate itself (the scheduler calls
+    :meth:`process` with no inputs).
+    """
+
+    def __init__(
+        self,
+        name: str,
+        program: ElogProgram,
+        fetcher: Fetcher,
+        url: str,
+        root_name: Optional[str] = None,
+    ) -> None:
+        super().__init__(name)
+        self.program = program
+        self.fetcher = fetcher
+        self.url = url
+        self.root_name = root_name or name
+
+    def process(self, inputs: List[XmlElement]) -> XmlElement:
+        extractor = Extractor(self.program, fetcher=self.fetcher)
+        result = extractor.extract_to_xml(url=self.url, root_name=self.root_name)
+        result.attributes["source"] = self.url
+        return result
+
+
+class XmlSourceComponent(Component):
+    """A source component fed by a callable returning XML (used in tests)."""
+
+    def __init__(self, name: str, supplier: Callable[[], XmlElement]) -> None:
+        super().__init__(name)
+        self.supplier = supplier
+
+    def process(self, inputs: List[XmlElement]) -> XmlElement:
+        return self.supplier()
+
+
+# ---------------------------------------------------------------------------
+# Stage 2: integration
+# ---------------------------------------------------------------------------
+
+
+class IntegrationComponent(Component):
+    """Merges the XML documents of several upstream components (stage 2)."""
+
+    def __init__(self, name: str, root_name: Optional[str] = None) -> None:
+        super().__init__(name)
+        self.root_name = root_name or name
+
+    def process(self, inputs: List[XmlElement]) -> XmlElement:
+        merged = XmlElement(self.root_name)
+        for document in inputs:
+            merged.append(document.copy())
+        return merged
+
+
+class JoinComponent(Component):
+    """Joins records from two upstream documents on a key element.
+
+    Used e.g. by the "Now Playing" application to attach chart positions and
+    lyrics to the currently playing song.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        record_name: str,
+        other_record_name: str,
+        key: str,
+        other_key: Optional[str] = None,
+        root_name: Optional[str] = None,
+    ) -> None:
+        super().__init__(name)
+        self.record_name = record_name
+        self.other_record_name = other_record_name
+        self.key = key
+        self.other_key = other_key or key
+        self.root_name = root_name or name
+
+    def process(self, inputs: List[XmlElement]) -> XmlElement:
+        if not inputs:
+            return XmlElement(self.root_name)
+        primary, *others = inputs
+        result = XmlElement(self.root_name)
+        other_records: List[XmlElement] = []
+        for document in others:
+            other_records.extend(document.iter(self.other_record_name))
+        index: Dict[str, List[XmlElement]] = {}
+        for record in other_records:
+            index.setdefault(self._key_of(record, self.other_key), []).append(record)
+        for record in primary.iter(self.record_name):
+            joined = record.copy()
+            for match in index.get(self._key_of(record, self.key), []):
+                joined.append(match.copy())
+            result.append(joined)
+        return result
+
+    @staticmethod
+    def _key_of(record: XmlElement, key: str) -> str:
+        return " ".join(record.findtext(key).lower().split())
+
+
+# ---------------------------------------------------------------------------
+# Stage 3: transformation
+# ---------------------------------------------------------------------------
+
+
+class TransformerComponent(Component):
+    """Applies a user function to the (single) upstream document (stage 3)."""
+
+    def __init__(self, name: str, function: Callable[[XmlElement], XmlElement]) -> None:
+        super().__init__(name)
+        self.function = function
+
+    def process(self, inputs: List[XmlElement]) -> XmlElement:
+        if not inputs:
+            return XmlElement(self.name)
+        return self.function(inputs[0])
+
+
+class FilterComponent(Component):
+    """Keeps only the records satisfying a predicate."""
+
+    def __init__(
+        self,
+        name: str,
+        record_name: str,
+        predicate: Callable[[XmlElement], bool],
+        root_name: Optional[str] = None,
+    ) -> None:
+        super().__init__(name)
+        self.record_name = record_name
+        self.predicate = predicate
+        self.root_name = root_name or name
+
+    def process(self, inputs: List[XmlElement]) -> XmlElement:
+        result = XmlElement(self.root_name)
+        for document in inputs:
+            for record in document.iter(self.record_name):
+                if self.predicate(record):
+                    result.append(record.copy())
+        return result
+
+
+class SortComponent(Component):
+    """Sorts records by a key element (numeric when possible)."""
+
+    def __init__(
+        self,
+        name: str,
+        record_name: str,
+        key: str,
+        reverse: bool = False,
+        numeric: bool = True,
+        root_name: Optional[str] = None,
+    ) -> None:
+        super().__init__(name)
+        self.record_name = record_name
+        self.key = key
+        self.reverse = reverse
+        self.numeric = numeric
+        self.root_name = root_name or name
+
+    def process(self, inputs: List[XmlElement]) -> XmlElement:
+        from ..elog.concepts import parse_number
+
+        records: List[XmlElement] = []
+        for document in inputs:
+            records.extend(record.copy() for record in document.iter(self.record_name))
+
+        def sort_key(record: XmlElement):
+            value = record.findtext(self.key)
+            if self.numeric:
+                number = parse_number(value)
+                if number is not None:
+                    return (0, number)
+            return (1, value.lower())
+
+        result = XmlElement(self.root_name)
+        for record in sorted(records, key=sort_key, reverse=self.reverse):
+            result.append(record)
+        return result
+
+
+class RenameComponent(Component):
+    """Renames elements according to a mapping (e.g. to NITF element names)."""
+
+    def __init__(self, name: str, mapping: Dict[str, str], root_name: Optional[str] = None) -> None:
+        super().__init__(name)
+        self.mapping = mapping
+        self.root_name = root_name
+
+    def process(self, inputs: List[XmlElement]) -> XmlElement:
+        if not inputs:
+            return XmlElement(self.root_name or self.name)
+        document = inputs[0].copy()
+        for element in document.iter():
+            if element.name in self.mapping:
+                element.name = self.mapping[element.name]
+        if self.root_name:
+            document.name = self.root_name
+        return document
+
+
+# ---------------------------------------------------------------------------
+# Stage 4: delivery
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class Delivery:
+    """One delivered message (channel, recipient, subject, body)."""
+
+    channel: str
+    recipient: str
+    subject: str
+    body: str
+
+
+class DelivererComponent(Component):
+    """Base class of boundary components that push results to users."""
+
+    def __init__(self, name: str, channel: str, recipient: str) -> None:
+        super().__init__(name)
+        self.channel = channel
+        self.recipient = recipient
+        self.deliveries: List[Delivery] = []
+
+    def process(self, inputs: List[XmlElement]) -> XmlElement:
+        for document in inputs:
+            self.deliveries.append(self.deliver(document))
+        return inputs[0] if inputs else XmlElement(self.name)
+
+    def deliver(self, document: XmlElement) -> Delivery:  # pragma: no cover
+        raise NotImplementedError
+
+    def last_delivery(self) -> Optional[Delivery]:
+        return self.deliveries[-1] if self.deliveries else None
+
+
+class XmlDeliverer(DelivererComponent):
+    """Delivers the full XML document (e.g. to a downstream content system)."""
+
+    def __init__(self, name: str, recipient: str = "downstream") -> None:
+        super().__init__(name, channel="xml", recipient=recipient)
+
+    def deliver(self, document: XmlElement) -> Delivery:
+        return Delivery(self.channel, self.recipient, document.name, to_xml(document))
+
+
+class SmsDeliverer(DelivererComponent):
+    """Delivers a short text message (the flight-status application)."""
+
+    def __init__(
+        self,
+        name: str,
+        phone_number: str,
+        summarise: Callable[[XmlElement], str],
+    ) -> None:
+        super().__init__(name, channel="sms", recipient=phone_number)
+        self.summarise = summarise
+
+    def deliver(self, document: XmlElement) -> Delivery:
+        text = self.summarise(document)
+        return Delivery(self.channel, self.recipient, "status update", text[:160])
+
+
+class EmailDeliverer(DelivererComponent):
+    """Delivers an e-mail style message."""
+
+    def __init__(self, name: str, address: str, subject: str = "Lixto report") -> None:
+        super().__init__(name, channel="email", recipient=address)
+        self.subject = subject
+
+    def deliver(self, document: XmlElement) -> Delivery:
+        return Delivery(self.channel, self.recipient, self.subject, to_xml(document))
+
+
+class HtmlPortalDeliverer(DelivererComponent):
+    """Renders records into a small HTML portal page (mobile syndication)."""
+
+    def __init__(self, name: str, record_name: str, fields: Sequence[str]) -> None:
+        super().__init__(name, channel="html", recipient="portal")
+        self.record_name = record_name
+        self.fields = list(fields)
+        self.page: str = ""
+
+    def deliver(self, document: XmlElement) -> Delivery:
+        rows = []
+        for record in document.iter(self.record_name):
+            cells = "".join(f"<td>{record.findtext(field)}</td>" for field in self.fields)
+            rows.append(f"<tr>{cells}</tr>")
+        header = "".join(f"<th>{field}</th>" for field in self.fields)
+        self.page = f"<html><body><table><tr>{header}</tr>{''.join(rows)}</table></body></html>"
+        return Delivery(self.channel, self.recipient, self.record_name, self.page)

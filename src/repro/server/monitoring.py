@@ -1,0 +1,113 @@
+"""Source monitoring and change detection.
+
+Section 5: "often source sites have to be monitored for changes, and changed
+information has to be automatically extracted and processed"; Section 6.2:
+"The system will send the actual flight status to the user by means of an SMS
+message, but only if the status changed between consecutive requests."
+
+:class:`ChangeDetector` keeps a fingerprint of the last XML snapshot per key
+and reports added / removed / changed records between consecutive snapshots;
+:class:`ChangeGatedDeliverer` wraps a deliverer so that it only fires when a
+change was detected.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+from ..xmlgen.document import XmlElement
+from ..xmlgen.serializer import to_compact_xml
+from .components import Component, DelivererComponent, Delivery
+
+
+@dataclass
+class ChangeReport:
+    """The difference between two consecutive snapshots of a record set."""
+
+    added: List[XmlElement] = field(default_factory=list)
+    removed: List[str] = field(default_factory=list)
+    changed: List[XmlElement] = field(default_factory=list)
+
+    @property
+    def has_changes(self) -> bool:
+        return bool(self.added or self.removed or self.changed)
+
+    def summary(self) -> str:
+        return (
+            f"{len(self.added)} added, {len(self.changed)} changed, "
+            f"{len(self.removed)} removed"
+        )
+
+
+class ChangeDetector:
+    """Record-level change detection keyed by a record's key element."""
+
+    def __init__(self, record_name: str, key: str) -> None:
+        self.record_name = record_name
+        self.key = key
+        self._previous: Dict[str, str] = {}
+
+    def observe(self, document: XmlElement) -> ChangeReport:
+        """Compare ``document`` with the previous snapshot and remember it."""
+        current: Dict[str, Tuple[str, XmlElement]] = {}
+        for record in document.iter(self.record_name):
+            key_value = " ".join(record.findtext(self.key).split())
+            current[key_value] = (to_compact_xml(record), record)
+        report = ChangeReport()
+        for key_value, (fingerprint, record) in current.items():
+            if key_value not in self._previous:
+                report.added.append(record)
+            elif self._previous[key_value] != fingerprint:
+                report.changed.append(record)
+        for key_value in self._previous:
+            if key_value not in current:
+                report.removed.append(key_value)
+        self._previous = {key: fingerprint for key, (fingerprint, _) in current.items()}
+        return report
+
+
+class ChangeGatedDeliverer(Component):
+    """Forwards to an inner deliverer only when the snapshot changed.
+
+    The first observation is treated as a baseline and (by default) not
+    delivered — matching the flight application, where the user is notified
+    only about *changes* of the status.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        inner: DelivererComponent,
+        detector: ChangeDetector,
+        deliver_initial: bool = False,
+        message: Optional[Callable[[ChangeReport], str]] = None,
+    ) -> None:
+        super().__init__(name)
+        self.inner = inner
+        self.detector = detector
+        self.deliver_initial = deliver_initial
+        self.message = message
+        self._seen_initial = False
+
+    @property
+    def deliveries(self) -> List[Delivery]:
+        return self.inner.deliveries
+
+    def process(self, inputs: List[XmlElement]) -> XmlElement:
+        document = inputs[0] if inputs else XmlElement(self.name)
+        report = self.detector.observe(document)
+        is_initial = not self._seen_initial
+        self._seen_initial = True
+        should_deliver = report.has_changes and (self.deliver_initial or not is_initial)
+        if should_deliver:
+            if self.message is not None:
+                summary = XmlElement("change")
+                summary.text = self.message(report)
+                self.inner.process([summary])
+            else:
+                changes = XmlElement("changes")
+                for record in report.added + report.changed:
+                    changes.append(record.copy())
+                self.inner.process([changes])
+        return document

@@ -1,0 +1,25 @@
+"""Visual wrapper specification (the Interactive Pattern Builder, simulated)."""
+
+from .generalize import (
+    add_attribute_condition,
+    exact_path,
+    generalize_last_step,
+    generalized_path,
+    path_between,
+    suggest_conditions,
+)
+from .pattern_builder import FilterProposal, PatternBuilderError, PatternBuilderSession
+from .region import RenderedPage
+
+__all__ = [
+    "FilterProposal",
+    "PatternBuilderError",
+    "PatternBuilderSession",
+    "RenderedPage",
+    "add_attribute_condition",
+    "exact_path",
+    "generalize_last_step",
+    "generalized_path",
+    "path_between",
+    "suggest_conditions",
+]

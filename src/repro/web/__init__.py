@@ -1,0 +1,5 @@
+"""The simulated Web: fetchers and synthetic site generators."""
+
+from .fetcher import SimulatedWeb, StaticDocumentFetcher
+
+__all__ = ["SimulatedWeb", "StaticDocumentFetcher"]

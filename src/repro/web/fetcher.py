@@ -1,0 +1,100 @@
+"""The simulated Web: offline document acquisition.
+
+The paper's applications wrap live Web sites; in this offline reproduction a
+:class:`SimulatedWeb` holds a set of URL -> HTML mappings (produced by the
+site generators in :mod:`repro.web.sites`) and serves parsed documents to the
+Extractor and the Transformation Server.  Pages can be *mutated* between
+fetches, which is how source monitoring / change detection (Section 5, the
+flight application of Section 6.2) is exercised.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional
+
+from ..elog.extractor import Fetcher
+from ..html import parse_html
+from ..tree.document import Document
+
+
+class SimulatedWeb(Fetcher):
+    """An in-memory Web of HTML pages addressed by URL."""
+
+    def __init__(self) -> None:
+        self._pages: Dict[str, str] = {}
+        self.fetch_log: List[str] = []
+
+    # -- publishing -------------------------------------------------------
+    def publish(self, url: str, html: str) -> None:
+        """Publish (or replace) the page at ``url``."""
+        self._pages[self._normalise(url)] = html
+
+    def publish_many(self, pages: Dict[str, str]) -> None:
+        for url, html in pages.items():
+            self.publish(url, html)
+
+    def update(self, url: str, transform: Callable[[str], str]) -> None:
+        """Mutate an already published page (simulates a site change)."""
+        key = self._normalise(url)
+        self._pages[key] = transform(self._pages[key])
+
+    def remove(self, url: str) -> None:
+        self._pages.pop(self._normalise(url), None)
+
+    # -- fetching -----------------------------------------------------------
+    def fetch(self, url: str) -> Document:
+        key = self._resolve(url)
+        if key is None:
+            raise KeyError(f"no page published at {url!r}")
+        self.fetch_log.append(url)
+        return parse_html(self._pages[key], url=url)
+
+    def fetch_html(self, url: str) -> str:
+        key = self._resolve(url)
+        if key is None:
+            raise KeyError(f"no page published at {url!r}")
+        return self._pages[key]
+
+    def has(self, url: str) -> bool:
+        return self._resolve(url) is not None
+
+    def urls(self) -> List[str]:
+        return sorted(self._pages)
+
+    def __len__(self) -> int:
+        return len(self._pages)
+
+    # -- helpers ---------------------------------------------------------------
+    @staticmethod
+    def _normalise(url: str) -> str:
+        url = url.strip().lower()
+        for prefix in ("https://", "http://"):
+            if url.startswith(prefix):
+                url = url[len(prefix):]
+        return url.rstrip("/")
+
+    def _resolve(self, url: str) -> Optional[str]:
+        key = self._normalise(url)
+        if key in self._pages:
+            return key
+        # lenient matching: wrappers may name a site by its entry URL prefix
+        for candidate in self._pages:
+            if candidate.startswith(key) or key.startswith(candidate):
+                return candidate
+        return None
+
+
+class StaticDocumentFetcher(Fetcher):
+    """A fetcher over already-parsed documents (used in unit tests)."""
+
+    def __init__(self, documents: Dict[str, Document]) -> None:
+        self._documents = {SimulatedWeb._normalise(url): doc for url, doc in documents.items()}
+
+    def fetch(self, url: str) -> Document:
+        key = SimulatedWeb._normalise(url)
+        if key in self._documents:
+            return self._documents[key]
+        for candidate, document in self._documents.items():
+            if candidate.startswith(key) or key.startswith(candidate):
+                return document
+        raise KeyError(f"no document registered for {url!r}")

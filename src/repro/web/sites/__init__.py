@@ -1,0 +1,1 @@
+"""Deterministic synthetic site generators for the paper's applications."""

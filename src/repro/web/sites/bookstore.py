@@ -1,0 +1,111 @@
+"""Synthetic bookstore / bestseller pages (the Figure 4 and Figure 7 workloads).
+
+Three "competing" book shops publish bestseller lists with different layouts
+(a table shop, a list shop, and a div shop) so that the Figure 7 pipeline has
+genuinely heterogeneous sources to integrate.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, List
+
+TITLES = (
+    "The Art of Wrapping", "Monadic Tales", "Datalog Rising", "Trees of Vienna",
+    "The Visual Web", "Queries at Midnight", "The Complexity Garden",
+    "A Pattern of Patterns", "The Information Pipe", "Back and Forth",
+    "The Schemaless Sea", "Second Order Secrets",
+)
+AUTHORS = (
+    "A. Writer", "B. Novelist", "C. Scholar", "D. Logician", "E. Theorist",
+    "F. Hacker", "G. Analyst",
+)
+
+
+@dataclass
+class Book:
+    title: str
+    author: str
+    price: float
+    rank: int
+
+    def price_text(self, currency: str = "$") -> str:
+        return f"{currency} {self.price:.2f}"
+
+
+def generate_books(count: int, seed: int = 0, price_offset: float = 0.0) -> List[Book]:
+    rng = random.Random(seed)
+    titles = list(TITLES)
+    rng.shuffle(titles)
+    books: List[Book] = []
+    for index in range(count):
+        title = titles[index % len(titles)]
+        books.append(
+            Book(
+                title=title,
+                author=rng.choice(AUTHORS),
+                price=round(rng.uniform(8.0, 45.0) + price_offset, 2),
+                rank=index + 1,
+            )
+        )
+    return books
+
+
+def table_shop_page(books: List[Book]) -> str:
+    """An Amazon-like bestseller table (the Figure 4 example layout)."""
+    rows = "".join(
+        "<tr>"
+        f'<td class="rank">{book.rank}</td>'
+        f'<td class="title"><a href="/book/{book.rank}">{book.title}</a></td>'
+        f'<td class="author">{book.author}</td>'
+        f'<td class="price">{book.price_text()}</td>'
+        "</tr>"
+        for book in books
+    )
+    return (
+        "<html><head><title>Bestsellers</title></head><body>"
+        "<h1>Bestsellers</h1>"
+        '<table class="bestsellers">'
+        "<tr><th>rank</th><th>title</th><th>author</th><th>price</th></tr>"
+        f"{rows}</table>"
+        "<p>updated daily</p></body></html>"
+    )
+
+
+def list_shop_page(books: List[Book]) -> str:
+    """A shop that publishes its chart as an ordered list."""
+    items = "".join(
+        "<li>"
+        f'<span class="title">{book.title}</span> by '
+        f'<span class="author">{book.author}</span> — '
+        f'<span class="price">EUR {book.price:.2f}</span>'
+        "</li>"
+        for book in books
+    )
+    return (
+        "<html><body><div id='chart'><h2>Top books</h2>"
+        f"<ol>{items}</ol></div></body></html>"
+    )
+
+
+def div_shop_page(books: List[Book]) -> str:
+    """A shop using nested div markup."""
+    entries = "".join(
+        '<div class="entry">'
+        f'<div class="t">{book.title}</div>'
+        f'<div class="a">{book.author}</div>'
+        f'<div class="p">$ {book.price:.2f}</div>'
+        "</div>"
+        for book in books
+    )
+    return f"<html><body><div class='shop'><h2>Our picks</h2>{entries}</div></body></html>"
+
+
+def bookstore_site(count: int = 8, seed: int = 0) -> Dict[str, str]:
+    """Three book sources over an overlapping title universe."""
+    return {
+        "books-a.test/bestsellers": table_shop_page(generate_books(count, seed=seed)),
+        "books-b.test/chart": list_shop_page(generate_books(count, seed=seed + 1, price_offset=2.0)),
+        "books-c.test/picks": div_shop_page(generate_books(count, seed=seed + 2, price_offset=-1.5)),
+    }

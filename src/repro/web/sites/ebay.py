@@ -1,0 +1,145 @@
+"""Synthetic eBay-style auction result pages (the Figure 5 workload).
+
+The generator reproduces the structural idioms the Figure 5 wrapper relies
+on: a page header, a list-header ``table`` whose text contains "item", then
+one ``table`` per offered item (the sequence the ``tableseq`` pattern
+extracts), terminated by an ``hr``.  Each item table holds a hyperlinked item
+description, a price cell with a currency symbol, and a bids cell.
+
+All content is deterministic in the seed, so experiments are repeatable.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+ADJECTIVES = (
+    "vintage", "rare", "antique", "mint", "boxed", "signed", "limited",
+    "classic", "restored", "original",
+)
+ITEMS = (
+    "camera", "watch", "guitar", "lamp", "typewriter", "radio", "globe",
+    "poster", "telescope", "clock", "record player", "chess set",
+)
+CURRENCIES = ("$", "EUR", "GBP")
+
+
+@dataclass
+class AuctionItem:
+    """Ground truth for one offered item."""
+
+    description: str
+    price: float
+    currency: str
+    bids: int
+    url: str
+
+    def price_text(self) -> str:
+        if self.currency == "$":
+            return f"$ {self.price:.2f}"
+        return f"{self.currency} {self.price:.2f}"
+
+
+def generate_items(count: int, seed: int = 0) -> List[AuctionItem]:
+    rng = random.Random(seed)
+    items: List[AuctionItem] = []
+    for index in range(count):
+        description = f"{rng.choice(ADJECTIVES)} {rng.choice(ITEMS)} #{index + 1}"
+        items.append(
+            AuctionItem(
+                description=description,
+                price=round(rng.uniform(1.0, 500.0), 2),
+                currency=rng.choice(CURRENCIES),
+                bids=rng.randint(0, 42),
+                url=f"/item/{index + 1}",
+            )
+        )
+    return items
+
+
+def render_page(
+    items: List[AuctionItem],
+    title: str = "eBay search results",
+    extra_navigation: bool = True,
+    next_page_url: Optional[str] = None,
+) -> str:
+    """Render a result page for ``items``."""
+    parts: List[str] = [
+        "<html><head><title>%s</title></head><body>" % title,
+        '<div class="banner"><h1>%s</h1><p>all categories</p></div>' % title,
+    ]
+    if extra_navigation:
+        parts.append(
+            '<table class="nav"><tr><td><a href="/home">home</a></td>'
+            '<td><a href="/sell">sell</a></td></tr></table>'
+        )
+    # The list header: a table whose text contains "item".
+    parts.append(
+        '<table class="listheader"><tr>'
+        "<td><b>item</b></td><td><b>price</b></td><td><b>bids</b></td>"
+        "</tr></table>"
+    )
+    # One table per offered item.
+    for item in items:
+        parts.append(
+            '<table class="listing"><tr>'
+            f'<td class="desc"><a href="{item.url}">{item.description}</a></td>'
+            f'<td class="price">{item.price_text()}</td>'
+            f'<td class="bids">{item.bids} bids</td>'
+            "</tr></table>"
+        )
+    parts.append("<hr/>")
+    if next_page_url:
+        parts.append(f'<p class="pager"><a href="{next_page_url}">next page</a></p>')
+    parts.append('<div class="footer">copyright</div>')
+    parts.append("</body></html>")
+    return "\n".join(parts)
+
+
+def ebay_page(count: int = 10, seed: int = 0, **kwargs) -> str:
+    """Convenience: generate items and render the page."""
+    return render_page(generate_items(count, seed=seed), **kwargs)
+
+
+def ebay_site(
+    pages: int = 1, items_per_page: int = 10, seed: int = 0, base_url: str = "www.ebay.com"
+) -> Dict[str, str]:
+    """A multi-page result site (for crawling experiments).
+
+    Returns a {url: html} mapping where page k links to page k+1.
+    """
+    site: Dict[str, str] = {}
+    for page_index in range(pages):
+        items = generate_items(items_per_page, seed=seed + page_index)
+        next_url = (
+            f"{base_url}/page/{page_index + 2}" if page_index + 1 < pages else None
+        )
+        url = base_url if page_index == 0 else f"{base_url}/page/{page_index + 1}"
+        site[url] = render_page(items, next_page_url=next_url)
+    return site
+
+
+def perturb_layout(html: str, seed: int = 0) -> str:
+    """Inject layout changes *outside* the item tables (robustness testing).
+
+    Section 2.5 argues that schema-less wrappers survive changes in parts of
+    the document not relevant to the extracted objects; this helper adds
+    banners, navigation rows and footer clutter without touching the item
+    listing structure.
+    """
+    rng = random.Random(seed)
+    additions = [
+        '<div class="promo">daily deals — up to %d%% off</div>' % rng.randint(5, 70),
+        '<table class="extra-nav"><tr><td><a href="/help">help</a></td></tr></table>',
+        '<p class="notice">new privacy policy effective %d/2004</p>' % rng.randint(1, 12),
+    ]
+    mutated = html.replace(
+        '<div class="banner">', "".join(additions) + '<div class="banner">', 1
+    )
+    mutated = mutated.replace(
+        '<div class="footer">copyright</div>',
+        '<div class="footer">copyright</div><div class="legal">terms of use</div>',
+    )
+    return mutated

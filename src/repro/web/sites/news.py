@@ -1,0 +1,113 @@
+"""Synthetic press sites and stock quote pages (Section 6.3, press clipping).
+
+The press-clipping application extracts news from press Web sites, aggregates
+them with the latest stock quotes, and republishes the integrated result
+(using the NITF element vocabulary).  Two press sites with different layouts
+and one quotes page are generated.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, List
+
+COMPANIES = ("Alpengold AG", "Donau Motors", "Wien Soft", "Tyrol Energy", "Graz Pharma")
+HEADLINE_TEMPLATES = (
+    "{company} announces record quarter",
+    "{company} expands into new markets",
+    "Analysts upgrade {company}",
+    "{company} faces supply questions",
+    "{company} unveils new product line",
+)
+
+
+@dataclass
+class NewsItem:
+    headline: str
+    company: str
+    body: str
+    date: str
+
+
+@dataclass
+class Quote:
+    company: str
+    price: float
+    change_percent: float
+
+
+def generate_news(count: int, seed: int = 0) -> List[NewsItem]:
+    rng = random.Random(seed)
+    items: List[NewsItem] = []
+    for index in range(count):
+        company = rng.choice(COMPANIES)
+        headline = rng.choice(HEADLINE_TEMPLATES).format(company=company)
+        items.append(
+            NewsItem(
+                headline=headline,
+                company=company,
+                body=f"{company} reported details on {rng.randint(1, 28)}.0{rng.randint(1, 9)}.2004.",
+                date=f"2004-0{rng.randint(1, 6)}-{rng.randint(10, 28)}",
+            )
+        )
+    return items
+
+
+def generate_quotes(seed: int = 0) -> List[Quote]:
+    rng = random.Random(seed)
+    return [
+        Quote(company=company, price=round(rng.uniform(10, 200), 2),
+              change_percent=round(rng.uniform(-5, 5), 2))
+        for company in COMPANIES
+    ]
+
+
+def press_site_a(items: List[NewsItem]) -> str:
+    articles = "".join(
+        '<div class="article">'
+        f'<h2 class="headline">{item.headline}</h2>'
+        f'<span class="date">{item.date}</span>'
+        f'<p class="body">{item.body}</p>'
+        "</div>"
+        for item in items
+    )
+    return f"<html><body><h1>Financial Daily</h1>{articles}</body></html>"
+
+
+def press_site_b(items: List[NewsItem]) -> str:
+    rows = "".join(
+        "<tr>"
+        f'<td class="headline"><a href="/story/{index}">{item.headline}</a></td>'
+        f'<td class="date">{item.date}</td>'
+        "</tr>"
+        for index, item in enumerate(items)
+    )
+    return (
+        "<html><body><h1>Market Wire</h1>"
+        f'<table class="stories">{rows}</table></body></html>'
+    )
+
+
+def quotes_page(quotes: List[Quote]) -> str:
+    rows = "".join(
+        "<tr>"
+        f'<td class="company">{quote.company}</td>'
+        f'<td class="price">{quote.price:.2f}</td>'
+        f'<td class="change">{quote.change_percent:+.2f} %</td>'
+        "</tr>"
+        for quote in quotes
+    )
+    return (
+        "<html><body><h1>Exchange quotes</h1>"
+        '<table class="quotes"><tr><th>company</th><th>price</th><th>change</th></tr>'
+        f"{rows}</table></body></html>"
+    )
+
+
+def press_clipping_site(count: int = 6, seed: int = 0) -> Dict[str, str]:
+    return {
+        "financial-daily.test/news": press_site_a(generate_news(count, seed=seed)),
+        "market-wire.test/stories": press_site_b(generate_news(count, seed=seed + 1)),
+        "exchange.test/quotes": quotes_page(generate_quotes(seed=seed)),
+    }

@@ -1,0 +1,49 @@
+"""Core XPath and friends: parser, evaluators, and the TMNF translation."""
+
+from .ast import (
+    And,
+    AttributeTest,
+    LocationPath,
+    NodeTest,
+    Not,
+    Or,
+    PathExists,
+    Position,
+    Step,
+    TextEquals,
+    is_core,
+    is_positive,
+    query_size,
+)
+from .core import CoreXPathEvaluator, UnsupportedFeatureError, evaluate_xpath
+from .full import FullXPathEvaluator, evaluate_full
+from .naive import NaiveXPathEvaluator, evaluate_naive
+from .parser import XPathSyntaxError, parse_xpath
+from .to_tmnf import translate_to_mdatalog, translate_to_tmnf
+
+__all__ = [
+    "And",
+    "AttributeTest",
+    "CoreXPathEvaluator",
+    "FullXPathEvaluator",
+    "LocationPath",
+    "NaiveXPathEvaluator",
+    "NodeTest",
+    "Not",
+    "Or",
+    "PathExists",
+    "Position",
+    "Step",
+    "TextEquals",
+    "UnsupportedFeatureError",
+    "XPathSyntaxError",
+    "evaluate_full",
+    "evaluate_naive",
+    "evaluate_xpath",
+    "is_core",
+    "is_positive",
+    "parse_xpath",
+    "query_size",
+    "translate_to_mdatalog",
+    "translate_to_tmnf",
+]

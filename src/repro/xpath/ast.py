@@ -1,0 +1,230 @@
+"""Abstract syntax of Core XPath (and the positive / extended fragments).
+
+Core XPath ([15], discussed in Section 4 of the paper) is the navigational
+fragment of XPath 1: location paths built from axes and node tests, with
+predicates that are boolean combinations (and/or/not) of relative location
+paths.  The extended fragment adds attribute tests, text comparison and
+positional predicates (a slice of the paper's "pXPath").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple, Union
+
+# Axes supported by the evaluators (XPath names).
+AXES = (
+    "self",
+    "child",
+    "parent",
+    "descendant",
+    "descendant-or-self",
+    "ancestor",
+    "ancestor-or-self",
+    "following-sibling",
+    "preceding-sibling",
+    "following",
+    "preceding",
+)
+
+INVERSE_AXIS = {
+    "self": "self",
+    "child": "parent",
+    "parent": "child",
+    "descendant": "ancestor",
+    "ancestor": "descendant",
+    "descendant-or-self": "ancestor-or-self",
+    "ancestor-or-self": "descendant-or-self",
+    "following-sibling": "preceding-sibling",
+    "preceding-sibling": "following-sibling",
+    "following": "preceding",
+    "preceding": "following",
+}
+
+
+@dataclass(frozen=True)
+class NodeTest:
+    """A node test: a tag name, ``*`` (any element), ``node()`` or ``text()``."""
+
+    kind: str  # "name" | "any-element" | "any" | "text"
+    name: Optional[str] = None
+
+    def __str__(self) -> str:
+        if self.kind == "name":
+            return self.name or ""
+        if self.kind == "any-element":
+            return "*"
+        if self.kind == "text":
+            return "text()"
+        return "node()"
+
+
+# --- predicate expressions -------------------------------------------------
+
+
+@dataclass(frozen=True)
+class PathExists:
+    """Existential predicate: the relative path has at least one result."""
+
+    path: "LocationPath"
+
+    def __str__(self) -> str:
+        return str(self.path)
+
+
+@dataclass(frozen=True)
+class Not:
+    operand: "Condition"
+
+    def __str__(self) -> str:
+        return f"not({self.operand})"
+
+
+@dataclass(frozen=True)
+class And:
+    left: "Condition"
+    right: "Condition"
+
+    def __str__(self) -> str:
+        return f"({self.left} and {self.right})"
+
+
+@dataclass(frozen=True)
+class Or:
+    left: "Condition"
+    right: "Condition"
+
+    def __str__(self) -> str:
+        return f"({self.left} or {self.right})"
+
+
+@dataclass(frozen=True)
+class AttributeTest:
+    """[@name] or [@name = 'value'] (extended fragment)."""
+
+    name: str
+    value: Optional[str] = None
+
+    def __str__(self) -> str:
+        if self.value is None:
+            return f"@{self.name}"
+        return f"@{self.name}='{self.value}'"
+
+
+@dataclass(frozen=True)
+class TextEquals:
+    """[text() = 'value'] or [path = 'value'] (extended fragment)."""
+
+    value: str
+    path: Optional["LocationPath"] = None
+
+    def __str__(self) -> str:
+        prefix = str(self.path) if self.path is not None else "text()"
+        return f"{prefix}='{self.value}'"
+
+
+@dataclass(frozen=True)
+class Position:
+    """[n], [position() = n] or [last()] (extended fragment)."""
+
+    index: Optional[int] = None  # 1-based; None means last()
+
+    def __str__(self) -> str:
+        return "last()" if self.index is None else str(self.index)
+
+
+Condition = Union[PathExists, Not, And, Or, AttributeTest, TextEquals, Position]
+
+
+@dataclass(frozen=True)
+class Step:
+    """One location step: ``axis::nodetest[predicate]*``."""
+
+    axis: str
+    node_test: NodeTest
+    predicates: Tuple[Condition, ...] = ()
+
+    def __str__(self) -> str:
+        preds = "".join(f"[{p}]" for p in self.predicates)
+        return f"{self.axis}::{self.node_test}{preds}"
+
+
+@dataclass(frozen=True)
+class LocationPath:
+    """An absolute or relative location path (a sequence of steps)."""
+
+    steps: Tuple[Step, ...]
+    absolute: bool = False
+
+    def __str__(self) -> str:
+        inner = "/".join(str(step) for step in self.steps)
+        return ("/" + inner) if self.absolute else inner
+
+    def __len__(self) -> int:
+        return len(self.steps)
+
+
+# ---------------------------------------------------------------------------
+# Structural helpers
+# ---------------------------------------------------------------------------
+
+
+def query_size(path: LocationPath) -> int:
+    """Number of steps + predicate operators, a standard |Q| measure."""
+    total = 0
+    for step in path.steps:
+        total += 1
+        for predicate in step.predicates:
+            total += _condition_size(predicate)
+    return total
+
+
+def _condition_size(condition: Condition) -> int:
+    if isinstance(condition, PathExists):
+        return query_size(condition.path)
+    if isinstance(condition, Not):
+        return 1 + _condition_size(condition.operand)
+    if isinstance(condition, (And, Or)):
+        return 1 + _condition_size(condition.left) + _condition_size(condition.right)
+    return 1
+
+
+def is_positive(path: LocationPath) -> bool:
+    """True iff the query contains no negation (positive Core XPath)."""
+    return all(
+        _condition_positive(predicate)
+        for step in path.steps
+        for predicate in step.predicates
+    )
+
+
+def _condition_positive(condition: Condition) -> bool:
+    if isinstance(condition, Not):
+        return False
+    if isinstance(condition, (And, Or)):
+        return _condition_positive(condition.left) and _condition_positive(condition.right)
+    if isinstance(condition, PathExists):
+        return is_positive(condition.path)
+    return True
+
+
+def is_core(path: LocationPath) -> bool:
+    """True iff the query is plain Core XPath (no attribute / text / position
+    predicates — only paths and boolean connectives)."""
+    return all(
+        _condition_core(predicate)
+        for step in path.steps
+        for predicate in step.predicates
+    )
+
+
+def _condition_core(condition: Condition) -> bool:
+    if isinstance(condition, (AttributeTest, TextEquals, Position)):
+        return False
+    if isinstance(condition, Not):
+        return _condition_core(condition.operand)
+    if isinstance(condition, (And, Or)):
+        return _condition_core(condition.left) and _condition_core(condition.right)
+    if isinstance(condition, PathExists):
+        return is_core(condition.path)
+    return True

@@ -1,0 +1,284 @@
+"""Linear-time (set-at-a-time) evaluation of Core XPath.
+
+Theorem 4.1/4.2 background: [15] showed that XPath 1 can be evaluated in
+polynomial time and that its navigational fragment, Core XPath, can be
+evaluated in time O(|D| * |Q|).  The algorithm implemented here is the
+context-set technique of that paper:
+
+* a location path is evaluated set-at-a-time — each step maps a *set* of
+  nodes to the set of nodes reachable via the axis, intersected with the
+  node-test — and each such image is computed in one pass over the document;
+* a predicate ``[p]`` is evaluated by computing, once, the set of nodes at
+  which ``p`` holds (working backwards through ``p`` with inverse axes), so
+  nested predicates never cause repeated work.
+
+The node-at-a-time baseline in :mod:`repro.xpath.naive` implements the
+pre-2002 behaviour (exponential in the query size); benchmark E8 contrasts
+the two.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, List, Set
+
+from ..tree.document import Document
+from ..tree.node import Node
+from .ast import (
+    And,
+    AttributeTest,
+    Condition,
+    INVERSE_AXIS,
+    LocationPath,
+    NodeTest,
+    Not,
+    Or,
+    PathExists,
+    Position,
+    Step,
+    TextEquals,
+)
+from .parser import parse_xpath
+
+NodeSet = Set[int]  # sets of preorder indexes
+
+
+class UnsupportedFeatureError(ValueError):
+    """Raised when a query needs features outside this evaluator's fragment."""
+
+
+class CoreXPathEvaluator:
+    """Evaluates Core XPath queries over a fixed document in O(|D|*|Q|)."""
+
+    def __init__(self, document: Document) -> None:
+        self.document = document
+        self._all: NodeSet = {node.preorder_index for node in document}
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+    def evaluate(self, query, context: Node = None) -> List[Node]:
+        """Evaluate ``query`` (a string or parsed path) and return nodes in
+        document order.
+
+        Absolute paths start at the root; relative paths start at ``context``
+        (default: the root).
+        """
+        path = parse_xpath(query) if isinstance(query, str) else query
+        start = self.document.root if context is None else context
+        if path.absolute:
+            initial: NodeSet = {self.document.root.preorder_index}
+        else:
+            initial = {start.preorder_index}
+        result = self._eval_path(path, initial)
+        return [self.document.node_at(index) for index in sorted(result)]
+
+    def select(self, query, context: Node = None) -> List[Node]:
+        return self.evaluate(query, context=context)
+
+    # ------------------------------------------------------------------
+    # Path / step evaluation
+    # ------------------------------------------------------------------
+    def _eval_path(self, path: LocationPath, context: NodeSet) -> NodeSet:
+        current = set(context)
+        for step in path.steps:
+            if not current:
+                return set()
+            current = self._eval_step(step, current)
+        return current
+
+    def _eval_step(self, step: Step, context: NodeSet) -> NodeSet:
+        image = self.axis_image(step.axis, context)
+        image &= self.node_test_set(step.node_test)
+        for predicate in step.predicates:
+            image &= self._condition_set(predicate)
+        return image
+
+    # ------------------------------------------------------------------
+    # Predicates (computed as node sets, once per condition occurrence)
+    # ------------------------------------------------------------------
+    def _condition_set(self, condition: Condition) -> NodeSet:
+        if isinstance(condition, PathExists):
+            return self._path_origin_set(condition.path)
+        if isinstance(condition, Not):
+            return self._all - self._condition_set(condition.operand)
+        if isinstance(condition, And):
+            return self._condition_set(condition.left) & self._condition_set(condition.right)
+        if isinstance(condition, Or):
+            return self._condition_set(condition.left) | self._condition_set(condition.right)
+        if isinstance(condition, AttributeTest):
+            return self._attribute_set(condition)
+        if isinstance(condition, TextEquals):
+            return self._text_equals_set(condition)
+        if isinstance(condition, Position):
+            raise UnsupportedFeatureError(
+                "positional predicates are outside Core XPath; use FullXPathEvaluator"
+            )
+        raise UnsupportedFeatureError(f"unsupported condition {condition!r}")
+
+    def _path_origin_set(self, path: LocationPath) -> NodeSet:
+        """Nodes x for which the (relative) path from x is non-empty."""
+        if path.absolute:
+            result = self._eval_path(path, {self.document.root.preorder_index})
+            return set(self._all) if result else set()
+        if not path.steps:
+            return set(self._all)
+        # R_i: nodes satisfying step i's test/predicates from which the rest
+        # of the path matches; computed right-to-left.
+        steps = path.steps
+        satisfies_last = self.node_test_set(steps[-1].node_test)
+        for predicate in steps[-1].predicates:
+            satisfies_last = satisfies_last & self._condition_set(predicate)
+        current = satisfies_last
+        for index in range(len(steps) - 1, 0, -1):
+            step = steps[index]
+            previous = steps[index - 1]
+            origin = self.axis_image(INVERSE_AXIS[step.axis], current)
+            origin &= self.node_test_set(previous.node_test)
+            for predicate in previous.predicates:
+                origin &= self._condition_set(predicate)
+            current = origin
+        return self.axis_image(INVERSE_AXIS[steps[0].axis], current)
+
+    def _attribute_set(self, condition: AttributeTest) -> NodeSet:
+        result: NodeSet = set()
+        for node in self.document:
+            value = node.attributes.get(condition.name)
+            if value is None:
+                continue
+            if condition.value is None or value == condition.value:
+                result.add(node.preorder_index)
+        return result
+
+    def _text_equals_set(self, condition: TextEquals) -> NodeSet:
+        if condition.path is None:
+            return {
+                node.preorder_index
+                for node in self.document
+                if node.normalized_text() == condition.value
+            }
+        # [path = 'value']: nodes x with some node reachable via path whose
+        # normalised text equals the value.
+        matching = {
+            node.preorder_index
+            for node in self.document
+            if node.normalized_text() == condition.value
+        }
+        return self._origins_reaching(condition.path, matching)
+
+    def _origins_reaching(self, path: LocationPath, targets: NodeSet) -> NodeSet:
+        """Nodes from which ``path`` reaches at least one node in ``targets``."""
+        current = set(targets)
+        for index in range(len(path.steps) - 1, -1, -1):
+            step = path.steps[index]
+            current &= self.node_test_set(step.node_test)
+            for predicate in step.predicates:
+                current &= self._condition_set(predicate)
+            current = self.axis_image(INVERSE_AXIS[step.axis], current)
+        return current
+
+    # ------------------------------------------------------------------
+    # Node tests
+    # ------------------------------------------------------------------
+    def node_test_set(self, node_test: NodeTest) -> NodeSet:
+        if node_test.kind == "any":
+            return set(self._all)
+        if node_test.kind == "any-element":
+            return {
+                node.preorder_index
+                for node in self.document
+                if node.label not in ("#text", "#comment")
+            }
+        if node_test.kind == "text":
+            return {
+                node.preorder_index for node in self.document.nodes_with_label("#text")
+            }
+        return {
+            node.preorder_index
+            for node in self.document.nodes_with_label(node_test.name or "")
+        }
+
+    # ------------------------------------------------------------------
+    # Axis images (each a single O(|dom|) pass)
+    # ------------------------------------------------------------------
+    def axis_image(self, axis: str, source: NodeSet) -> NodeSet:
+        if axis == "self":
+            return set(source)
+        if axis == "child":
+            return {
+                node.preorder_index
+                for node in self.document
+                if node.parent is not None and node.parent.preorder_index in source
+            }
+        if axis == "parent":
+            return {
+                node.parent.preorder_index
+                for node in (self.document.node_at(index) for index in source)
+                if node.parent is not None
+            }
+        if axis == "descendant":
+            return self._descendants(source, include_self=False)
+        if axis == "descendant-or-self":
+            return self._descendants(source, include_self=True)
+        if axis == "ancestor":
+            return self._ancestors(source, include_self=False)
+        if axis == "ancestor-or-self":
+            return self._ancestors(source, include_self=True)
+        if axis == "following-sibling":
+            return self._siblings(source, forward=True)
+        if axis == "preceding-sibling":
+            return self._siblings(source, forward=False)
+        if axis == "following":
+            up = self._ancestors(source, include_self=True)
+            siblings = self._siblings(up, forward=True)
+            return self._descendants(siblings, include_self=True)
+        if axis == "preceding":
+            up = self._ancestors(source, include_self=True)
+            siblings = self._siblings(up, forward=False)
+            return self._descendants(siblings, include_self=True)
+        raise UnsupportedFeatureError(f"unsupported axis {axis!r}")
+
+    def _descendants(self, source: NodeSet, include_self: bool) -> NodeSet:
+        result: NodeSet = set(source) if include_self else set()
+        # One DFS over the whole document keeping the count of ancestors in
+        # ``source`` on the path from the root to the current node.
+        stack: List[tuple] = [(self.document.root, 0)]
+        while stack:
+            node, ancestors_in_source = stack.pop()
+            if ancestors_in_source > 0:
+                result.add(node.preorder_index)
+            addition = 1 if node.preorder_index in source else 0
+            for child in node.children:
+                stack.append((child, ancestors_in_source + addition))
+        return result
+
+    def _ancestors(self, source: NodeSet, include_self: bool) -> NodeSet:
+        result: NodeSet = set(source) if include_self else set()
+        # Postorder aggregation: a node is an ancestor of a source node iff
+        # one of its children's subtrees contains a source node.
+        contains: Dict[int, bool] = {}
+        for node in reversed(self.document.dom):  # reverse preorder ~ children first
+            index = node.preorder_index
+            has_source_below = any(contains[child.preorder_index] for child in node.children)
+            if has_source_below:
+                result.add(index)
+            contains[index] = has_source_below or index in source
+        return result
+
+    def _siblings(self, source: NodeSet, forward: bool) -> NodeSet:
+        result: NodeSet = set()
+        for node in self.document:
+            if not node.children:
+                continue
+            children = node.children if forward else list(reversed(node.children))
+            seen_source = False
+            for child in children:
+                if seen_source:
+                    result.add(child.preorder_index)
+                if child.preorder_index in source:
+                    seen_source = True
+        return result
+
+
+def evaluate_xpath(document: Document, query, context: Node = None) -> List[Node]:
+    """One-shot helper: evaluate ``query`` over ``document``."""
+    return CoreXPathEvaluator(document).evaluate(query, context=context)

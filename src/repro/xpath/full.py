@@ -1,0 +1,157 @@
+"""A polynomial-time evaluator for an extended XPath fragment.
+
+Theorem 4.1 of the paper: XPath 1 is in PTIME w.r.t. combined complexity,
+shown via a dynamic-programming algorithm ([15, 17]).  This module follows
+the same idea for the fragment used in this reproduction — Core XPath plus
+attribute tests, text comparison and *positional* predicates
+(``[3]``, ``[position()=3]``, ``[last()]``).
+
+Positional predicates need per-context-node sequences (a set-at-a-time
+evaluation cannot know "the 3rd child of *this* node"), so evaluation is
+node-at-a-time, but every intermediate result is memoised:
+
+* ``(step, context node) -> ordered candidate list``
+* ``(condition, node) -> bool``
+
+which bounds the work by O(|Q| * |D|^2) — polynomial, as promised.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from ..tree.axes import axis_iterator
+from ..tree.document import Document
+from ..tree.node import Node
+from .ast import (
+    And,
+    AttributeTest,
+    Condition,
+    LocationPath,
+    NodeTest,
+    Not,
+    Or,
+    PathExists,
+    Position,
+    Step,
+    TextEquals,
+)
+from .core import UnsupportedFeatureError
+from .parser import parse_xpath
+
+REVERSE_AXES = {"ancestor", "ancestor-or-self", "preceding", "preceding-sibling", "parent"}
+
+
+class FullXPathEvaluator:
+    """Memoised node-at-a-time evaluation supporting positional predicates."""
+
+    def __init__(self, document: Document) -> None:
+        self.document = document
+        self._step_cache: Dict[Tuple[int, int], List[Node]] = {}
+        self._condition_cache: Dict[Tuple[int, int], bool] = {}
+
+    # ------------------------------------------------------------------
+    def evaluate(self, query, context: Node = None) -> List[Node]:
+        path = parse_xpath(query) if isinstance(query, str) else query
+        start = self.document.root if (context is None or path.absolute) else context
+        result = {node.preorder_index: node for node in self._eval_path(path, start)}
+        return [result[index] for index in sorted(result)]
+
+    # ------------------------------------------------------------------
+    def _eval_path(self, path: LocationPath, context: Node) -> List[Node]:
+        nodes = [context]
+        for step in path.steps:
+            produced: List[Node] = []
+            seen: set = set()
+            for node in nodes:
+                for candidate in self._eval_step(step, node):
+                    if candidate.preorder_index not in seen:
+                        seen.add(candidate.preorder_index)
+                        produced.append(candidate)
+            nodes = produced
+        return nodes
+
+    def _eval_step(self, step: Step, context: Node) -> List[Node]:
+        key = (id(step), context.preorder_index)
+        cached = self._step_cache.get(key)
+        if cached is not None:
+            return cached
+        # Candidates in axis order (document order for forward axes, reverse
+        # document order for reverse axes) — positional predicates count in
+        # axis order, per the XPath specification.
+        candidates = [
+            node
+            for node in axis_iterator(step.axis)(context)
+            if self._node_test(step.node_test, node)
+        ]
+        for predicate in step.predicates:
+            if isinstance(predicate, Position):
+                size = len(candidates)
+                if predicate.index is None:  # last()
+                    candidates = candidates[-1:] if candidates else []
+                elif 1 <= predicate.index <= size:
+                    candidates = [candidates[predicate.index - 1]]
+                else:
+                    candidates = []
+            else:
+                candidates = [
+                    node for node in candidates if self._condition(predicate, node)
+                ]
+        self._step_cache[key] = candidates
+        return candidates
+
+    def _node_test(self, node_test: NodeTest, node: Node) -> bool:
+        if node_test.kind == "any":
+            return True
+        if node_test.kind == "any-element":
+            return node.label not in ("#text", "#comment")
+        if node_test.kind == "text":
+            return node.label == "#text"
+        return node.label == node_test.name
+
+    def _condition(self, condition: Condition, node: Node) -> bool:
+        key = (id(condition), node.preorder_index)
+        cached = self._condition_cache.get(key)
+        if cached is not None:
+            return cached
+        result = self._condition_uncached(condition, node)
+        self._condition_cache[key] = result
+        return result
+
+    def _condition_uncached(self, condition: Condition, node: Node) -> bool:
+        if isinstance(condition, PathExists):
+            start = self.document.root if condition.path.absolute else node
+            return bool(self._eval_path(condition.path, start))
+        if isinstance(condition, Not):
+            return not self._condition(condition.operand, node)
+        if isinstance(condition, And):
+            return self._condition(condition.left, node) and self._condition(
+                condition.right, node
+            )
+        if isinstance(condition, Or):
+            return self._condition(condition.left, node) or self._condition(
+                condition.right, node
+            )
+        if isinstance(condition, AttributeTest):
+            value = node.attributes.get(condition.name)
+            if value is None:
+                return False
+            return condition.value is None or value == condition.value
+        if isinstance(condition, TextEquals):
+            if condition.path is None:
+                return node.normalized_text() == condition.value
+            start = self.document.root if condition.path.absolute else node
+            return any(
+                target.normalized_text() == condition.value
+                for target in self._eval_path(condition.path, start)
+            )
+        if isinstance(condition, Position):
+            raise UnsupportedFeatureError(
+                "positional predicates are handled at the step level"
+            )
+        raise UnsupportedFeatureError(f"unsupported condition {condition!r}")
+
+
+def evaluate_full(document: Document, query, context: Node = None) -> List[Node]:
+    """One-shot helper for the extended-fragment evaluator."""
+    return FullXPathEvaluator(document).evaluate(query, context=context)

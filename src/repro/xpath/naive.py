@@ -1,0 +1,128 @@
+"""Naive node-at-a-time Core XPath evaluation (the pre-2002 baseline).
+
+Section 4 of the paper: "All XPath engines available in 2002 took exponential
+time in the worst case to process XPath".  The reason is the evaluation
+strategy reproduced here: every step is evaluated separately for every
+context node, and every predicate is re-evaluated recursively for every
+candidate node, with no sharing of intermediate results.  For query families
+with nested predicates (see ``repro.bench.workloads.exponential_query``) the
+running time grows exponentially with the query size, while
+:class:`~repro.xpath.core.CoreXPathEvaluator` stays linear.
+
+The two evaluators implement the same semantics; property-based tests check
+they agree on random documents and queries.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List
+
+from ..tree.document import Document
+from ..tree.node import Node
+from ..tree.axes import axis_iterator
+from .ast import (
+    And,
+    AttributeTest,
+    Condition,
+    LocationPath,
+    NodeTest,
+    Not,
+    Or,
+    PathExists,
+    Position,
+    Step,
+    TextEquals,
+)
+from .core import UnsupportedFeatureError
+from .parser import parse_xpath
+
+
+class NaiveXPathEvaluator:
+    """Node-at-a-time evaluation without memoisation (exponential worst case)."""
+
+    def __init__(self, document: Document) -> None:
+        self.document = document
+
+    # ------------------------------------------------------------------
+    def evaluate(self, query, context: Node = None) -> List[Node]:
+        path = parse_xpath(query) if isinstance(query, str) else query
+        start = self.document.root if context is None else context
+        if path.absolute:
+            start = self.document.root
+        result = {
+            node.preorder_index: node for node in self._eval_path(path, start)
+        }
+        return [result[index] for index in sorted(result)]
+
+    # ------------------------------------------------------------------
+    def _eval_path(self, path: LocationPath, context: Node) -> Iterator[Node]:
+        nodes = [context]
+        for step in path.steps:
+            produced: List[Node] = []
+            for node in nodes:
+                produced.extend(self._eval_step(step, node))
+            nodes = produced
+        return iter(nodes)
+
+    def _eval_step(self, step: Step, context: Node) -> List[Node]:
+        candidates = [
+            node
+            for node in axis_iterator(step.axis)(context)
+            if self._node_test(step.node_test, node)
+        ]
+        for predicate in step.predicates:
+            candidates = [
+                node for node in candidates if self._condition(predicate, node)
+            ]
+        return candidates
+
+    def _node_test(self, node_test: NodeTest, node: Node) -> bool:
+        if node_test.kind == "any":
+            return True
+        if node_test.kind == "any-element":
+            return node.label not in ("#text", "#comment")
+        if node_test.kind == "text":
+            return node.label == "#text"
+        return node.label == node_test.name
+
+    def _condition(self, condition: Condition, node: Node) -> bool:
+        if isinstance(condition, PathExists):
+            # deliberate lack of memoisation: re-evaluates the inner path for
+            # every candidate node (this is what makes the baseline blow up).
+            if condition.path.absolute:
+                return any(True for _ in self._eval_path(condition.path, self.document.root))
+            return any(True for _ in self._eval_path(condition.path, node))
+        if isinstance(condition, Not):
+            return not self._condition(condition.operand, node)
+        if isinstance(condition, And):
+            return self._condition(condition.left, node) and self._condition(
+                condition.right, node
+            )
+        if isinstance(condition, Or):
+            return self._condition(condition.left, node) or self._condition(
+                condition.right, node
+            )
+        if isinstance(condition, AttributeTest):
+            value = node.attributes.get(condition.name)
+            if value is None:
+                return False
+            return condition.value is None or value == condition.value
+        if isinstance(condition, TextEquals):
+            if condition.path is None:
+                return node.normalized_text() == condition.value
+            targets = (
+                self._eval_path(condition.path, node)
+                if not condition.path.absolute
+                else self._eval_path(condition.path, self.document.root)
+            )
+            return any(t.normalized_text() == condition.value for t in targets)
+        if isinstance(condition, Position):
+            raise UnsupportedFeatureError(
+                "positional predicates are outside Core XPath; use FullXPathEvaluator"
+            )
+        raise UnsupportedFeatureError(f"unsupported condition {condition!r}")
+
+
+def evaluate_naive(document: Document, query, context: Node = None) -> List[Node]:
+    """One-shot helper for the naive baseline."""
+    return NaiveXPathEvaluator(document).evaluate(query, context=context)

@@ -1,0 +1,278 @@
+"""Parser for Core XPath (plus the extended predicate forms).
+
+Supported grammar (abbreviations as in XPath 1)::
+
+    path        ::= '/' relative? | relative
+    relative    ::= step ('/' step | '//' step)*
+    step        ::= axis '::' nodetest preds | nodetest preds | '.' | '..'
+                  | '//' step          (abbreviation for descendant-or-self)
+    nodetest    ::= NAME | '*' | 'text()' | 'node()'
+    preds       ::= ('[' or_expr ']')*
+    or_expr     ::= and_expr ('or' and_expr)*
+    and_expr    ::= unary ('and' unary)*
+    unary       ::= 'not' '(' or_expr ')' | '(' or_expr ')' | atom
+    atom        ::= NUMBER | 'last()' | 'position()' '=' NUMBER
+                  | '@' NAME ('=' STRING)?
+                  | relpath ('=' STRING)?          (text comparison)
+"""
+
+from __future__ import annotations
+
+import re
+from typing import List, Optional, Tuple
+
+from .ast import (
+    AXES,
+    And,
+    AttributeTest,
+    Condition,
+    LocationPath,
+    NodeTest,
+    Not,
+    Or,
+    PathExists,
+    Position,
+    Step,
+    TextEquals,
+)
+
+
+class XPathSyntaxError(ValueError):
+    """Raised when an XPath expression cannot be parsed."""
+
+
+_TOKEN = re.compile(
+    r"""
+    (?P<WS>\s+)
+  | (?P<DSLASH>//)
+  | (?P<SLASH>/)
+  | (?P<AXIS>::)
+  | (?P<LBRACKET>\[)
+  | (?P<RBRACKET>\])
+  | (?P<LPAREN>\()
+  | (?P<RPAREN>\))
+  | (?P<EQ>=)
+  | (?P<AT>@)
+  | (?P<DOTDOT>\.\.)
+  | (?P<DOT>\.)
+  | (?P<STRING>"[^"]*"|'[^']*')
+  | (?P<NUMBER>\d+)
+  | (?P<STAR>\*)
+  | (?P<NAME>[A-Za-z_][A-Za-z0-9_\-]*)
+    """,
+    re.VERBOSE,
+)
+
+
+def _tokenize(text: str) -> List[Tuple[str, str]]:
+    tokens: List[Tuple[str, str]] = []
+    position = 0
+    while position < len(text):
+        match = _TOKEN.match(text, position)
+        if match is None:
+            raise XPathSyntaxError(f"unexpected character {text[position]!r} in {text!r}")
+        kind = match.lastgroup or ""
+        if kind != "WS":
+            tokens.append((kind, match.group()))
+        position = match.end()
+    return tokens
+
+
+class _Parser:
+    def __init__(self, text: str) -> None:
+        self.text = text
+        self.tokens = _tokenize(text)
+        self.position = 0
+
+    # -- token helpers ---------------------------------------------------
+    def peek(self, offset: int = 0) -> Optional[Tuple[str, str]]:
+        index = self.position + offset
+        return self.tokens[index] if index < len(self.tokens) else None
+
+    def next(self) -> Tuple[str, str]:
+        token = self.peek()
+        if token is None:
+            raise XPathSyntaxError(f"unexpected end of query {self.text!r}")
+        self.position += 1
+        return token
+
+    def accept(self, kind: str) -> Optional[str]:
+        token = self.peek()
+        if token is not None and token[0] == kind:
+            self.position += 1
+            return token[1]
+        return None
+
+    def expect(self, kind: str) -> str:
+        token = self.next()
+        if token[0] != kind:
+            raise XPathSyntaxError(f"expected {kind}, found {token[1]!r} in {self.text!r}")
+        return token[1]
+
+    def at_end(self) -> bool:
+        return self.position >= len(self.tokens)
+
+    # -- grammar -----------------------------------------------------------
+    def parse_path(self) -> LocationPath:
+        absolute = False
+        steps: List[Step] = []
+        if self.peek() is not None and self.peek()[0] in ("SLASH", "DSLASH"):
+            absolute = True
+            if self.accept("DSLASH"):
+                steps.append(Step("descendant-or-self", NodeTest("any")))
+            else:
+                self.accept("SLASH")
+            if self.at_end() or self.peek()[0] == "RBRACKET":
+                return LocationPath(tuple(steps), absolute=True)
+        steps.extend(self._parse_relative())
+        return LocationPath(tuple(steps), absolute=absolute)
+
+    def _parse_relative(self) -> List[Step]:
+        steps = [self._parse_step()]
+        while True:
+            if self.accept("DSLASH"):
+                steps.append(Step("descendant-or-self", NodeTest("any")))
+                steps.append(self._parse_step())
+            elif self.accept("SLASH"):
+                steps.append(self._parse_step())
+            else:
+                break
+        return steps
+
+    def _parse_step(self) -> Step:
+        if self.accept("DOTDOT"):
+            return Step("parent", NodeTest("any"), tuple(self._parse_predicates()))
+        if self.accept("DOT"):
+            return Step("self", NodeTest("any"), tuple(self._parse_predicates()))
+        axis = "child"
+        token = self.peek()
+        if token is not None and token[0] == "NAME" and token[1] in AXES:
+            following = self.peek(1)
+            if following is not None and following[0] == "AXIS":
+                axis = self.next()[1]
+                self.expect("AXIS")
+        if self.accept("AT"):
+            # attribute steps are only meaningful inside predicates; expose
+            # them as an attribute existence test on self for robustness.
+            name = self.expect("NAME")
+            return Step("self", NodeTest("any"), (AttributeTest(name),))
+        node_test = self._parse_node_test()
+        predicates = self._parse_predicates()
+        return Step(axis, node_test, tuple(predicates))
+
+    def _parse_node_test(self) -> NodeTest:
+        if self.accept("STAR"):
+            return NodeTest("any-element")
+        name = self.expect("NAME")
+        if self.peek() is not None and self.peek()[0] == "LPAREN":
+            self.expect("LPAREN")
+            self.expect("RPAREN")
+            if name == "text":
+                return NodeTest("text")
+            if name == "node":
+                return NodeTest("any")
+            raise XPathSyntaxError(f"unsupported node test {name}() in {self.text!r}")
+        return NodeTest("name", name)
+
+    def _parse_predicates(self) -> List[Condition]:
+        predicates: List[Condition] = []
+        while self.accept("LBRACKET"):
+            predicates.append(self._parse_or())
+            self.expect("RBRACKET")
+        return predicates
+
+    def _parse_or(self) -> Condition:
+        left = self._parse_and()
+        while True:
+            token = self.peek()
+            if token is not None and token[0] == "NAME" and token[1] == "or":
+                self.next()
+                left = Or(left, self._parse_and())
+            else:
+                return left
+
+    def _parse_and(self) -> Condition:
+        left = self._parse_unary()
+        while True:
+            token = self.peek()
+            if token is not None and token[0] == "NAME" and token[1] == "and":
+                self.next()
+                left = And(left, self._parse_unary())
+            else:
+                return left
+
+    def _parse_unary(self) -> Condition:
+        token = self.peek()
+        if token is not None and token[0] == "NAME" and token[1] == "not":
+            following = self.peek(1)
+            if following is not None and following[0] == "LPAREN":
+                self.next()
+                self.expect("LPAREN")
+                inner = self._parse_or()
+                self.expect("RPAREN")
+                return Not(inner)
+        if self.accept("LPAREN"):
+            inner = self._parse_or()
+            self.expect("RPAREN")
+            return inner
+        return self._parse_atom()
+
+    def _parse_atom(self) -> Condition:
+        token = self.peek()
+        if token is None:
+            raise XPathSyntaxError(f"unexpected end of predicate in {self.text!r}")
+        kind, value = token
+        if kind == "NUMBER":
+            self.next()
+            return Position(int(value))
+        if kind == "AT":
+            self.next()
+            name = self.expect("NAME")
+            if self.accept("EQ"):
+                literal = self.expect("STRING")
+                return AttributeTest(name, literal[1:-1])
+            return AttributeTest(name)
+        if kind == "NAME" and value == "last":
+            following = self.peek(1)
+            if following is not None and following[0] == "LPAREN":
+                self.next()
+                self.expect("LPAREN")
+                self.expect("RPAREN")
+                return Position(None)
+        if kind == "NAME" and value == "position":
+            following = self.peek(1)
+            if following is not None and following[0] == "LPAREN":
+                self.next()
+                self.expect("LPAREN")
+                self.expect("RPAREN")
+                self.expect("EQ")
+                number = self.expect("NUMBER")
+                return Position(int(number))
+        if kind == "NAME" and value == "text":
+            following = self.peek(1)
+            if following is not None and following[0] == "LPAREN":
+                saved = self.position
+                self.next()
+                self.expect("LPAREN")
+                self.expect("RPAREN")
+                if self.accept("EQ"):
+                    literal = self.expect("STRING")
+                    return TextEquals(literal[1:-1])
+                self.position = saved  # plain text() path predicate
+        # Fall back to a relative path, optionally compared with a string.
+        path_steps = self._parse_relative()
+        path = LocationPath(tuple(path_steps), absolute=False)
+        if self.accept("EQ"):
+            literal = self.expect("STRING")
+            return TextEquals(literal[1:-1], path=path)
+        return PathExists(path)
+
+
+def parse_xpath(text: str) -> LocationPath:
+    """Parse an XPath expression into a :class:`LocationPath`."""
+    parser = _Parser(text)
+    path = parser.parse_path()
+    if not parser.at_end():
+        token = parser.peek()
+        raise XPathSyntaxError(f"trailing input {token[1]!r} in {text!r}")
+    return path

@@ -1,0 +1,272 @@
+"""Translating Core XPath into monadic datalog / TMNF (Theorem 4.6).
+
+Theorem 4.6 of the paper: every Core XPath query can be translated into an
+equivalent TMNF query in linear time.  The translation implemented here
+produces, for an absolute Core XPath query Q and a label alphabet, a monadic
+datalog program over tau_ur + {child} whose query predicate ``answer`` selects
+exactly Q's answers; composing with the Theorem 2.7 rewriting
+(:func:`repro.mdatalog.tmnf.to_tmnf`) yields the TMNF program.
+
+Axes are compiled to small groups of recursive monadic rules (descendant and
+friends need one auxiliary predicate each); predicates ``[p]`` are compiled by
+walking ``p`` backwards with inverse axes — mirroring how the linear-time
+evaluator of :mod:`repro.xpath.core` computes predicate sets.
+
+Negation (``not(...)``) is translated using stratified datalog negation.  The
+paper points out (slightly curiously) that TMNF needs no negation for this;
+that construction goes through tree automata and is not reproduced here — the
+emitted program for negated queries is therefore monadic datalog with
+stratified negation rather than pure TMNF, and :func:`translate_to_tmnf`
+refuses such queries.  Attribute and text-comparison predicates are outside
+Core XPath and are rejected.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Iterable, List, Optional, Sequence
+
+from ..datalog.ast import Atom, Literal, Rule, Variable
+from ..datalog.tree_edb import label_predicate
+from ..mdatalog.program import MonadicProgram
+from ..mdatalog.tmnf import to_tmnf
+from .ast import (
+    And,
+    AttributeTest,
+    Condition,
+    INVERSE_AXIS,
+    LocationPath,
+    NodeTest,
+    Not,
+    Or,
+    PathExists,
+    Position,
+    Step,
+    TextEquals,
+    is_positive,
+)
+from .core import UnsupportedFeatureError
+from .parser import parse_xpath
+
+ANSWER = "answer"
+X = Variable("X")
+X0 = Variable("X0")
+
+
+class _Translator:
+    def __init__(self, labels: Sequence[str]) -> None:
+        self.labels = sorted(set(labels))
+        self.rules: List[Rule] = []
+        self.counter = itertools.count()
+        self._any_element: Optional[str] = None
+        self._any_node: Optional[str] = None
+
+    # -- naming ------------------------------------------------------------
+    def fresh(self, hint: str) -> str:
+        return f"_xq_{hint}_{next(self.counter)}"
+
+    def emit(self, head: str, body: List[Literal]) -> None:
+        self.rules.append(Rule(Atom(head, (X,)), tuple(body)))
+
+    def unary(self, predicate: str, variable: Variable = X) -> Literal:
+        return Literal(Atom(predicate, (variable,)))
+
+    def binary(self, predicate: str, first: Variable, second: Variable) -> Literal:
+        return Literal(Atom(predicate, (first, second)))
+
+    # -- node tests ----------------------------------------------------------
+    def any_node_predicate(self) -> str:
+        if self._any_node is None:
+            name = self.fresh("anynode")
+            self.emit(name, [self.unary("leaf")])
+            self.rules.append(
+                Rule(Atom(name, (X,)), (Literal(Atom("firstchild", (X, X0))),))
+            )
+            self._any_node = name
+        return self._any_node
+
+    def any_element_predicate(self) -> str:
+        if self._any_element is None:
+            name = self.fresh("anyelement")
+            for label in self.labels:
+                if label in ("#text", "#comment"):
+                    continue
+                self.emit(name, [self.unary(label_predicate(label))])
+            self._any_element = name
+        return self._any_element
+
+    def node_test_predicate(self, node_test: NodeTest) -> str:
+        if node_test.kind == "any":
+            return self.any_node_predicate()
+        if node_test.kind == "any-element":
+            return self.any_element_predicate()
+        if node_test.kind == "text":
+            name = self.fresh("textnode")
+            self.emit(name, [self.unary(label_predicate("#text"))])
+            return name
+        name = self.fresh(f"label_{node_test.name}")
+        self.emit(name, [self.unary(label_predicate(node_test.name or ""))])
+        return name
+
+    # -- axes ------------------------------------------------------------------
+    def axis_step(self, axis: str, source_predicate: str) -> str:
+        """Emit rules for "x is reachable from a ``source_predicate`` node via
+        ``axis``"; return the predicate holding at reachable nodes."""
+        name = self.fresh(axis.replace("-", "_"))
+        if axis == "self":
+            self.emit(name, [self.unary(source_predicate)])
+        elif axis == "child":
+            self.emit(name, [self.unary(source_predicate, X0), self.binary("child", X0, X)])
+        elif axis == "parent":
+            self.emit(name, [self.unary(source_predicate, X0), self.binary("child", X, X0)])
+        elif axis == "descendant":
+            self.emit(name, [self.unary(source_predicate, X0), self.binary("child", X0, X)])
+            self.emit(name, [self.unary(name, X0), self.binary("child", X0, X)])
+        elif axis == "descendant-or-self":
+            self.emit(name, [self.unary(source_predicate)])
+            self.emit(name, [self.unary(name, X0), self.binary("child", X0, X)])
+        elif axis == "ancestor":
+            self.emit(name, [self.unary(source_predicate, X0), self.binary("child", X, X0)])
+            self.emit(name, [self.unary(name, X0), self.binary("child", X, X0)])
+        elif axis == "ancestor-or-self":
+            self.emit(name, [self.unary(source_predicate)])
+            self.emit(name, [self.unary(name, X0), self.binary("child", X, X0)])
+        elif axis == "following-sibling":
+            self.emit(name, [self.unary(source_predicate, X0), self.binary("nextsibling", X0, X)])
+            self.emit(name, [self.unary(name, X0), self.binary("nextsibling", X0, X)])
+        elif axis == "preceding-sibling":
+            self.emit(name, [self.unary(source_predicate, X0), self.binary("nextsibling", X, X0)])
+            self.emit(name, [self.unary(name, X0), self.binary("nextsibling", X, X0)])
+        elif axis == "following":
+            ancestors = self.axis_step("ancestor-or-self", source_predicate)
+            siblings = self.axis_step("following-sibling", ancestors)
+            return self.axis_step("descendant-or-self", siblings)
+        elif axis == "preceding":
+            ancestors = self.axis_step("ancestor-or-self", source_predicate)
+            siblings = self.axis_step("preceding-sibling", ancestors)
+            return self.axis_step("descendant-or-self", siblings)
+        else:
+            raise UnsupportedFeatureError(f"unsupported axis {axis!r}")
+        return name
+
+    # -- steps, paths, conditions -------------------------------------------
+    def translate_step(self, step: Step, source_predicate: str) -> str:
+        reached = self.axis_step(step.axis, source_predicate)
+        conjuncts = [reached, self.node_test_predicate(step.node_test)]
+        for condition in step.predicates:
+            conjuncts.append(self.translate_condition(condition))
+        return self.conjunction(conjuncts)
+
+    def conjunction(self, predicates: List[str]) -> str:
+        current = predicates[0]
+        for other in predicates[1:]:
+            name = self.fresh("and")
+            self.emit(name, [self.unary(current), self.unary(other)])
+            current = name
+        return current
+
+    def translate_condition(self, condition: Condition) -> str:
+        if isinstance(condition, PathExists):
+            return self.translate_exists(condition.path)
+        if isinstance(condition, And):
+            return self.conjunction(
+                [self.translate_condition(condition.left), self.translate_condition(condition.right)]
+            )
+        if isinstance(condition, Or):
+            name = self.fresh("or")
+            self.emit(name, [self.unary(self.translate_condition(condition.left))])
+            self.emit(name, [self.unary(self.translate_condition(condition.right))])
+            return name
+        if isinstance(condition, Not):
+            inner = self.translate_condition(condition.operand)
+            name = self.fresh("not")
+            self.rules.append(
+                Rule(
+                    Atom(name, (X,)),
+                    (
+                        Literal(Atom(self.any_node_predicate(), (X,))),
+                        Literal(Atom(inner, (X,)), negated=True),
+                    ),
+                )
+            )
+            return name
+        if isinstance(condition, (AttributeTest, TextEquals, Position)):
+            raise UnsupportedFeatureError(
+                f"{type(condition).__name__} predicates are outside Core XPath"
+            )
+        raise UnsupportedFeatureError(f"unsupported condition {condition!r}")
+
+    def translate_exists(self, path: LocationPath) -> str:
+        """Predicate holding at nodes x from which ``path`` has an answer."""
+        if path.absolute:
+            # "the absolute path has an answer anywhere" — broadcast a global flag.
+            answers = self.translate_path(path)
+            up = self.fresh("exists_up")
+            self.emit(up, [self.unary(answers)])
+            self.emit(up, [self.unary(up, X0), self.binary("child", X, X0)])
+            at_root = self.fresh("exists_at_root")
+            self.emit(at_root, [self.unary(up), self.unary("root")])
+            everywhere = self.fresh("exists_everywhere")
+            self.emit(everywhere, [self.unary(at_root)])
+            self.emit(everywhere, [self.unary(everywhere, X0), self.binary("child", X0, X)])
+            return everywhere
+        # Right-to-left: sat_i holds at nodes satisfying step i's test and
+        # conditions from which the remaining steps match.
+        steps = list(path.steps)
+        current: Optional[str] = None
+        for index in range(len(steps) - 1, -1, -1):
+            step = steps[index]
+            conjuncts = [self.node_test_predicate(step.node_test)]
+            for condition in step.predicates:
+                conjuncts.append(self.translate_condition(condition))
+            if current is not None:
+                # nodes from which the next step's axis reaches a ``current`` node
+                conjuncts.append(self.axis_step(INVERSE_AXIS[steps[index + 1].axis], current))
+            current = self.conjunction(conjuncts)
+        return self.axis_step(INVERSE_AXIS[steps[0].axis], current or self.any_node_predicate())
+
+    def translate_path(self, path: LocationPath) -> str:
+        source = self.fresh("context")
+        if path.absolute:
+            self.emit(source, [self.unary("root")])
+        else:
+            self.emit(source, [self.unary(self.any_node_predicate())])
+        current = source
+        for step in path.steps:
+            current = self.translate_step(step, current)
+        return current
+
+
+def translate_to_mdatalog(
+    query, labels: Iterable[str], query_predicate: str = ANSWER
+) -> MonadicProgram:
+    """Translate an (absolute) Core XPath query into monadic datalog.
+
+    ``labels`` must cover the label alphabet of the documents the program
+    will run on (needed for ``*`` node tests).  The program uses the
+    ``child`` relation and possibly stratified negation; apply
+    :func:`translate_to_tmnf` for the pure TMNF form of positive queries.
+    """
+    path = parse_xpath(query) if isinstance(query, str) else query
+    translator = _Translator(list(labels))
+    result = translator.translate_path(path)
+    translator.rules.append(
+        Rule(Atom(query_predicate, (X,)), (Literal(Atom(result, (X,))),))
+    )
+    return MonadicProgram(translator.rules, query_predicates=[query_predicate])
+
+
+def translate_to_tmnf(
+    query, labels: Iterable[str], query_predicate: str = ANSWER
+) -> MonadicProgram:
+    """Core XPath -> TMNF (Theorem 4.6): translation + Theorem 2.7 rewriting.
+
+    Only negation-free queries are accepted (see the module docstring)."""
+    path = parse_xpath(query) if isinstance(query, str) else query
+    if not is_positive(path):
+        raise UnsupportedFeatureError(
+            "the TMNF translation implemented here covers positive Core XPath; "
+            "negated queries are translated with stratified negation by "
+            "translate_to_mdatalog instead"
+        )
+    return to_tmnf(translate_to_mdatalog(path, labels, query_predicate=query_predicate))

@@ -1,0 +1,82 @@
+"""Tests for the symbol-alphabet NFA/DFA machinery."""
+
+from __future__ import annotations
+
+from repro.automata import NFABuilder, determinize
+
+
+def test_symbol_and_concat():
+    builder = NFABuilder()
+    nfa = builder.sequence(["table", "tr", "td"])
+    assert nfa.accepts(["table", "tr", "td"])
+    assert not nfa.accepts(["table", "td"])
+    assert not nfa.accepts(["table", "tr", "td", "td"])
+
+
+def test_union_and_star():
+    builder = NFABuilder()
+    td_or_th = builder.union(builder.symbol("td"), builder.symbol("th"))
+    row = builder.concat(builder.symbol("tr"), builder.star(td_or_th))
+    assert row.accepts(["tr"])
+    assert row.accepts(["tr", "td", "th", "td"])
+    assert not row.accepts(["tr", "div"])
+
+
+def test_plus_and_optional():
+    builder = NFABuilder()
+    plus = builder.plus(builder.symbol("a"))
+    assert not plus.accepts([])
+    assert plus.accepts(["a"])
+    assert plus.accepts(["a", "a", "a"])
+    optional = builder.optional(builder.symbol("a"))
+    assert optional.accepts([])
+    assert optional.accepts(["a"])
+    assert not optional.accepts(["a", "a"])
+
+
+def test_any_symbol_wildcard():
+    builder = NFABuilder()
+    pattern = builder.concat(
+        builder.symbol("body"), builder.concat(builder.star(builder.any_symbol()), builder.symbol("td"))
+    )
+    assert pattern.accepts(["body", "td"])
+    assert pattern.accepts(["body", "table", "tr", "td"])
+    assert not pattern.accepts(["body", "table"])
+
+
+def test_matches_prefix():
+    builder = NFABuilder()
+    pattern = builder.star(builder.symbol("a"))
+    assert pattern.matches_prefix(["a", "a", "b", "a"]) == [0, 1, 2]
+
+
+def test_empty_language_fragment():
+    builder = NFABuilder()
+    empty = builder.empty()
+    assert empty.accepts([])
+    assert not empty.accepts(["a"])
+
+
+def test_determinize_agrees_with_nfa():
+    builder = NFABuilder()
+    # (a|b)* a b  — the classic example needing subset construction
+    nfa = builder.concat(
+        builder.star(builder.union(builder.symbol("a"), builder.symbol("b"))),
+        builder.concat(builder.symbol("a"), builder.symbol("b")),
+    )
+    dfa = determinize(nfa, alphabet=["a", "b"])
+    words = [
+        [], ["a"], ["b"], ["a", "b"], ["b", "a", "b"], ["a", "a", "b"],
+        ["a", "b", "a"], ["b", "b", "a", "b"], ["a", "b", "b"],
+    ]
+    for word in words:
+        assert dfa.accepts(word) == nfa.accepts(word), word
+    assert dfa.state_count() >= 2
+
+
+def test_determinize_with_wildcard_default_transitions():
+    builder = NFABuilder()
+    nfa = builder.concat(builder.any_symbol(), builder.symbol("end"))
+    dfa = determinize(nfa, alphabet=["end"])
+    assert dfa.accepts(["unknown-symbol", "end"])
+    assert not dfa.accepts(["unknown-symbol", "unknown-symbol"])

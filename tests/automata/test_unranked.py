@@ -1,0 +1,95 @@
+"""Tests for unranked (hedge) automata."""
+
+from __future__ import annotations
+
+from repro.automata import (
+    HorizontalRule,
+    NFABuilder,
+    UnrankedTreeAutomaton,
+    automaton_from_child_pattern,
+)
+from repro.tree import random_tree, tree
+
+
+def test_child_pattern_selection():
+    automaton = automaton_from_child_pattern(
+        "tr", ["td", "td", "td"], labels=["table", "tr", "td", "th"]
+    )
+    document = tree(
+        (
+            "table",
+            ("tr", ("td",), ("td",), ("td",)),
+            ("tr", ("td",), ("td",)),
+            ("tr", ("th",), ("td",), ("td",)),
+            ("tr", ("td",), ("td",), ("td",)),
+        )
+    )
+    selected = automaton.select(document)
+    assert len(selected) == 2
+    assert all(node.label == "tr" and len(node.children) == 3 for node in selected)
+    assert all(all(c.label == "td" for c in node.children) for node in selected)
+
+
+def test_child_pattern_acceptance_is_trivially_true():
+    automaton = automaton_from_child_pattern("a", ["b"], labels=["a", "b", "c"])
+    assert automaton.accepts(tree(("c", ("c",))))
+
+
+def test_explicit_hedge_automaton_even_number_of_children():
+    """Select nodes with an even, positive number of children — a genuinely
+    MSO-but-not-FO-definable property of the child word."""
+    builder = NFABuilder()
+    any_state = builder.star(builder.any_symbol())
+    pair = builder.concat(builder.any_symbol(), builder.any_symbol())
+    even_positive = builder.plus(pair)
+    rules = [
+        HorizontalRule("*", "ok", any_state),
+        HorizontalRule("*", "even", even_positive),
+    ]
+    automaton = UnrankedTreeAutomaton(
+        rules=rules, accepting={"ok", "even"}, selecting={"even"}
+    )
+    for seed in range(5):
+        document = random_tree(70, labels=("a", "b"), seed=seed)
+        selected = {node.preorder_index for node in automaton.select(document)}
+        expected = {
+            node.preorder_index
+            for node in document
+            if node.children and len(node.children) % 2 == 0
+        }
+        assert selected == expected
+
+
+def test_reachable_states_empty_when_no_rule_applies():
+    builder = NFABuilder()
+    rules = [HorizontalRule("known", "q", builder.star(builder.any_symbol()))]
+    automaton = UnrankedTreeAutomaton(rules=rules, accepting={"q"})
+    document = tree(("unknown",))
+    reachable = automaton.reachable_states(document)
+    assert reachable[document.root.preorder_index] == frozenset()
+    assert not automaton.accepts(document)
+    assert automaton.select(document) == []
+
+
+def test_selection_requires_accepting_run():
+    builder = NFABuilder()
+    # "selected" state can only be assigned at leaves; the root only accepts
+    # when it has exactly two children.
+    rules = [
+        HorizontalRule("*", "sel", builder.empty()),
+        HorizontalRule("*", "plain", builder.star(builder.any_symbol())),
+        HorizontalRule(
+            "root_label", "acc", builder.concat(builder.any_symbol(), builder.any_symbol())
+        ),
+    ]
+    automaton = UnrankedTreeAutomaton(rules=rules, accepting={"acc"}, selecting={"sel"})
+    good = tree(("root_label", ("a",), ("b",)))
+    bad = tree(("root_label", ("a",), ("b",), ("c",)))
+    assert {n.label for n in automaton.select(good)} == {"a", "b"}
+    assert automaton.select(bad) == []
+
+
+def test_states_accessor():
+    automaton = automaton_from_child_pattern("a", ["b"], labels=["a", "b"])
+    assert "match" in automaton.states()
+    assert "ok" in automaton.states()

@@ -1,0 +1,51 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.html import parse_html
+from repro.tree import figure1_tree, random_tree, tree
+
+
+@pytest.fixture
+def figure1():
+    """The 6-node example tree of Figure 1."""
+    return figure1_tree()
+
+
+@pytest.fixture
+def simple_html():
+    """A small but structurally rich HTML page used across test modules."""
+    markup = """
+    <html>
+      <head><title>Bestsellers</title></head>
+      <body>
+        <h1>Books</h1>
+        <table id="books">
+          <tr><td><a href="/b/1">Book One</a></td><td>$10.00</td><td>3 bids</td></tr>
+          <tr><td><a href="/b/2">Book Two</a></td><td>EUR 12.50</td><td>7 bids</td></tr>
+          <tr><td><a href="/b/3">Book Three</a></td><td>$8.99</td><td>1 bid</td></tr>
+        </table>
+        <p>Prices include <i>free <b>shipping</b></i> today.</p>
+        <hr/>
+      </body>
+    </html>
+    """
+    return parse_html(markup, url="http://example.test/books")
+
+
+@pytest.fixture
+def medium_random_tree():
+    return random_tree(300, labels=("a", "b", "c", "d", "e"), seed=7)
+
+
+@pytest.fixture
+def nested_tree():
+    return tree(
+        (
+            "doc",
+            ("section", ("title",), ("para", ("i", ("b",))), ("para",)),
+            ("section", ("title",), ("list", ("item",), ("item",), ("item",))),
+        )
+    )

@@ -1,0 +1,126 @@
+"""Tests for the datalog AST and parser."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datalog import (
+    Atom,
+    DatalogSyntaxError,
+    Program,
+    Rule,
+    atom,
+    const,
+    fact,
+    neg,
+    parse_atom_text,
+    parse_program,
+    parse_rules,
+    rule,
+    var,
+)
+from repro.datalog.ast import Constant, Variable
+
+
+def test_atom_helper_coerces_terms():
+    a = atom("edge", "X", "y", 3)
+    assert a.terms == (Variable("X"), Constant("y"), Constant(3))
+    assert a.arity == 3
+    assert a.variables() == {Variable("X")}
+
+
+def test_atom_substitute_and_ground():
+    a = atom("p", "X", "Y")
+    grounded = a.substitute({Variable("X"): Constant(1), Variable("Y"): Constant(2)})
+    assert grounded.is_ground()
+    assert grounded.terms == (Constant(1), Constant(2))
+
+
+def test_rule_str_and_fact():
+    r = rule(atom("p", "X"), atom("q", "X"), neg(atom("r", "X")))
+    assert str(r) == "p(X) :- q(X), not r(X)."
+    f = fact("q", 1)
+    assert f.is_fact()
+    assert not r.is_fact()
+
+
+def test_rule_safety():
+    safe = rule(atom("p", "X"), atom("q", "X"))
+    unsafe_head = rule(atom("p", "X", "Y"), atom("q", "X"))
+    unsafe_negation = rule(atom("p", "X"), atom("q", "X"), neg(atom("r", "Y")))
+    assert safe.is_safe()
+    assert not unsafe_head.is_safe()
+    assert not unsafe_negation.is_safe()
+
+
+def test_program_predicates_and_size():
+    program = parse_program(
+        """
+        p(X) :- e(X, Y), q(Y).
+        q(X) :- base(X).
+        """
+    )
+    assert program.idb_predicates() == {"p", "q"}
+    assert program.edb_predicates == {"e", "base"}
+    assert program.size() == 3 + 2
+    assert program.is_monadic()
+
+
+def test_program_is_monadic_detects_binary_idb():
+    program = parse_program("path(X, Y) :- edge(X, Y).")
+    assert not program.is_monadic()
+
+
+def test_parse_example_2_1_program():
+    rules = parse_rules(
+        """
+        % Example 2.1 of the paper
+        Italic(X) :- label_i(X).
+        Italic(X) :- Italic(X0), firstchild(X0, X).
+        Italic(X) :- Italic(X0), nextsibling(X0, X).
+        """
+    )
+    assert len(rules) == 3
+    assert rules[0].head.predicate == "Italic"
+    assert rules[1].body[1].atom.predicate == "firstchild"
+
+
+def test_parse_arrow_and_not_and_strings():
+    rules = parse_rules('ok(X) <- node(X), not bad(X), name(X, "eBay item").')
+    assert rules[0].body[1].negated
+    assert rules[0].body[2].atom.terms[1] == Constant("eBay item")
+
+
+def test_parse_numbers():
+    rules = parse_rules("dist(X, 3) :- near(X, 0.5).")
+    assert rules[0].head.terms[1] == Constant(3)
+    assert rules[0].body[0].atom.terms[1] == Constant(0.5)
+
+
+def test_parse_facts_and_zero_arity():
+    rules = parse_rules("start. edge(a, b).")
+    assert rules[0].head.predicate == "start"
+    assert rules[0].head.arity == 0
+    assert rules[1].head.terms == (Constant("a"), Constant("b"))
+
+
+def test_parse_atom_text():
+    a = parse_atom_text("price(X)")
+    assert a == Atom("price", (Variable("X"),))
+    with pytest.raises(DatalogSyntaxError):
+        parse_atom_text("price(X) extra")
+
+
+def test_parse_errors():
+    with pytest.raises(DatalogSyntaxError):
+        parse_rules("p(X :- q(X).")
+    with pytest.raises(DatalogSyntaxError):
+        parse_rules("p(X) :- q(X)")  # missing dot
+    with pytest.raises(DatalogSyntaxError):
+        parse_rules("p($) .")
+
+
+def test_program_rules_for_and_str():
+    program = parse_program("p(X) :- q(X). p(X) :- r(X). s(X) :- p(X).")
+    assert len(program.rules_for("p")) == 2
+    assert "s(X) :- p(X)." in str(program)

@@ -1,0 +1,207 @@
+"""Tests for the Elog Extractor on small hand-written pages."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.elog import (
+    AttributePath,
+    ElogProgram,
+    ElogRule,
+    ElementPath,
+    Extractor,
+    SubAtt,
+    SubElem,
+    SubText,
+    TextPath,
+    parse_elog,
+)
+from repro.html import parse_html
+from repro.web import SimulatedWeb
+from repro.xmlgen import to_xml
+
+
+PAGE = """
+<html><body>
+  <h1>Catalogue</h1>
+  <table class="products">
+    <tr><td class="name"><a href="/p/1">Red lamp</a></td><td class="price">$ 15.00</td></tr>
+    <tr><td class="name"><a href="/p/2">Green chair</a></td><td class="price">EUR 75.50</td></tr>
+    <tr><td class="name">Blue table (no link)</td><td class="price">$ 120.00</td></tr>
+  </table>
+  <p>Contact: shop@example.test</p>
+</body></html>
+"""
+
+
+@pytest.fixture
+def page():
+    return parse_html(PAGE, url="shop.example.test/catalogue")
+
+
+def test_basic_tree_extraction(page):
+    program = parse_elog(
+        """
+        row(S, X)  <- document(_, S), subelem(S, ?.tr, X)
+        name(S, X) <- row(_, S), subelem(S, (?.td, [(class, name, exact)]), X)
+        """
+    )
+    base = Extractor(program).extract(document=page)
+    assert base.count("row") == 3
+    assert base.count("name") == 3
+    names = base.values_of("name")
+    assert names == ["Red lamp", "Green chair", "Blue table (no link)"]
+
+
+def test_hierarchy_in_instance_base(page):
+    program = parse_elog(
+        """
+        row(S, X)   <- document(_, S), subelem(S, ?.tr, X)
+        price(S, X) <- row(_, S), subelem(S, (?.td, [(class, price, exact)]), X)
+        """
+    )
+    base = Extractor(program).extract(document=page)
+    rows = base.instances_of("row")
+    assert all(len(row.find_all("price")) == 1 for row in rows)
+    xml = to_xml(base.to_xml(root_name="catalogue"))
+    assert xml.count("<row>") == 3
+    assert "$ 15.00" in xml
+
+
+def test_string_and_attribute_extraction(page):
+    program = parse_elog(
+        r"""
+        row(S, X)    <- document(_, S), subelem(S, ?.tr, X)
+        link(S, X)   <- row(_, S), subelem(S, ?.a, X)
+        url(S, X)    <- link(_, S), subatt(S, href, X)
+        contact(S, X)<- document(_, S), subtext(S, [A-Za-z.]+@[A-Za-z.]+, X)
+        """
+    )
+    base = Extractor(program).extract(document=page)
+    assert base.values_of("url") == ["/p/1", "/p/2"]
+    assert base.values_of("contact") == ["shop@example.test"]
+
+
+def test_concept_condition_filters_prices(page):
+    program = parse_elog(
+        r"""
+        row(S, X)   <- document(_, S), subelem(S, ?.tr, X)
+        cell(S, X)  <- row(_, S), subelem(S, (?.td, [(elementtext, \var[Y].*, regvar)]), X), isCurrency(Y)
+        """
+    )
+    base = Extractor(program).extract(document=page)
+    assert base.count("cell") == 3
+    assert all("$" in value or "EUR" in value for value in base.values_of("cell"))
+
+
+def test_contains_and_notcontains_conditions(page):
+    program = parse_elog(
+        """
+        row(S, X)      <- document(_, S), subelem(S, ?.tr, X)
+        linked(S, X)   <- row(_, S), subelem(S, ?.td, X), contains(X, .a)
+        unlinked(S, X) <- row(_, S), subelem(S, (?.td, [(class, name, exact)]), X), notcontains(X, .a)
+        """
+    )
+    base = Extractor(program).extract(document=page)
+    assert base.count("linked") == 2
+    assert base.values_of("unlinked") == ["Blue table (no link)"]
+
+
+def test_before_after_and_firstsubtree(page):
+    program = parse_elog(
+        """
+        row(S, X)    <- document(_, S), subelem(S, ?.tr, X)
+        second(S, X) <- row(_, S), subelem(S, ?.td, X), before(S, X, .td, 0, 5, _, _)
+        first(S, X)  <- row(_, S), subelem(S, ?.td, X), firstsubtree(S, X)
+        last(S, X)   <- row(_, S), subelem(S, ?.td, X), notafter(S, X, .td, 0, 100)
+        """
+    )
+    base = Extractor(program).extract(document=page)
+    # "second": tds that have a td before them = the price cells
+    assert base.count("second") == 3
+    assert all("$" in v or "EUR" in v for v in base.values_of("second"))
+    # "first": exactly one td per row (the first one)
+    assert base.count("first") == 3
+    assert "Red lamp" in base.values_of("first")[0]
+    # "last": tds with no td after them = the price cells again
+    assert base.count("last") == 3
+
+
+def test_specialisation_rule(page):
+    program = parse_elog(
+        """
+        cell(S, X)   <- document(_, S), subelem(S, ?.td, X)
+        pricecell(S, X) <- cell(S, X), contains(X, (#text, [(elementtext, $, substr)]))
+        """
+    )
+    base = Extractor(program).extract(document=page)
+    assert base.count("cell") == 6
+    assert base.count("pricecell") == 2  # the two $-prices
+
+
+def test_crawling_via_document_variable():
+    web = SimulatedWeb()
+    web.publish(
+        "shop.test/list",
+        """
+        <body><ul>
+          <li><a href="shop.test/item/1">one</a></li>
+          <li><a href="shop.test/item/2">two</a></li>
+        </ul></body>
+        """,
+    )
+    web.publish("shop.test/item/1", "<body><h1>Item one</h1><p>$ 10</p></body>")
+    web.publish("shop.test/item/2", "<body><h1>Item two</h1><p>$ 20</p></body>")
+    program = parse_elog(
+        """
+        link(S, X)   <- document("shop.test/list", S), subelem(S, ?.a, X)
+        itemurl(S, X)<- link(_, S), subatt(S, href, X)
+        detailpage(S, X) <- itemurl(_, S), document(S, X), subelem(S, ?.body, X)
+        title(S, X)  <- detailpage(_, S), subelem(S, ?.h1, X)
+        """
+    )
+    base = Extractor(program, fetcher=web).extract(url="shop.test/list")
+    assert base.count("link") == 2
+    assert base.values_of("title") == ["Item one", "Item two"]
+    assert any("item/1" in url for url in web.fetch_log)
+
+
+def test_programmatic_rule_construction(page):
+    program = ElogProgram()
+    program.add_rule(
+        ElogRule(
+            pattern="row",
+            parent="document",
+            extraction=SubElem(path=ElementPath.parse("?.tr")),
+        )
+    )
+    program.add_rule(
+        ElogRule(
+            pattern="anchor",
+            parent="row",
+            extraction=SubElem(path=ElementPath.parse("?.a")),
+        )
+    )
+    program.add_rule(
+        ElogRule(
+            pattern="href",
+            parent="anchor",
+            extraction=SubAtt(path=AttributePath("href")),
+        )
+    )
+    base = Extractor(program).extract(document=page)
+    assert base.count("anchor") == 2
+    assert base.values_of("href") == ["/p/1", "/p/2"]
+
+
+def test_auxiliary_patterns_hidden_in_xml(page):
+    program = parse_elog(
+        """
+        row(S, X)  <- document(_, S), subelem(S, ?.tr, X)
+        name(S, X) <- row(_, S), subelem(S, (?.td, [(class, name, exact)]), X)
+        """
+    ).mark_auxiliary("row")
+    xml_tree = Extractor(program).extract_to_xml(document=page, root_name="out")
+    serialised = to_xml(xml_tree)
+    assert "<row>" not in serialised
+    assert serialised.count("<name>") == 3

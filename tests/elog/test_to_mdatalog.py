@@ -1,0 +1,76 @@
+"""Tests for the Elog- to monadic datalog translation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.elog import (
+    ElogTranslationError,
+    Extractor,
+    parse_elog,
+    pattern_predicate,
+    to_monadic_datalog,
+)
+from repro.html import parse_html
+from repro.mdatalog import MonadicTreeEvaluator
+
+
+PAGE = """
+<html><body>
+  <div class="list">
+    <table><tr><td><a href="/1">one</a></td><td>x</td></tr></table>
+    <table><tr><td>two</td></tr></table>
+  </div>
+  <p><a href="/out">outside</a></p>
+</body></html>
+"""
+
+PROGRAM_TEXT = """
+block(S, X) <- document(_, S), subelem(S, ?.div, X)
+row(S, X)   <- block(_, S), subelem(S, .table.tr, X)
+cell(S, X)  <- row(_, S), subelem(S, ?.td, X)
+link(S, X)  <- cell(_, S), subelem(S, .a, X)
+"""
+
+
+def test_translation_matches_extractor_node_sets():
+    document = parse_html(PAGE)
+    program = parse_elog(PROGRAM_TEXT)
+    base = Extractor(program).extract(document=document)
+    mdatalog = to_monadic_datalog(program)
+    evaluator = MonadicTreeEvaluator(mdatalog)
+    results = evaluator.evaluate(document)
+    for pattern in ("block", "row", "cell", "link"):
+        extracted = {id(node) for node in base.nodes_of(pattern)}
+        selected = {id(node) for node in results[pattern_predicate(pattern)]}
+        assert extracted == selected, pattern
+
+
+def test_translation_handles_specialisation_rules():
+    document = parse_html(PAGE)
+    program = parse_elog(
+        """
+        cell(S, X) <- document(_, S), subelem(S, ?.td, X)
+        special(S, X) <- cell(S, X)
+        """
+    )
+    mdatalog = to_monadic_datalog(program)
+    results = MonadicTreeEvaluator(mdatalog).evaluate(document)
+    assert len(results[pattern_predicate("special")]) == len(results[pattern_predicate("cell")])
+
+
+def test_translation_rejects_conditions_and_string_extraction():
+    with_conditions = parse_elog(
+        "price(S, X) <- document(_, S), subelem(S, ?.td, X), isCurrency(X)"
+    )
+    with pytest.raises(ElogTranslationError):
+        to_monadic_datalog(with_conditions)
+    with_subtext = parse_elog(r"t(S, X) <- document(_, S), subtext(S, \var[Y], X)")
+    with pytest.raises(ElogTranslationError):
+        to_monadic_datalog(with_subtext)
+
+
+def test_translated_program_runs_on_linear_pipeline():
+    program = parse_elog(PROGRAM_TEXT)
+    mdatalog = to_monadic_datalog(program)
+    assert MonadicTreeEvaluator(mdatalog).uses_ground_pipeline

@@ -1,0 +1,136 @@
+"""Unit tests for the HTML parser substrate."""
+
+from __future__ import annotations
+
+from repro.html import body_of, parse_html, parse_html_fragment, to_html
+from repro.html.render import render_text, render_text_with_spans
+
+
+def test_parse_simple_document(simple_html):
+    assert simple_html.find_first("table") is not None
+    rows = simple_html.find_all("tr")
+    assert len(rows) == 3
+    anchors = simple_html.find_all("a")
+    assert [a.normalized_text() for a in anchors] == ["Book One", "Book Two", "Book Three"]
+
+
+def test_attributes_are_lowercased_tags_preserved_values():
+    doc = parse_html('<DIV CLASS="Big" data-x="1">t</DIV>')
+    div = doc.find_first("div")
+    assert div is not None
+    assert div.get_attribute("class") == "Big"
+    assert div.get_attribute("data-x") == "1"
+
+
+def test_void_elements_do_not_swallow_content():
+    doc = parse_html("<p>before<br>after<img src='x.png'>end</p>")
+    p = doc.find_first("p")
+    # The text nodes stay siblings of the void elements instead of being
+    # swallowed as their children.
+    assert [t.text for t in p.children if t.label == "#text"] == ["before", "after", "end"]
+    assert doc.find_first("br").is_leaf
+    assert doc.find_first("br").parent is p
+    assert doc.find_first("img").get_attribute("src") == "x.png"
+
+
+def test_unclosed_table_cells_are_closed_implicitly():
+    doc = parse_html("<table><tr><td>one<td>two<tr><td>three</table>")
+    rows = doc.find_all("tr")
+    assert len(rows) == 2
+    assert [len(row.children) for row in rows] == [2, 1]
+    cells = doc.find_all("td")
+    assert [cell.normalized_text() for cell in cells] == ["one", "two", "three"]
+
+
+def test_unclosed_list_items():
+    doc = parse_html("<ul><li>a<li>b<li>c</ul>")
+    assert len(doc.find_all("li")) == 3
+    # items must be siblings, not nested
+    items = doc.find_all("li")
+    assert all(item.parent.label == "ul" for item in items)
+
+
+def test_nested_paragraph_closes_previous():
+    doc = parse_html("<div><p>one<p>two</div>")
+    paragraphs = doc.find_all("p")
+    assert len(paragraphs) == 2
+    assert all(p.parent.label == "div" for p in paragraphs)
+
+
+def test_stray_end_tag_is_ignored():
+    doc = parse_html("<div></span><b>x</b></div>")
+    assert doc.find_first("b").normalized_text() == "x"
+
+
+def test_comments_become_comment_nodes():
+    doc = parse_html("<div><!-- hidden -->shown</div>")
+    comments = doc.find_all("#comment")
+    assert len(comments) == 1
+    assert comments[0].text.strip() == "hidden"
+
+
+def test_whitespace_only_text_skipped_by_default():
+    doc = parse_html("<div>\n   <span>x</span>\n</div>")
+    texts = doc.find_all("#text")
+    assert [t.text for t in texts] == ["x"]
+    kept = parse_html("<div>\n   <span>x</span>\n</div>", keep_whitespace_text=True)
+    assert len(kept.find_all("#text")) == 3
+
+
+def test_entities_are_decoded():
+    doc = parse_html("<p>fish &amp; chips &euro;5</p>")
+    assert doc.find_first("p").normalized_text() == "fish & chips €5"
+
+
+def test_fragment_parsing():
+    doc = parse_html_fragment("<td>cell</td>")
+    assert doc.find_first("td").normalized_text() == "cell"
+
+
+def test_body_of_returns_body_or_first_element(simple_html):
+    assert body_of(simple_html).label == "body"
+    fragment = parse_html_fragment("<div>x</div>")
+    assert body_of(fragment).label == "div"
+
+
+def test_url_is_recorded(simple_html):
+    assert simple_html.url == "http://example.test/books"
+
+
+def test_to_html_round_trip_preserves_structure(simple_html):
+    markup = to_html(simple_html)
+    reparsed = parse_html(markup)
+    assert len(reparsed.find_all("tr")) == 3
+    assert reparsed.find_first("a").get_attribute("href") == "/b/1"
+
+
+def test_to_html_escapes_attribute_values():
+    doc = parse_html('<a href="/x?a=1&amp;b=2" title=\'say "hi"\'>t</a>')
+    markup = to_html(doc)
+    assert "&amp;" in markup
+    assert "&quot;" in markup
+
+
+def test_render_text_blocks_and_inline(simple_html):
+    text = render_text(simple_html)
+    assert "Books" in text
+    assert "Book One" in text
+    # block elements produce line structure
+    assert text.index("Books") < text.index("Book One")
+
+
+def test_render_text_spans_cover_nodes(simple_html):
+    text, spans = render_text_with_spans(simple_html)
+    anchor = simple_html.find_first("a")
+    start, end = spans[id(anchor)]
+    assert text[start:end].strip() == "Book One"
+    table = simple_html.find_first("table")
+    t_start, t_end = spans[id(table)]
+    assert t_start <= start and end <= t_end
+
+
+def test_script_and_style_not_rendered():
+    doc = parse_html("<body><script>var x=1;</script><p>visible</p></body>")
+    text = render_text(doc)
+    assert "visible" in text
+    assert "var x" not in text

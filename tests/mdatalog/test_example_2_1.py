@@ -1,0 +1,67 @@
+"""Experiment E2: the Italic program of Example 2.1.
+
+The program of Example 2.1 marks ``i``-labelled nodes and closes the marking
+under ``firstchild`` and ``nextsibling``.  Read literally, the closure covers
+the ``i`` node, all of its descendants, *and* the following siblings of any
+marked node (that is the subtree of the binary firstchild/nextsibling
+encoding of Figure 1).  The tests below check both the headline behaviour —
+everything displayed in italics is selected — and that literal closure
+semantics.
+"""
+
+from __future__ import annotations
+
+from repro.html import parse_html
+from repro.mdatalog import MonadicTreeEvaluator, italic_program
+
+
+# Every <i> element is the last child of its parent, so the closure coincides
+# exactly with "nodes displayed in italics".
+MARKUP = """
+<html><body>
+  <p>No italics here.</p>
+  <div><span>plain</span><i><span>nested italic span</span></i></div>
+  <p>Plain text <i>italic <b>bold italic</b> more</i></p>
+</body></html>
+"""
+
+
+def test_italic_selects_exactly_i_subtrees():
+    document = parse_html(MARKUP)
+    evaluator = MonadicTreeEvaluator(italic_program())
+    selected = evaluator.select(document, "italic")
+    selected_ids = {id(node) for node in selected}
+
+    expected = set()
+    for i_node in document.find_all("i"):
+        for node in i_node.iter_preorder():
+            expected.add(id(node))
+    assert selected_ids == expected
+    # sanity: the <b> inside <i> and the nested span are selected
+    assert any(node.label == "b" for node in selected)
+    assert any(node.label == "span" and "nested" in node.normalized_text() for node in selected)
+    # and nothing outside italics is selected
+    assert not any(
+        node.label == "#text" and "No italics" in node.text for node in selected
+    )
+
+
+def test_italic_closure_includes_following_siblings_of_marked_nodes():
+    """The literal firstchild/nextsibling closure of Example 2.1."""
+    document = parse_html("<p><i>em</i><span>tail</span></p>")
+    selected = MonadicTreeEvaluator(italic_program()).select(document, "italic")
+    labels = {node.label for node in selected}
+    # the following sibling of the <i> node is part of the closure
+    assert "span" in labels
+    assert "i" in labels
+
+
+def test_italic_uses_the_linear_ground_pipeline():
+    evaluator = MonadicTreeEvaluator(italic_program())
+    assert evaluator.uses_ground_pipeline
+
+
+def test_italic_on_document_without_italics():
+    document = parse_html("<html><body><p>nothing</p></body></html>")
+    selected = MonadicTreeEvaluator(italic_program()).select(document, "italic")
+    assert selected == []

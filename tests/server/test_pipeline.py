@@ -1,0 +1,190 @@
+"""Tests for the Transformation Server: components, pipes, change detection."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.elog import parse_elog
+from repro.server import (
+    ChangeDetector,
+    ChangeGatedDeliverer,
+    FilterComponent,
+    InformationPipe,
+    IntegrationComponent,
+    JoinComponent,
+    PipelineError,
+    RenameComponent,
+    SmsDeliverer,
+    SortComponent,
+    TransformationServer,
+    TransformerComponent,
+    WrapperComponent,
+    XmlDeliverer,
+    XmlSourceComponent,
+)
+from repro.web import SimulatedWeb
+from repro.web.sites.bookstore import bookstore_site
+from repro.xmlgen import XmlElement, parse_xml, to_xml
+
+
+def make_catalog(*pairs):
+    root = XmlElement("catalog")
+    for title, price in pairs:
+        book = root.add("book")
+        book.add("title", text=title)
+        book.add("price", text=str(price))
+    return root
+
+
+def test_pipe_topological_execution_and_results():
+    pipe = InformationPipe("books")
+    pipe.add(XmlSourceComponent("source", lambda: make_catalog(("A", 10), ("B", 30), ("C", 20))))
+    pipe.add(FilterComponent("cheap", "book", lambda b: float(b.findtext("price")) <= 20,
+                             root_name="cheap"))
+    pipe.add(SortComponent("sorted", "book", "price", root_name="sorted"))
+    pipe.add(XmlDeliverer("out"))
+    pipe.chain("source", "cheap", "sorted", "out")
+    results = pipe.run()
+    titles = [b.findtext("title") for b in results["sorted"].find_all("book")]
+    assert titles == ["A", "C"]
+    assert pipe.component("out").last_delivery() is not None
+    assert "<title>A</title>" in pipe.component("out").last_delivery().body
+
+
+def test_pipe_rejects_cycles_and_duplicates():
+    pipe = InformationPipe("p")
+    pipe.add(XmlSourceComponent("a", lambda: XmlElement("x")))
+    pipe.add(TransformerComponent("b", lambda d: d))
+    pipe.connect("a", "b")
+    pipe.connect("b", "a")
+    with pytest.raises(PipelineError):
+        pipe.run()
+    with pytest.raises(PipelineError):
+        pipe.add(XmlSourceComponent("a", lambda: XmlElement("x")))
+    with pytest.raises(PipelineError):
+        pipe.connect("a", "missing")
+
+
+def test_integration_and_join_components():
+    left = XmlSourceComponent("left", lambda: make_catalog(("A", 10), ("B", 20)))
+    right_root = XmlElement("reviews")
+    for title, stars in (("a", 5), ("b", 3)):
+        review = right_root.add("review")
+        review.add("title", text=title)
+        review.add("stars", text=str(stars))
+    right = XmlSourceComponent("right", lambda: right_root)
+
+    pipe = InformationPipe("joined")
+    pipe.add(left)
+    pipe.add(right)
+    pipe.add(IntegrationComponent("merge"))
+    pipe.add(JoinComponent("join", "book", "review", key="title"))
+    pipe.connect("left", "merge")
+    pipe.connect("right", "merge")
+    pipe.connect("left", "join")
+    pipe.connect("right", "join")
+    results = pipe.run()
+    assert len(results["merge"].children) == 2
+    joined_books = results["join"].find_all("book")
+    assert len(joined_books) == 2
+    assert joined_books[0].find("review") is not None
+    assert joined_books[0].find("review").findtext("stars") == "5"
+
+
+def test_rename_component_maps_to_nitf():
+    source = XmlSourceComponent("s", lambda: make_catalog(("A", 1)))
+    rename = RenameComponent("nitf", {"catalog": "nitf", "book": "block", "title": "hl1"})
+    pipe = InformationPipe("nitf-pipe")
+    pipe.add(source)
+    pipe.add(rename)
+    pipe.connect("s", "nitf")
+    result = pipe.run()["nitf"]
+    assert result.name == "nitf"
+    assert result.find("block") is not None
+    assert result.find("block").find("hl1") is not None
+
+
+def test_wrapper_component_runs_elog_program():
+    web = SimulatedWeb()
+    web.publish_many(bookstore_site(count=4, seed=1))
+    program = parse_elog(
+        """
+        book(S, X)  <- document(_, S), subelem(S, ?.tr, X), contains(X, (?.td, [(class, title, exact)]))
+        title(S, X) <- book(_, S), subelem(S, (?.td, [(class, title, exact)]), X)
+        price(S, X) <- book(_, S), subelem(S, (?.td, [(class, price, exact)]), X)
+        """
+    )
+    pipe = InformationPipe("shop-a")
+    pipe.add(WrapperComponent("wrap", program, web, "books-a.test/bestsellers", root_name="books"))
+    pipe.add(XmlDeliverer("deliver"))
+    pipe.connect("wrap", "deliver")
+    results = pipe.run()
+    books = results["wrap"].find_all("book")
+    assert len(books) == 4
+    assert all(book.find("title") is not None and book.find("price") is not None for book in books)
+    assert results["wrap"].attributes["source"] == "books-a.test/bestsellers"
+
+
+def test_transformation_server_scheduling():
+    counter = {"runs": 0}
+
+    def supply():
+        counter["runs"] += 1
+        return XmlElement("tickdoc")
+
+    fast = InformationPipe("fast")
+    fast.add(XmlSourceComponent("s", supply))
+    slow = InformationPipe("slow")
+    slow.add(XmlSourceComponent("s", supply))
+
+    server = TransformationServer()
+    server.register(fast, period=1)
+    server.register(slow, period=3)
+    server.tick(steps=6)
+    fast_runs = sum(1 for _, name in server.run_log if name == "fast")
+    slow_runs = sum(1 for _, name in server.run_log if name == "slow")
+    assert fast_runs == 6
+    assert slow_runs == 2
+    assert server.pipes() == ["fast", "slow"]
+    with pytest.raises(PipelineError):
+        server.register(fast)
+
+
+def test_change_detector_reports_added_changed_removed():
+    detector = ChangeDetector("flight", key="number")
+    first = parse_xml(
+        "<board><flight><number>OS 1</number><status>scheduled</status></flight>"
+        "<flight><number>OS 2</number><status>scheduled</status></flight></board>"
+    )
+    second = parse_xml(
+        "<board><flight><number>OS 1</number><status>delayed</status></flight>"
+        "<flight><number>OS 3</number><status>scheduled</status></flight></board>"
+    )
+    baseline = detector.observe(first)
+    assert len(baseline.added) == 2
+    report = detector.observe(second)
+    assert [f.findtext("number") for f in report.changed] == ["OS 1"]
+    assert [f.findtext("number") for f in report.added] == ["OS 3"]
+    assert report.removed == ["OS 2"]
+    assert "1 added" in report.summary()
+
+
+def test_change_gated_deliverer_only_fires_on_change():
+    sms = SmsDeliverer("sms", "+43 123", summarise=lambda doc: doc.full_text())
+    gated = ChangeGatedDeliverer(
+        "gate", sms, ChangeDetector("flight", key="number"),
+        message=lambda report: f"flight update: {report.summary()}",
+    )
+    snapshot = parse_xml(
+        "<board><flight><number>OS 1</number><status>scheduled</status></flight></board>"
+    )
+    gated.process([snapshot])           # baseline, no delivery
+    gated.process([snapshot])           # unchanged, no delivery
+    assert sms.deliveries == []
+    changed = parse_xml(
+        "<board><flight><number>OS 1</number><status>delayed</status></flight></board>"
+    )
+    gated.process([changed])
+    assert len(sms.deliveries) == 1
+    assert sms.deliveries[0].channel == "sms"
+    assert "changed" in sms.deliveries[0].body

@@ -1,0 +1,41 @@
+"""Experiment E1: the Figure 1 tree and its binary encoding."""
+
+from __future__ import annotations
+
+from repro.tree import decode, encode, figure1_tree
+
+
+def test_figure1_unranked_structure():
+    doc = figure1_tree()
+    n1 = doc.root
+    assert n1.label == "n1"
+    assert [child.label for child in n1.children] == ["n2", "n3", "n6"]
+    n3 = doc.find_first("n3")
+    assert [child.label for child in n3.children] == ["n4", "n5"]
+
+
+def test_figure1_binary_encoding_matches_paper():
+    """Figure 1(b): firstchild and nextsibling pointers of the encoding."""
+    doc = figure1_tree()
+    binary_root = encode(doc)
+    # n1 --firstchild--> n2
+    assert binary_root.label == "n1"
+    assert binary_root.left.label == "n2"
+    assert binary_root.right is None
+    # n2 --nextsibling--> n3 --nextsibling--> n6
+    n2 = binary_root.left
+    assert n2.left is None
+    assert n2.right.label == "n3"
+    n3 = n2.right
+    assert n3.right.label == "n6"
+    # n3 --firstchild--> n4 --nextsibling--> n5
+    assert n3.left.label == "n4"
+    assert n3.left.right.label == "n5"
+    assert n3.left.right.right is None
+
+
+def test_encoding_round_trip_restores_unranked_tree():
+    doc = figure1_tree()
+    decoded = decode(encode(doc))
+    assert [node.label for node in decoded] == [node.label for node in doc]
+    assert decoded.find_first("n3").children[0].label == "n4"

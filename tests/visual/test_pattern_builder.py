@@ -1,0 +1,132 @@
+"""Experiment E6: the visual wrapper specification session (Figures 2-4)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.elog import ContainsCondition, ElementPath, Extractor
+from repro.html import parse_html
+from repro.visual import (
+    PatternBuilderError,
+    PatternBuilderSession,
+    RenderedPage,
+    exact_path,
+    generalized_path,
+    path_between,
+    suggest_conditions,
+)
+from repro.web.sites.bookstore import generate_books, table_shop_page
+
+
+@pytest.fixture
+def books():
+    return generate_books(6, seed=11)
+
+
+@pytest.fixture
+def page_document(books):
+    return parse_html(table_shop_page(books), url="books-a.test/bestsellers")
+
+
+def test_rendered_page_maps_selection_to_node(page_document, books):
+    page = RenderedPage.render(page_document)
+    node = page.select_text(books[0].title)
+    assert node is not None
+    assert node.label in ("a", "td")
+    assert books[0].title in page.highlight(node)
+
+
+def test_select_text_occurrences_and_missing(page_document):
+    page = RenderedPage.render(page_document)
+    assert page.select_text("bestsellers".upper()) is None
+    first = page.select_text("$")
+    second = page.select_text("$", occurrence=1)
+    assert first is not None and second is not None
+    assert first is not second
+
+
+def test_path_between_and_generalisation(page_document, books):
+    page = RenderedPage.render(page_document)
+    anchor = page.select_text(books[0].title)
+    table = page_document.find_first("table")
+    labels = path_between(table, anchor)
+    assert labels[-1] == anchor.label
+    assert exact_path(table, anchor).steps == tuple(labels)
+    assert generalized_path(table, anchor).steps == ("?", anchor.label)
+    with pytest.raises(ValueError):
+        exact_path(anchor, table)
+
+
+def test_suggest_conditions_prefers_class(page_document):
+    cell = page_document.find_all("td")[1]
+    suggestions = suggest_conditions(cell)
+    assert suggestions
+    assert suggestions[0].attribute == "class"
+
+
+def test_full_visual_session_builds_working_wrapper(page_document, books):
+    session = PatternBuilderSession(page_document)
+    # Step 1: define the record pattern by dragging over a full row region
+    # (from the title to the price of the first book).
+    text = session.page.text
+    start = text.find(books[0].title)
+    price_text = f"$ {books[0].price:.2f}"
+    end = text.find(price_text) + len(price_text)
+    row_proposal = session.propose_filter_region("bookrow", "document", start, end)
+    # the generalised filter (?.tr) matches every table row, including the
+    # header row — the classic "filter a little too general" situation.
+    assert row_proposal.match_count() == len(books) + 1
+    # Refine: a book row must contain a hyperlinked title.
+    row_proposal = session.refine_with_condition(
+        row_proposal, ContainsCondition(path=ElementPath.parse(".a"))
+    )
+    assert row_proposal.match_count() == len(books)
+    session.accept(row_proposal)
+
+    # Step 2: the price pattern under the record pattern (a click on a price).
+    price_proposal = session.propose_filter("bookprice", "bookrow", price_text)
+    session.accept(price_proposal)
+    extracted = session.test_pattern("bookprice")
+    assert len(extracted) >= 1
+    assert any(f"{books[0].price:.2f}" in value for value in extracted)
+
+    # The program tree view lists patterns and their filters (Figure 4).
+    tree = session.program_tree()
+    assert set(tree) == {"bookrow", "bookprice"}
+    assert all(filters for filters in tree.values())
+
+    # The generated wrapper is an ordinary Elog program usable by the Extractor.
+    base = Extractor(session.wrapper()).extract(document=page_document)
+    assert base.count("bookrow") == len(books)
+
+
+def test_refinement_narrows_matches(page_document, books):
+    session = PatternBuilderSession(page_document)
+    proposal = session.propose_filter("cell", "document", books[0].author)
+    # the generalised ?.td filter matches every cell of the table
+    assert proposal.match_count() >= len(books)
+    refined = session.refine_with_attribute(proposal, "class", "author", mode="exact")
+    assert 0 < refined.match_count() < proposal.match_count()
+    refined_more = session.refine_with_condition(
+        refined, ContainsCondition(path=ElementPath.parse(".#text"))
+    )
+    assert refined_more.match_count() <= refined.match_count()
+    session.accept(refined)
+    assert session.test_pattern("cell") == [book.author for book in books]
+
+
+def test_invalid_interactions_raise(page_document):
+    session = PatternBuilderSession(page_document)
+    with pytest.raises(PatternBuilderError):
+        session.propose_filter("p", "unknown_parent", "Bestsellers")
+    with pytest.raises(PatternBuilderError):
+        session.propose_filter("p", "document", "THIS TEXT DOES NOT EXIST")
+
+
+def test_highlighting_parent_instances(page_document, books):
+    session = PatternBuilderSession(page_document)
+    proposal = session.propose_filter("row", "document", books[0].title)
+    session.accept(proposal)
+    highlighted = session.highlight_instances("row")
+    assert highlighted
+    assert session.highlight_instances("document") == [page_document.root]

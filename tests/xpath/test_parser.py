@@ -1,0 +1,137 @@
+"""Tests for the XPath parser."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.xpath import (
+    AttributeTest,
+    Not,
+    Or,
+    PathExists,
+    Position,
+    TextEquals,
+    XPathSyntaxError,
+    is_core,
+    is_positive,
+    parse_xpath,
+    query_size,
+)
+
+
+def test_parse_absolute_path_with_abbreviations():
+    path = parse_xpath("/html/body//table")
+    assert path.absolute
+    axes = [step.axis for step in path.steps]
+    assert axes == ["child", "child", "descendant-or-self", "child"]
+    assert path.steps[-1].node_test.name == "table"
+
+
+def test_parse_leading_double_slash():
+    path = parse_xpath("//a")
+    assert path.absolute
+    assert [step.axis for step in path.steps] == ["descendant-or-self", "child"]
+
+
+def test_parse_explicit_axes():
+    path = parse_xpath("descendant::div/following-sibling::p/ancestor-or-self::*")
+    assert [step.axis for step in path.steps] == [
+        "descendant",
+        "following-sibling",
+        "ancestor-or-self",
+    ]
+    assert path.steps[2].node_test.kind == "any-element"
+
+
+def test_parse_dot_and_dotdot():
+    path = parse_xpath("./..")
+    assert [step.axis for step in path.steps] == ["self", "parent"]
+
+
+def test_parse_node_tests():
+    path = parse_xpath("/*/text()/node()")
+    kinds = [step.node_test.kind for step in path.steps]
+    assert kinds == ["any-element", "text", "any"]
+
+
+def test_parse_predicates_boolean_structure():
+    path = parse_xpath("//tr[td and not(th or td/a)]")
+    predicate = path.steps[-1].predicates[0]
+    assert predicate.__class__.__name__ == "And"
+    assert isinstance(predicate.left, PathExists)
+    assert isinstance(predicate.right, Not)
+    assert isinstance(predicate.right.operand, Or)
+
+
+def test_parse_nested_predicates():
+    path = parse_xpath("//table[tr[td[a]]]")
+    outer = path.steps[-1].predicates[0]
+    assert isinstance(outer, PathExists)
+    inner = outer.path.steps[0].predicates[0]
+    assert isinstance(inner, PathExists)
+
+
+def test_parse_attribute_predicates():
+    path = parse_xpath('//a[@href]/span[@class="big"]')
+    assert path.steps[1].predicates[0] == AttributeTest("href")
+    assert path.steps[2].predicates[0] == AttributeTest("class", "big")
+
+
+def test_parse_positional_predicates():
+    path = parse_xpath("//tr[2]/td[last()]/p[position()=3]")
+    assert path.steps[1].predicates[0] == Position(2)
+    assert path.steps[2].predicates[0] == Position(None)
+    assert path.steps[3].predicates[0] == Position(3)
+
+
+def test_parse_text_equality():
+    path = parse_xpath("//td[text()='item']")
+    assert path.steps[-1].predicates[0] == TextEquals("item")
+    path2 = parse_xpath("//tr[td='42']")
+    predicate = path2.steps[-1].predicates[0]
+    assert isinstance(predicate, TextEquals)
+    assert predicate.value == "42"
+    assert predicate.path is not None
+
+
+def test_parse_root_only():
+    path = parse_xpath("/")
+    assert path.absolute
+    assert len(path.steps) == 0
+
+
+def test_parse_relative_path():
+    path = parse_xpath("tr/td")
+    assert not path.absolute
+    assert len(path.steps) == 2
+
+
+def test_parse_errors():
+    with pytest.raises(XPathSyntaxError):
+        parse_xpath("//a[")
+    with pytest.raises(XPathSyntaxError):
+        parse_xpath("//a]extra")
+    with pytest.raises(XPathSyntaxError):
+        parse_xpath("//item(")
+    with pytest.raises(XPathSyntaxError):
+        parse_xpath("//a[$x]")
+
+
+def test_query_size_counts_steps_and_operators():
+    small = parse_xpath("//a")
+    nested = parse_xpath("//a[b and not(c)]")
+    assert query_size(nested) > query_size(small)
+
+
+def test_is_positive_and_is_core():
+    assert is_positive(parse_xpath("//a[b or c]"))
+    assert not is_positive(parse_xpath("//a[not(b)]"))
+    assert is_core(parse_xpath("//a[b][not(c)]"))
+    assert not is_core(parse_xpath("//a[@href]"))
+    assert not is_core(parse_xpath("//a[2]"))
+
+
+def test_round_trip_str_is_reparsable():
+    original = parse_xpath("//table[tr[td and not(th)]]/tr/td")
+    reparsed = parse_xpath(str(original))
+    assert str(reparsed) == str(original)

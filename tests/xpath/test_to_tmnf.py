@@ -1,0 +1,102 @@
+"""Experiment E11: Core XPath -> monadic datalog / TMNF translation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.mdatalog import MonadicTreeEvaluator, is_tmnf
+from repro.xpath import (
+    UnsupportedFeatureError,
+    evaluate_xpath,
+    parse_xpath,
+    translate_to_mdatalog,
+    translate_to_tmnf,
+)
+from repro.tree import random_tree
+
+
+QUERIES = [
+    "//a",
+    "/r/a/b",
+    "//a[b]",
+    "//a[b and c]",
+    "//b[ancestor::a]",
+    "//a/following-sibling::b",
+    "//a[descendant::c]/b",
+    "//a[b or c]/descendant::d",
+    "//c[following::d]",
+    "//a[b[c]]",
+]
+
+NEGATED_QUERIES = [
+    "//a[not(b)]",
+    "//a[b and not(c)]",
+    "//b[not(descendant::c)]",
+]
+
+
+def datalog_answers(program, document):
+    return {
+        node.preorder_index
+        for node in MonadicTreeEvaluator(program).select(document, "answer")
+    }
+
+
+def xpath_answers(document, query):
+    return {node.preorder_index for node in evaluate_xpath(document, query)}
+
+
+@pytest.mark.parametrize("query", QUERIES)
+def test_translation_agrees_with_evaluator(query):
+    labels = ("r", "a", "b", "c", "d")
+    for seed in (0, 1, 2):
+        document = random_tree(80, labels=labels, seed=seed)
+        program = translate_to_mdatalog(query, labels=document.labels())
+        assert datalog_answers(program, document) == xpath_answers(document, query)
+
+
+@pytest.mark.parametrize("query", QUERIES)
+def test_tmnf_translation_is_tmnf_and_equivalent(query):
+    labels = ("r", "a", "b", "c", "d")
+    document = random_tree(60, labels=labels, seed=5)
+    program = translate_to_tmnf(query, labels=labels)
+    assert is_tmnf(program)
+    assert datalog_answers(program, document) == xpath_answers(document, query)
+
+
+@pytest.mark.parametrize("query", NEGATED_QUERIES)
+def test_negated_queries_translate_with_stratified_negation(query):
+    labels = ("r", "a", "b", "c", "d")
+    for seed in (0, 3):
+        document = random_tree(70, labels=labels, seed=seed)
+        program = translate_to_mdatalog(query, labels=labels)
+        assert program.uses_negation()
+        assert datalog_answers(program, document) == xpath_answers(document, query)
+
+
+def test_tmnf_translation_rejects_negation():
+    with pytest.raises(UnsupportedFeatureError):
+        translate_to_tmnf("//a[not(b)]", labels=("a", "b"))
+
+
+def test_translation_rejects_non_core_predicates():
+    with pytest.raises(UnsupportedFeatureError):
+        translate_to_mdatalog("//a[@href]", labels=("a",))
+    with pytest.raises(UnsupportedFeatureError):
+        translate_to_mdatalog("//a[2]", labels=("a",))
+
+
+def test_translation_output_size_is_linear_in_query_size():
+    labels = ("a", "b", "c")
+    small = translate_to_mdatalog("//a[b]", labels=labels)
+    big_query = "//a[b]" + "/a[b]" * 9
+    big = translate_to_mdatalog(big_query, labels=labels)
+    # 10x the steps should give roughly 10x the rules, not more
+    assert len(big.rules) <= 12 * len(small.rules)
+
+
+def test_wildcard_node_test_uses_label_alphabet():
+    labels = ("r", "a", "b")
+    document = random_tree(40, labels=labels, seed=2)
+    program = translate_to_mdatalog("//a/*", labels=labels)
+    assert datalog_answers(program, document) == xpath_answers(document, "//a/*")
