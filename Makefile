@@ -1,0 +1,16 @@
+PYTHON ?= python
+export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
+
+.PHONY: check test bench-quick bench
+
+# Tier-1 gate plus the quick benchmark pass; CI runs exactly this.
+check: test bench-quick
+
+test:
+	$(PYTHON) -m pytest -x -q
+
+bench-quick:
+	$(PYTHON) -m pytest benchmarks -x -q --quick --benchmark-disable
+
+bench:
+	$(PYTHON) -m pytest benchmarks -q --benchmark-only

@@ -8,7 +8,30 @@ speed-up factors, crossover points), so a single
 
 from __future__ import annotations
 
+import time
+
 import pytest
+
+
+def _best_of(run, repeats=3):
+    """(best wall-clock over ``repeats`` runs, last result).
+
+    The min damps scheduler/GC noise so wall-clock comparison assertions
+    hold on loaded CI runners; pass ``repeats=1`` for expensive baselines
+    (noise can only inflate them, never flip a faster-than assertion).
+    """
+    best = float("inf")
+    result = None
+    for _ in range(repeats):
+        start = time.perf_counter()
+        result = run()
+        best = min(best, time.perf_counter() - start)
+    return best, result
+
+
+@pytest.fixture(scope="session")
+def best_of():
+    return _best_of
 
 
 def pytest_addoption(parser):

@@ -8,7 +8,12 @@ from .ranked import (
     leaf_selector_automaton,
 )
 from .strings import ANY, DFA, EPSILON, NFA, NFABuilder, determinize
-from .to_datalog import compile_automaton, state_predicate
+from .to_datalog import (
+    compile_automaton,
+    compiled_evaluator,
+    compiled_select,
+    state_predicate,
+)
 from .unranked import (
     HorizontalRule,
     UnrankedTreeAutomaton,
@@ -28,6 +33,8 @@ __all__ = [
     "UnrankedTreeAutomaton",
     "automaton_from_child_pattern",
     "compile_automaton",
+    "compiled_evaluator",
+    "compiled_select",
     "determinize",
     "label_reachability_automaton",
     "leaf_selector_automaton",

@@ -12,11 +12,14 @@ automaton selects — an executable witness of the theorem.
 
 from __future__ import annotations
 
-from typing import Iterable, List
+from typing import Dict, Iterable, List, Optional, Tuple
 
 from ..datalog.ast import Atom, Literal, Rule, Variable
 from ..datalog.tree_edb import label_predicate
+from ..mdatalog.evaluator import MonadicTreeEvaluator
 from ..mdatalog.program import MonadicProgram
+from ..tree.document import Document
+from ..tree.node import Node
 from .ranked import BOTTOM, State, TreeAutomaton
 
 SELECTED = "selected"
@@ -117,3 +120,69 @@ def compile_automaton(
         )
 
     return MonadicProgram(rules, query_predicates=[query_predicate])
+
+
+# Reusable (compile once, evaluate per document) consumers of the
+# compilation.  Evaluation goes through :class:`MonadicTreeEvaluator`, i.e.
+# through the ground+LTUR pipeline or the indexed-join generic engine.
+
+# Content-keyed (a stale hit would silently select wrong nodes, exactly as
+# for the engine's fixpoint cache): the key snapshots the automaton's
+# transitions and state sets, so in-place mutation of the mutable dataclass
+# is always observed.  Bounded FIFO keeps long-running processes from
+# accumulating evaluators.
+_EVALUATOR_CACHE: Dict[Tuple[object, ...], MonadicTreeEvaluator] = {}
+_EVALUATOR_CACHE_LIMIT = 32
+
+
+def _automaton_signature(automaton: TreeAutomaton) -> Tuple[object, ...]:
+    return (
+        frozenset(automaton.transitions.items()),
+        frozenset(automaton.accepting),
+        frozenset(automaton.selecting),
+    )
+
+
+def compiled_evaluator(
+    automaton: TreeAutomaton,
+    labels: Iterable[str],
+    query_predicate: str = SELECTED,
+    force_generic: bool = False,
+) -> MonadicTreeEvaluator:
+    """A (cached) evaluator for ``automaton``'s monadic datalog compilation.
+
+    The cache is keyed on automaton content, so callers that repeatedly
+    query the same (or an equal) automaton skip both recompilation and
+    evaluator construction, while mutated automata recompile.
+    """
+    label_set = tuple(sorted(set(labels)))
+    key = (_automaton_signature(automaton), label_set, query_predicate, force_generic)
+    evaluator = _EVALUATOR_CACHE.get(key)
+    if evaluator is not None:
+        return evaluator
+    program = compile_automaton(automaton, label_set, query_predicate)
+    evaluator = MonadicTreeEvaluator(program, force_generic=force_generic)
+    while len(_EVALUATOR_CACHE) >= _EVALUATOR_CACHE_LIMIT:
+        _EVALUATOR_CACHE.pop(next(iter(_EVALUATOR_CACHE)))
+    _EVALUATOR_CACHE[key] = evaluator
+    return evaluator
+
+
+def compiled_select(
+    automaton: TreeAutomaton,
+    document: Document,
+    labels: Optional[Iterable[str]] = None,
+    query_predicate: str = SELECTED,
+    force_generic: bool = False,
+) -> List[Node]:
+    """Nodes of ``document`` selected by ``automaton``'s compiled program.
+
+    Equivalent to ``automaton.select(document)`` (Theorem 2.5) but runs the
+    datalog side of the bridge; ``labels`` defaults to the document's label
+    set.
+    """
+    label_set = set(labels) if labels is not None else set(document.labels())
+    evaluator = compiled_evaluator(
+        automaton, label_set, query_predicate, force_generic
+    )
+    return evaluator.select(document, query_predicate)

@@ -15,7 +15,14 @@ from .ast import (
     rule,
     var,
 )
-from .engine import SemiNaiveEngine, evaluate_program, query_program
+from .engine import (
+    EvaluationError,
+    EvaluationResult,
+    SemiNaiveEngine,
+    evaluate_program,
+    query_program,
+)
+from .index import IndexedDatabase, RelationIndex
 from .ltur import GroundHornSolver, solve_ground_program
 from .parser import DatalogSyntaxError, parse_atom_text, parse_program, parse_rules
 from .stratify import StratificationError, is_stratifiable, stratify
@@ -31,9 +38,13 @@ __all__ = [
     "Constant",
     "Database",
     "DatalogSyntaxError",
+    "EvaluationError",
+    "EvaluationResult",
     "GroundHornSolver",
+    "IndexedDatabase",
     "Literal",
     "Program",
+    "RelationIndex",
     "Rule",
     "SemiNaiveEngine",
     "StratificationError",

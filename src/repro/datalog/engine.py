@@ -4,6 +4,14 @@ This is the reference engine the theory packages compare against.  It works
 for arbitrary (function-free, safe) datalog programs over an extensional
 database given as ``{predicate: set of tuples}``.
 
+Joins are evaluated against the hash-index layer of
+:mod:`repro.datalog.index`: body literals are greedily reordered by estimated
+selectivity (bound-term count, then relation size), each literal is matched
+by probing an index on its currently-bound argument positions instead of
+scanning the whole relation, and builtin/negated literals are hoisted to the
+earliest point all their variables are bound.  The seed nested-loop strategy
+is kept behind ``use_index=False`` as the ablation baseline.
+
 The specialised linear-time evaluation for monadic datalog over trees
 (Theorem 2.4) lives in :mod:`repro.mdatalog.evaluator`; property-based tests
 check both engines agree.
@@ -11,10 +19,10 @@ check both engines agree.
 
 from __future__ import annotations
 
-from collections import defaultdict
 from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
 from .ast import Atom, Constant, Database, Literal, Program, Rule, Term, Variable
+from .index import IndexedDatabase, RelationIndex
 from .stratify import stratify
 
 Substitution = Dict[Variable, object]
@@ -69,12 +77,44 @@ def _ground_terms(terms: Sequence[Term], substitution: Substitution) -> Tuple[ob
     return tuple(values)
 
 
+class EvaluationResult:
+    """An immutable view of a computed fixpoint.
+
+    Returned by :meth:`SemiNaiveEngine.fixpoint` and cached by the engine so
+    that repeated queries over the same database (the
+    :mod:`repro.server.pipeline` access pattern) do not recompute.
+    """
+
+    __slots__ = ("_facts",)
+
+    def __init__(self, facts: Database) -> None:
+        self._facts = facts
+
+    def query(self, predicate: str) -> Set[Tuple[object, ...]]:
+        """The extension of ``predicate`` (a fresh, mutation-safe set)."""
+        return set(self._facts.get(predicate, ()))
+
+    def facts(self) -> Database:
+        """A fresh ``{predicate: facts}`` snapshot of the whole fixpoint."""
+        return {predicate: set(facts) for predicate, facts in self._facts.items()}
+
+    def predicates(self) -> Set[str]:
+        return set(self._facts)
+
+    def __contains__(self, predicate: str) -> bool:
+        return predicate in self._facts
+
+
 class SemiNaiveEngine:
     """Semi-naive bottom-up evaluation with stratified negation.
 
     Builtin comparison predicates (``lt``, ``le``, ``gt``, ``ge``, ``eq``,
     ``neq``) are evaluated on bound arguments, supporting the paper's
     comparison conditions (Section 3.3).
+
+    ``use_index=True`` (the default) evaluates rule bodies with the indexed
+    join of :mod:`repro.datalog.index`; ``use_index=False`` retains the
+    original nested-loop join for ablation benchmarks.
     """
 
     BUILTINS = {
@@ -86,56 +126,100 @@ class SemiNaiveEngine:
         "neq": lambda a, b: a != b,
     }
 
-    def __init__(self, program: Program) -> None:
+    def __init__(self, program: Program, use_index: bool = True) -> None:
         program.check_safety()
+        self._validate_builtins(program)
         self.program = program
         self.strata = stratify(program)
+        self.use_index = use_index
+        self._fixpoint_cache: Optional[Tuple[object, EvaluationResult]] = None
+
+    def _validate_builtins(self, program: Program) -> None:
+        """Builtins are binary comparisons; reject wrong arities up front.
+
+        The seed engine silently dropped substitutions for mis-aried builtin
+        atoms, masking user errors (e.g. ``lt(X)`` never firing a rule).
+        """
+        for rule in program.rules:
+            for literal in rule.body:
+                atom = literal.atom
+                if atom.predicate in self.BUILTINS and atom.arity != 2:
+                    raise EvaluationError(
+                        f"builtin {atom.predicate!r} expects 2 arguments, "
+                        f"got {atom.arity} in rule: {rule}"
+                    )
 
     # ------------------------------------------------------------------
     def evaluate(self, database: Database) -> Database:
         """Return all derived facts (EDB facts included in the result)."""
-        facts: Database = defaultdict(set)
-        for predicate, tuples in database.items():
-            facts[predicate] |= set(tuples)
+        facts = IndexedDatabase(database)
         for stratum_rules in self.strata:
             self._evaluate_stratum(stratum_rules, facts)
-        return dict(facts)
+        return facts.to_database()
+
+    def fixpoint(self, database: Database) -> EvaluationResult:
+        """Evaluate with memoisation per database content.
+
+        The cache key is a frozenset snapshot of every relation, so any
+        content change — including swapping one fact for another in place —
+        invalidates the cache exactly, while repeated queries over an
+        unchanged database (same object or an equal rebuild) pay only the
+        O(|D|) fingerprint comparison instead of a re-evaluation.
+        """
+        key = self._fingerprint(database)
+        cached = self._fixpoint_cache
+        if cached is not None and cached[0] == key:
+            return cached[1]
+        result = EvaluationResult(self.evaluate(database))
+        self._fixpoint_cache = (key, result)
+        return result
 
     def query(self, database: Database, predicate: str) -> Set[Tuple[object, ...]]:
-        """Evaluate and return the extension of ``predicate``."""
-        return set(self.evaluate(database).get(predicate, set()))
+        """Evaluate (cached) and return the extension of ``predicate``."""
+        return self.fixpoint(database).query(predicate)
+
+    @staticmethod
+    def _fingerprint(database: Database) -> Tuple[object, ...]:
+        # Exact (not hash- or identity-based): a stale hit would silently
+        # return a wrong fixpoint, so the key holds the facts themselves.
+        # The snapshot is O(|D|) to build and compare — far below
+        # re-evaluation cost — and the cached result already holds the same
+        # facts anyway.
+        return tuple(
+            (predicate, frozenset(database[predicate]))
+            for predicate in sorted(database)
+        )
 
     # ------------------------------------------------------------------
-    def _evaluate_stratum(self, rules: List[Rule], facts: Database) -> None:
+    def _evaluate_stratum(self, rules: List[Rule], facts: IndexedDatabase) -> None:
         head_predicates = {rule.head.predicate for rule in rules}
         # Naive first round, then semi-naive iteration on the deltas.
-        delta: Database = defaultdict(set)
+        delta = IndexedDatabase()
         for rule in rules:
-            for derived in self._apply_rule(rule, facts, None):
-                if derived[1] not in facts[derived[0]]:
-                    facts[derived[0]].add(derived[1])
-                    delta[derived[0]].add(derived[1])
-        while any(delta.values()):
-            new_delta: Database = defaultdict(set)
+            for predicate, derived in self._apply_rule(rule, facts, None):
+                if facts.add_fact(predicate, derived):
+                    delta.add_fact(predicate, derived)
+        while delta:
+            new_delta = IndexedDatabase()
             for rule in rules:
                 relevant = any(
-                    not literal.negated and literal.atom.predicate in delta
+                    not literal.negated
                     and literal.atom.predicate in head_predicates
+                    and delta.size(literal.atom.predicate)
                     for literal in rule.body
                 )
                 if not relevant:
                     continue
-                for derived in self._apply_rule(rule, facts, delta):
-                    if derived[1] not in facts[derived[0]]:
-                        facts[derived[0]].add(derived[1])
-                        new_delta[derived[0]].add(derived[1])
+                for predicate, derived in self._apply_rule(rule, facts, delta):
+                    if facts.add_fact(predicate, derived):
+                        new_delta.add_fact(predicate, derived)
             delta = new_delta
 
     def _apply_rule(
         self,
         rule: Rule,
-        facts: Database,
-        delta: Optional[Database],
+        facts: IndexedDatabase,
+        delta: Optional[IndexedDatabase],
     ) -> Iterable[Tuple[str, Tuple[object, ...]]]:
         """Yield (predicate, fact) pairs derivable by ``rule``.
 
@@ -152,7 +236,7 @@ class SemiNaiveEngine:
         seen: Set[Tuple[object, ...]] = set()
         for delta_position in positive_positions:
             predicate = rule.body[delta_position].atom.predicate
-            if predicate not in delta or not delta[predicate]:
+            if not delta.size(predicate):
                 continue
             for produced in self._join(rule, facts, delta, delta_position):
                 if produced[1] not in seen:
@@ -162,8 +246,164 @@ class SemiNaiveEngine:
     def _join(
         self,
         rule: Rule,
-        facts: Database,
-        delta: Optional[Database],
+        facts: IndexedDatabase,
+        delta: Optional[IndexedDatabase],
+        delta_position: int,
+    ) -> Iterable[Tuple[str, Tuple[object, ...]]]:
+        if self.use_index:
+            yield from self._join_indexed(rule, facts, delta, delta_position)
+        else:
+            yield from self._join_nested_loop(rule, facts, delta, delta_position)
+
+    # ------------------------------------------------------------------
+    # Indexed join
+    # ------------------------------------------------------------------
+    def _join_indexed(
+        self,
+        rule: Rule,
+        facts: IndexedDatabase,
+        delta: Optional[IndexedDatabase],
+        delta_position: int,
+    ) -> Iterable[Tuple[str, Tuple[object, ...]]]:
+        # Split the body into relational literals (joined via the index) and
+        # filters (builtins and negated literals, hoisted below).
+        relational: List[int] = []
+        pending: List[Literal] = []
+        for position, literal in enumerate(rule.body):
+            if literal.negated or literal.atom.predicate in self.BUILTINS:
+                pending.append(literal)
+            else:
+                relational.append(position)
+
+        def relation_for(position: int) -> RelationIndex:
+            predicate = rule.body[position].atom.predicate
+            if position == delta_position and delta is not None:
+                return delta.lookup(predicate)
+            return facts.lookup(predicate)
+
+        order = self._join_order(rule, relational, delta_position, relation_for)
+
+        substitutions: List[Substitution] = [{}]
+        bound: Set[Variable] = set()
+        substitutions, pending = self._apply_ready_filters(
+            substitutions, pending, bound, facts
+        )
+        for position in order:
+            if not substitutions:
+                return
+            atom = rule.body[position].atom
+            relation = relation_for(position)
+            bound_positions = tuple(
+                index
+                for index, term in enumerate(atom.terms)
+                if isinstance(term, Constant) or term in bound
+            )
+            bound_terms = tuple(atom.terms[index] for index in bound_positions)
+            next_substitutions: List[Substitution] = []
+            for substitution in substitutions:
+                key = tuple(
+                    term.value if isinstance(term, Constant) else substitution[term]
+                    for term in bound_terms
+                )
+                for fact in relation.probe(bound_positions, key):
+                    extended = _match_atom(atom, fact, substitution)
+                    if extended is not None:
+                        next_substitutions.append(extended)
+            substitutions = next_substitutions
+            bound |= atom.variables()
+            substitutions, pending = self._apply_ready_filters(
+                substitutions, pending, bound, facts
+            )
+        # Leftover filters have variables no positive literal binds; grounding
+        # them surfaces the unbound-variable error exactly like the seed path.
+        for substitution in substitutions:
+            if all(
+                self._filter_passes(literal, substitution, facts)
+                for literal in pending
+            ):
+                yield rule.head.predicate, _ground_terms(rule.head.terms, substitution)
+
+    def _join_order(
+        self,
+        rule: Rule,
+        relational: List[int],
+        delta_position: int,
+        relation_for,
+    ) -> List[int]:
+        """Greedy selectivity ordering of the positive relational literals.
+
+        The delta literal (when present) seeds the order — it carries the
+        novelty and is typically the smallest relation.  Each following pick
+        maximises the number of already-bound terms (constants plus variables
+        bound by earlier literals) and tie-breaks on smaller relation size,
+        so probes run with the longest available prefix.
+        """
+        remaining = list(relational)
+        order: List[int] = []
+        bound: Set[Variable] = set()
+        if delta_position in remaining:
+            remaining.remove(delta_position)
+            order.append(delta_position)
+            bound |= rule.body[delta_position].atom.variables()
+        while remaining:
+            def selectivity(position: int) -> Tuple[int, int]:
+                atom = rule.body[position].atom
+                bound_terms = sum(
+                    1
+                    for term in atom.terms
+                    if isinstance(term, Constant) or term in bound
+                )
+                return (bound_terms, -len(relation_for(position)))
+
+            best = max(remaining, key=selectivity)
+            remaining.remove(best)
+            order.append(best)
+            bound |= rule.body[best].atom.variables()
+        return order
+
+    def _apply_ready_filters(
+        self,
+        substitutions: List[Substitution],
+        pending: List[Literal],
+        bound: Set[Variable],
+        facts: IndexedDatabase,
+    ) -> Tuple[List[Substitution], List[Literal]]:
+        """Apply every pending filter whose variables are all bound."""
+        if not pending or not substitutions:
+            return substitutions, pending
+        ready: List[Literal] = []
+        still_pending: List[Literal] = []
+        for literal in pending:
+            (ready if literal.variables() <= bound else still_pending).append(literal)
+        if not ready:
+            return substitutions, pending
+        filtered = [
+            substitution
+            for substitution in substitutions
+            if all(self._filter_passes(literal, substitution, facts) for literal in ready)
+        ]
+        return filtered, still_pending
+
+    def _filter_passes(
+        self, literal: Literal, substitution: Substitution, facts: IndexedDatabase
+    ) -> bool:
+        predicate = literal.atom.predicate
+        values = _ground_terms(literal.atom.terms, substitution)
+        if predicate in self.BUILTINS:
+            holds = self.BUILTINS[predicate](*values)
+            return not holds if literal.negated else holds
+        # Negated relational literal; its relation is complete (stratified
+        # negation evaluates strictly lower strata first).
+        return not facts.contains_fact(predicate, values)
+
+    # ------------------------------------------------------------------
+    # Seed nested-loop join (ablation baseline)
+    # ------------------------------------------------------------------
+    def _join_nested_loop(
+        self,
+        rule: Rule,
+        facts: IndexedDatabase,
+        delta: Optional[IndexedDatabase],
         delta_position: int,
     ) -> Iterable[Tuple[str, Tuple[object, ...]]]:
         substitutions: List[Substitution] = [{}]
@@ -174,9 +414,9 @@ class SemiNaiveEngine:
             if predicate in self.BUILTINS:
                 continue
             if index == delta_position and delta is not None:
-                relation = delta.get(predicate, set())
+                relation = delta.facts_of(predicate)
             else:
-                relation = facts.get(predicate, set())
+                relation = facts.facts_of(predicate)
             next_substitutions: List[Substitution] = []
             for substitution in substitutions:
                 for fact in relation:
@@ -193,20 +433,12 @@ class SemiNaiveEngine:
             yield rule.head.predicate, _ground_terms(rule.head.terms, substitution)
 
     def _passes_filters(
-        self, rule: Rule, substitution: Substitution, facts: Database
+        self, rule: Rule, substitution: Substitution, facts: IndexedDatabase
     ) -> bool:
         for literal in rule.body:
             predicate = literal.atom.predicate
-            if predicate in self.BUILTINS and not literal.negated:
-                values = _ground_terms(literal.atom.terms, substitution)
-                if len(values) != 2 or not self.BUILTINS[predicate](*values):
-                    return False
-            elif literal.negated:
-                values = _ground_terms(literal.atom.terms, substitution)
-                if predicate in self.BUILTINS:
-                    if self.BUILTINS[predicate](*values):
-                        return False
-                elif values in facts.get(predicate, set()):
+            if predicate in self.BUILTINS or literal.negated:
+                if not self._filter_passes(literal, substitution, facts):
                     return False
         return True
 

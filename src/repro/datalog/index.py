@@ -1,0 +1,162 @@
+"""Hash-index layer for datalog relations.
+
+The generic semi-naive engine originally matched every body literal by
+scanning the whole relation once per partial substitution — an
+O(|R|^k) nested-loop join.  This module provides the indexed alternative:
+
+* :class:`RelationIndex` — one relation (a set of fact tuples) plus hash
+  indexes keyed by tuples of argument positions.  Indexes are built lazily
+  on first probe and maintained incrementally as facts are added, so the
+  semi-naive delta loop never rebuilds an index from scratch.
+* :class:`IndexedDatabase` — a predicate-keyed collection of
+  :class:`RelationIndex` instances with the same ``{predicate: facts}``
+  shape as :data:`~repro.datalog.ast.Database`.
+
+The engine probes an index with the currently-bound prefix of a literal
+(bound variables plus constants), turning each join step into expected
+O(matching facts) instead of O(|R|).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, List, Optional, Set, Tuple
+
+from .ast import Database
+
+Fact = Tuple[object, ...]
+
+_EMPTY: Tuple[Fact, ...] = ()
+
+
+class RelationIndex:
+    """A relation plus lazily-built, incrementally-maintained hash indexes.
+
+    Each index is keyed by a sorted tuple of argument positions; the bucket
+    for a key holds every fact whose projection onto those positions equals
+    the key.  Facts too short for an index's positions are simply absent
+    from that index (they can never match a probe on those positions).
+    """
+
+    __slots__ = ("facts", "_indexes")
+
+    def __init__(self, facts: Iterable[Fact] = ()) -> None:
+        self.facts: Set[Fact] = set(facts)
+        self._indexes: Dict[Tuple[int, ...], Dict[Tuple[object, ...], List[Fact]]] = {}
+
+    # -- container protocol -------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.facts)
+
+    def __contains__(self, fact: Fact) -> bool:
+        return fact in self.facts
+
+    def __iter__(self) -> Iterator[Fact]:
+        return iter(self.facts)
+
+    def __bool__(self) -> bool:
+        return bool(self.facts)
+
+    # -- updates -------------------------------------------------------------
+    def add(self, fact: Fact) -> bool:
+        """Insert ``fact``; returns True iff it was new.
+
+        Every materialised index is updated in O(1), keeping index
+        maintenance amortised-constant per derived fact.
+        """
+        if fact in self.facts:
+            return False
+        self.facts.add(fact)
+        for positions, buckets in self._indexes.items():
+            if positions[-1] >= len(fact):
+                continue
+            key = tuple(fact[p] for p in positions)
+            buckets.setdefault(key, []).append(fact)
+        return True
+
+    # -- probing -------------------------------------------------------------
+    def probe(self, positions: Tuple[int, ...], key: Tuple[object, ...]):
+        """Facts whose values at ``positions`` (ascending) equal ``key``.
+
+        With no bound positions this is a full scan by definition; otherwise
+        the positions index is materialised on first use and probed in O(1).
+        """
+        if not positions:
+            return self.facts
+        if not self.facts:
+            # Also keeps the shared _EMPTY_RELATION sentinel truly immutable.
+            return _EMPTY
+        buckets = self._indexes.get(positions)
+        if buckets is None:
+            buckets = {}
+            last = positions[-1]
+            for fact in self.facts:
+                if last >= len(fact):
+                    continue
+                buckets.setdefault(tuple(fact[p] for p in positions), []).append(fact)
+            self._indexes[positions] = buckets
+        return buckets.get(key, _EMPTY)
+
+    def index_count(self) -> int:
+        """Number of materialised indexes (introspection / tests)."""
+        return len(self._indexes)
+
+
+class IndexedDatabase:
+    """A set of :class:`RelationIndex` instances keyed by predicate name."""
+
+    __slots__ = ("relations",)
+
+    def __init__(self, database: Optional[Database] = None) -> None:
+        self.relations: Dict[str, RelationIndex] = {}
+        if database:
+            for predicate, facts in database.items():
+                self.relations[predicate] = RelationIndex(facts)
+
+    # -- access --------------------------------------------------------------
+    def relation(self, predicate: str) -> RelationIndex:
+        """The (possibly empty, lazily created) relation for ``predicate``."""
+        index = self.relations.get(predicate)
+        if index is None:
+            index = self.relations[predicate] = RelationIndex()
+        return index
+
+    def lookup(self, predicate: str) -> RelationIndex:
+        """Read-only access: missing predicates map to a shared empty
+        relation without creating an entry (keeps the result database free
+        of spurious empty extensions)."""
+        index = self.relations.get(predicate)
+        return index if index is not None else _EMPTY_RELATION
+
+    def facts_of(self, predicate: str) -> Set[Fact]:
+        index = self.relations.get(predicate)
+        return index.facts if index is not None else set()
+
+    def size(self, predicate: str) -> int:
+        index = self.relations.get(predicate)
+        return len(index) if index is not None else 0
+
+    def contains_fact(self, predicate: str, fact: Fact) -> bool:
+        index = self.relations.get(predicate)
+        return index is not None and fact in index
+
+    def __contains__(self, predicate: str) -> bool:
+        return predicate in self.relations
+
+    def __bool__(self) -> bool:
+        return any(self.relations.values())
+
+    # -- updates -------------------------------------------------------------
+    def add_fact(self, predicate: str, fact: Fact) -> bool:
+        """Insert a fact, updating indexes incrementally; True iff new."""
+        return self.relation(predicate).add(fact)
+
+    # -- export --------------------------------------------------------------
+    def to_database(self) -> Database:
+        """A plain ``{predicate: set of facts}`` snapshot."""
+        return {
+            predicate: set(index.facts) for predicate, index in self.relations.items()
+        }
+
+
+#: Shared sentinel for :meth:`IndexedDatabase.lookup` misses; never mutated.
+_EMPTY_RELATION = RelationIndex()

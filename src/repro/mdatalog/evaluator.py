@@ -41,7 +41,12 @@ class MonadicTreeEvaluator:
     :meth:`evaluate` per document.
     """
 
-    def __init__(self, program: MonadicProgram, force_generic: bool = False) -> None:
+    def __init__(
+        self,
+        program: MonadicProgram,
+        force_generic: bool = False,
+        use_index: bool = True,
+    ) -> None:
         self.program = program
         self.uses_ground_pipeline = False
         self._tmnf_program: Optional[MonadicProgram] = None
@@ -54,7 +59,9 @@ class MonadicTreeEvaluator:
             except TMNFRewriteError:
                 self._tmnf_program = None
         if self._tmnf_program is None:
-            self._generic_engine = SemiNaiveEngine(program.to_datalog_program())
+            self._generic_engine = SemiNaiveEngine(
+                program.to_datalog_program(), use_index=use_index
+            )
 
     # ------------------------------------------------------------------
     def evaluate(self, document: Document) -> Dict[str, List[Node]]:
@@ -161,11 +168,15 @@ class MonadicTreeEvaluator:
     # ------------------------------------------------------------------
     def _evaluate_generic(self, document: Document) -> Dict[str, List[Node]]:
         assert self._generic_engine is not None
+        # The tree database is rebuilt per call (O(|dom|)) so document
+        # mutations are always observed; fixpoint() memoises per database
+        # CONTENT, so repeated select() calls against an unchanged document
+        # still evaluate once.
         database = tree_database(document)
-        derived = self._generic_engine.evaluate(database)
+        derived = self._generic_engine.fixpoint(database)
         result: Dict[str, List[Node]] = {}
         for predicate in self.program.query_predicates:
-            indexes = sorted(value[0] for value in derived.get(predicate, set()))
+            indexes = sorted(value[0] for value in derived.query(predicate))
             result[predicate] = [document.node_at(index) for index in indexes]
         return result
 

@@ -113,6 +113,61 @@ def test_unsafe_rule_rejected_at_construction():
         SemiNaiveEngine(program)
 
 
+def test_builtin_wrong_arity_rejected_at_construction():
+    # The seed engine silently filtered these substitutions away; wrong-arity
+    # builtins must fail loudly instead of masking user errors.
+    for text in ("p(X) :- q(X), lt(X).", "p(X) :- q(X), lt(X, X, X)."):
+        with pytest.raises(EvaluationError):
+            SemiNaiveEngine(parse_program(text))
+
+
+def test_negated_builtin_wrong_arity_rejected_at_construction():
+    with pytest.raises(EvaluationError):
+        SemiNaiveEngine(parse_program("p(X) :- q(X), not lt(X)."))
+
+
+def test_query_caches_fixpoint_per_database_content():
+    program = parse_program("p(X) :- q(X).")
+    engine = SemiNaiveEngine(program)
+    database = {"q": {(1,)}}
+    calls = []
+    original = engine.evaluate
+    engine.evaluate = lambda db: calls.append(1) or original(db)
+    assert engine.query(database, "p") == {(1,)}
+    assert engine.query(database, "p") == {(1,)}
+    assert engine.query(database, "q") == {(1,)}
+    assert len(calls) == 1  # one evaluation serves repeated queries
+    # Mutating the database (fact counts change) invalidates the cache.
+    database["q"].add((2,))
+    assert engine.query(database, "p") == {(1,), (2,)}
+    assert len(calls) == 2
+    # Swapping one fact for another keeps the size but must also invalidate.
+    database["q"].discard((2,))
+    database["q"].add((3,))
+    assert engine.query(database, "p") == {(1,), (3,)}
+    assert len(calls) == 3
+    # A database with different content is evaluated afresh...
+    assert engine.query({"q": {(5,)}}, "p") == {(5,)}
+    assert len(calls) == 4
+    # ...but an equal-content rebuild hits the cache (content-keyed).
+    assert engine.query({"q": {(5,)}}, "p") == {(5,)}
+    assert len(calls) == 4
+
+
+def test_fixpoint_result_is_mutation_safe():
+    program = parse_program("p(X) :- q(X).")
+    engine = SemiNaiveEngine(program)
+    database = {"q": {(1,)}}
+    first = engine.query(database, "p")
+    first.add((99,))
+    assert engine.query(database, "p") == {(1,)}
+    result = engine.fixpoint(database)
+    snapshot = result.facts()
+    snapshot["p"].add((99,))
+    assert result.query("p") == {(1,)}
+    assert "p" in result and result.predicates() >= {"p", "q"}
+
+
 def test_constants_in_rules():
     program = parse_program('special(X) :- labelled(X, "gold").')
     database = {"labelled": {(1, "gold"), (2, "silver")}}

@@ -1,0 +1,147 @@
+"""Unit tests for the hash-index layer and the indexed join path."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datalog import (
+    IndexedDatabase,
+    RelationIndex,
+    SemiNaiveEngine,
+    parse_program,
+)
+from repro.datalog.engine import EvaluationError
+
+
+# ---------------------------------------------------------------------------
+# RelationIndex
+# ---------------------------------------------------------------------------
+
+
+def test_probe_on_bound_positions():
+    index = RelationIndex({(1, "a"), (1, "b"), (2, "a")})
+    assert set(index.probe((0,), (1,))) == {(1, "a"), (1, "b")}
+    assert set(index.probe((1,), ("a",))) == {(1, "a"), (2, "a")}
+    assert set(index.probe((0, 1), (2, "a"))) == {(2, "a")}
+    assert list(index.probe((0,), (99,))) == []
+
+
+def test_probe_without_positions_is_full_scan():
+    facts = {(1,), (2,)}
+    index = RelationIndex(facts)
+    assert set(index.probe((), ())) == facts
+
+
+def test_add_maintains_materialised_indexes_incrementally():
+    index = RelationIndex({(1, "a")})
+    assert set(index.probe((0,), (1,))) == {(1, "a")}  # materialises the index
+    assert index.add((1, "b"))
+    assert not index.add((1, "b"))  # duplicate insert is a no-op
+    assert set(index.probe((0,), (1,))) == {(1, "a"), (1, "b")}
+    assert index.index_count() == 1
+
+
+def test_mixed_arity_facts_do_not_break_indexes():
+    index = RelationIndex({(1, "a"), (7,)})
+    assert set(index.probe((1,), ("a",))) == {(1, "a")}
+    index.add((8,))
+    assert set(index.probe((1,), ("a",))) == {(1, "a")}
+
+
+def test_indexed_database_roundtrip():
+    database = {"e": {(1, 2), (2, 3)}, "f": {(5,)}}
+    indexed = IndexedDatabase(database)
+    assert indexed.size("e") == 2
+    assert indexed.contains_fact("f", (5,))
+    assert not indexed.contains_fact("missing", (1,))
+    assert indexed.add_fact("e", (3, 4))
+    assert indexed.to_database() == {"e": {(1, 2), (2, 3), (3, 4)}, "f": {(5,)}}
+
+
+# ---------------------------------------------------------------------------
+# Indexed join semantics
+# ---------------------------------------------------------------------------
+
+
+def _both_engines(program_text):
+    program = parse_program(program_text)
+    return (
+        SemiNaiveEngine(program, use_index=True),
+        SemiNaiveEngine(program, use_index=False),
+    )
+
+
+def test_transitive_closure_same_result():
+    indexed, nested = _both_engines(
+        """
+        reach(X, Y) :- edge(X, Y).
+        reach(X, Y) :- reach(X, Z), edge(Z, Y).
+        """
+    )
+    database = {"edge": {(i, i + 1) for i in range(30)}}
+    assert indexed.evaluate(database) == nested.evaluate(database)
+
+
+def test_hoisted_builtin_prunes_mid_join():
+    # The builtin's variables are bound after the first literal; the indexed
+    # path applies it before joining the second literal, the nested-loop path
+    # only at the end — the result must be identical.
+    indexed, nested = _both_engines(
+        "pair(X, Y) :- item(X, P), lt(P, 10), link(X, Y)."
+    )
+    database = {
+        "item": {("a", 5), ("b", 20), ("c", 9)},
+        "link": {("a", 1), ("b", 2), ("c", 3)},
+    }
+    expected = {("a", 1), ("c", 3)}
+    assert indexed.query(database, "pair") == expected
+    assert nested.query(database, "pair") == expected
+
+
+def test_hoisted_negation_agrees_with_filter_at_end():
+    indexed, nested = _both_engines(
+        """
+        ok(X) :- node(X), not banned(X).
+        good(X, Y) :- node(X), not banned(X), link(X, Y).
+        """
+    )
+    database = {
+        "node": {(1,), (2,), (3,)},
+        "banned": {(2,)},
+        "link": {(1, 10), (2, 20), (3, 30)},
+    }
+    assert indexed.evaluate(database) == nested.evaluate(database)
+    assert indexed.query(database, "good") == {(1, 10), (3, 30)}
+
+
+def test_repeated_variable_in_atom():
+    indexed, nested = _both_engines("loop(X) :- edge(X, X).")
+    database = {"edge": {(1, 1), (1, 2), (3, 3)}}
+    assert indexed.query(database, "loop") == {(1,), (3,)}
+    assert nested.query(database, "loop") == {(1,), (3,)}
+
+
+def test_constants_probe_the_index():
+    indexed, nested = _both_engines('gold(X) :- labelled(X, "gold").')
+    database = {"labelled": {(1, "gold"), (2, "silver"), (3, "gold")}}
+    assert indexed.query(database, "gold") == {(1,), (3,)}
+    assert nested.query(database, "gold") == {(1,), (3,)}
+
+
+def test_unbound_builtin_variable_raises_on_both_paths():
+    # Safety does not cover variables that occur only in builtins; grounding
+    # them must surface an EvaluationError rather than silently dropping.
+    for use_index in (True, False):
+        engine = SemiNaiveEngine(
+            parse_program("p(X) :- q(X), lt(Y, 10)."), use_index=use_index
+        )
+        with pytest.raises(EvaluationError):
+            engine.evaluate({"q": {(1,)}})
+
+
+def test_cartesian_product_rule():
+    indexed, nested = _both_engines("pair(X, Y) :- left(X), right(Y).")
+    database = {"left": {(1,), (2,)}, "right": {("a",), ("b",)}}
+    expected = {(1, "a"), (1, "b"), (2, "a"), (2, "b")}
+    assert indexed.query(database, "pair") == expected
+    assert nested.query(database, "pair") == expected

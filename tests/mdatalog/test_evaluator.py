@@ -114,3 +114,33 @@ def test_query_agreement_helper(figure1):
     third = label_query("n5")
     assert first.agrees_with(second, figure1)
     assert not first.agrees_with(third, figure1)
+
+
+def test_use_index_flag_threads_through_generic_path():
+    # use_index=False retains the seed nested-loop join; both strategies
+    # must select the same nodes through the evaluator API.
+    program = MonadicProgram.parse(
+        """
+        mark(X) :- label_b(X).
+        mark(X) :- mark(X0), firstchild(X0, X).
+        mark(X) :- mark(X0), nextsibling(X0, X).
+        """,
+    )
+    document = random_tree(80, labels=("a", "b"), seed=11)
+    indexed = MonadicTreeEvaluator(program, force_generic=True)
+    nested = MonadicTreeEvaluator(program, force_generic=True, use_index=False)
+    assert not indexed.uses_ground_pipeline and not nested.uses_ground_pipeline
+    assert indexes(indexed.select(document, "mark")) == indexes(
+        nested.select(document, "mark")
+    )
+
+
+def test_generic_path_observes_document_mutation():
+    # The tree EDB is rebuilt per evaluate() call, so relabelling a node
+    # between calls must be reflected (the fixpoint cache is content-keyed).
+    program = MonadicProgram.parse("hit(X) :- label_b(X).")
+    evaluator = MonadicTreeEvaluator(program, force_generic=True)
+    document = tree(("a", ("b",), ("c",)))
+    assert indexes(evaluator.evaluate(document)["hit"]) == {1}
+    document.node_at(2).label = "b"
+    assert indexes(evaluator.evaluate(document)["hit"]) == {1, 2}
