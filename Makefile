@@ -9,6 +9,8 @@ check: test bench-quick
 test:
 	$(PYTHON) -m pytest -x -q
 
+# Also writes BENCH_engine.json (workload -> median seconds) at the repo
+# root; CI uploads it as the engine perf-trajectory artifact.
 bench-quick:
 	$(PYTHON) -m pytest benchmarks -x -q --quick --benchmark-disable
 

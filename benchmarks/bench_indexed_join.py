@@ -34,10 +34,10 @@ def _tree_workload(size):
     return program, database
 
 
-def test_indexed_join_beats_nested_loop_on_tree_workload(quick, best_of):
+def test_indexed_join_beats_nested_loop_on_tree_workload(quick, best_of, bench_record):
     size = 800 if quick else 3_000
     program, database = _tree_workload(size)
-    indexed_engine = SemiNaiveEngine(program, use_index=True)
+    indexed_engine = SemiNaiveEngine(program, use_index=True)  # planned + indexed
     nested_engine = SemiNaiveEngine(program, use_index=False)
 
     indexed_time, indexed_result = best_of(lambda: indexed_engine.evaluate(database))
@@ -46,6 +46,8 @@ def test_indexed_join_beats_nested_loop_on_tree_workload(quick, best_of):
     )
 
     assert indexed_result == nested_result
+    bench_record(f"tree_wide_{size}_planned_s", indexed_time)
+    bench_record(f"tree_wide_{size}_nested_loop_s", nested_time)
     print(
         f"\nIndexed join  {indexed_time:.4f} s vs nested-loop {nested_time:.4f} s "
         f"(speed-up {nested_time / max(indexed_time, 1e-9):.1f}x, {size} nodes, "
@@ -54,11 +56,13 @@ def test_indexed_join_beats_nested_loop_on_tree_workload(quick, best_of):
     assert indexed_time < nested_time
 
 
-def test_indexed_join_beats_nested_loop_on_transitive_closure(quick, best_of):
+def test_indexed_join_beats_nested_loop_on_transitive_closure(
+    quick, best_of, bench_record
+):
     length = 60 if quick else 150
     program = parse_program(TC_PROGRAM_TEXT)
     database = _chain_edges(length)
-    indexed_engine = SemiNaiveEngine(program, use_index=True)
+    indexed_engine = SemiNaiveEngine(program, use_index=True)  # planned + indexed
     nested_engine = SemiNaiveEngine(program, use_index=False)
 
     indexed_time, indexed_result = best_of(lambda: indexed_engine.evaluate(database))
@@ -69,6 +73,8 @@ def test_indexed_join_beats_nested_loop_on_transitive_closure(quick, best_of):
     assert indexed_result == nested_result
     expected_pairs = length * (length + 1) // 2
     assert len(indexed_result["reach"]) == expected_pairs
+    bench_record(f"tc_chain_{length}_planned_s", indexed_time)
+    bench_record(f"tc_chain_{length}_nested_loop_s", nested_time)
     print(
         f"\nTransitive closure (chain {length})  indexed {indexed_time:.4f} s vs "
         f"nested-loop {nested_time:.4f} s "

@@ -4,13 +4,25 @@ Every benchmark prints, in addition to the pytest-benchmark timing table, the
 series the corresponding experiment in EXPERIMENTS.md reports (counts,
 speed-up factors, crossover points), so a single
 ``pytest benchmarks/ --benchmark-only`` run regenerates all reported numbers.
+
+Engine benchmarks additionally record their headline numbers through the
+``bench_record`` fixture; at session end the accumulated
+``{workload: median seconds (or ratio)}`` mapping is written to
+``BENCH_engine.json`` at the repo root — the perf-trajectory file CI uploads
+as an artifact so future PRs can compare against it.
 """
 
 from __future__ import annotations
 
+import json
 import time
+from pathlib import Path
 
 import pytest
+
+BENCH_JSON_PATH = Path(__file__).resolve().parent.parent / "BENCH_engine.json"
+
+_RECORDED: dict = {}
 
 
 def _best_of(run, repeats=3):
@@ -32,6 +44,37 @@ def _best_of(run, repeats=3):
 @pytest.fixture(scope="session")
 def best_of():
     return _best_of
+
+
+@pytest.fixture(scope="session")
+def bench_record():
+    """Record ``workload -> value`` into BENCH_engine.json at session end."""
+
+    def record(workload: str, value: float) -> None:
+        _RECORDED[workload] = round(float(value), 6)
+
+    return record
+
+
+def pytest_sessionfinish(session, exitstatus):
+    # Failed or -x-aborted runs must not clobber the trajectory file, and a
+    # partial run (one benchmark file) merges into the existing mapping
+    # instead of dropping every workload it did not execute.
+    if not _RECORDED or exitstatus != 0:
+        return
+    merged = {}
+    if BENCH_JSON_PATH.exists():
+        try:
+            merged = json.loads(BENCH_JSON_PATH.read_text())
+        except (ValueError, OSError):
+            merged = {}
+    merged.update(_RECORDED)
+    payload = dict(sorted(merged.items()))
+    BENCH_JSON_PATH.write_text(json.dumps(payload, indent=2) + "\n")
+    print(
+        f"\nwrote {len(_RECORDED)} workload timings to {BENCH_JSON_PATH} "
+        f"({len(payload)} total)"
+    )
 
 
 def pytest_addoption(parser):

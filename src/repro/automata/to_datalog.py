@@ -15,6 +15,7 @@ from __future__ import annotations
 from typing import Dict, Iterable, List, Optional, Tuple
 
 from ..datalog.ast import Atom, Literal, Rule, Variable
+from ..datalog.cache import LruMap
 from ..datalog.tree_edb import label_predicate
 from ..mdatalog.evaluator import MonadicTreeEvaluator
 from ..mdatalog.program import MonadicProgram
@@ -129,10 +130,10 @@ def compile_automaton(
 # Content-keyed (a stale hit would silently select wrong nodes, exactly as
 # for the engine's fixpoint cache): the key snapshots the automaton's
 # transitions and state sets, so in-place mutation of the mutable dataclass
-# is always observed.  Bounded FIFO keeps long-running processes from
+# is always observed.  A bounded LRU (not the earlier FIFO — hot automata
+# now stay resident under churn) keeps long-running processes from
 # accumulating evaluators.
-_EVALUATOR_CACHE: Dict[Tuple[object, ...], MonadicTreeEvaluator] = {}
-_EVALUATOR_CACHE_LIMIT = 32
+_EVALUATOR_CACHE: LruMap[Tuple[object, ...], MonadicTreeEvaluator] = LruMap(32)
 
 
 def _automaton_signature(automaton: TreeAutomaton) -> Tuple[object, ...]:
@@ -162,9 +163,7 @@ def compiled_evaluator(
         return evaluator
     program = compile_automaton(automaton, label_set, query_predicate)
     evaluator = MonadicTreeEvaluator(program, force_generic=force_generic)
-    while len(_EVALUATOR_CACHE) >= _EVALUATOR_CACHE_LIMIT:
-        _EVALUATOR_CACHE.pop(next(iter(_EVALUATOR_CACHE)))
-    _EVALUATOR_CACHE[key] = evaluator
+    _EVALUATOR_CACHE.put(key, evaluator)
     return evaluator
 
 

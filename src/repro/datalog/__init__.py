@@ -15,6 +15,7 @@ from .ast import (
     rule,
     var,
 )
+from .cache import CacheInfo, FixpointCache, LruMap, database_content_hash
 from .engine import (
     EvaluationError,
     EvaluationResult,
@@ -23,6 +24,7 @@ from .engine import (
     query_program,
 )
 from .index import IndexedDatabase, RelationIndex
+from .plan import RulePlan, compile_stratum
 from .ltur import GroundHornSolver, solve_ground_program
 from .parser import DatalogSyntaxError, parse_atom_text, parse_program, parse_rules
 from .stratify import StratificationError, is_stratifiable, stratify
@@ -30,25 +32,32 @@ from .tree_edb import (
     label_predicate,
     nodes_for_indexes,
     tree_database,
+    tree_fingerprint,
     tree_signature,
 )
 
 __all__ = [
     "Atom",
+    "CacheInfo",
     "Constant",
     "Database",
     "DatalogSyntaxError",
     "EvaluationError",
     "EvaluationResult",
+    "FixpointCache",
     "GroundHornSolver",
     "IndexedDatabase",
     "Literal",
+    "LruMap",
     "Program",
     "RelationIndex",
     "Rule",
+    "RulePlan",
     "SemiNaiveEngine",
     "StratificationError",
     "Variable",
+    "compile_stratum",
+    "database_content_hash",
     "atom",
     "const",
     "evaluate_program",
@@ -65,6 +74,7 @@ __all__ = [
     "solve_ground_program",
     "stratify",
     "tree_database",
+    "tree_fingerprint",
     "tree_signature",
     "var",
 ]

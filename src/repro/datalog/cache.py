@@ -1,0 +1,195 @@
+"""Server-scale fixpoint caching for the semi-naive engine.
+
+PR 1 memoised exactly one fixpoint per engine, keyed by a frozenset snapshot
+of the whole database that was rebuilt on *every* ``query()`` call.  The
+:mod:`repro.server.pipeline` access pattern — several hot documents queried
+round-robin — thrashed that single slot, and even cache hits paid the O(|D|)
+snapshot allocation.
+
+:class:`FixpointCache` replaces it with an LRU keyed by cheap content hashes:
+
+* The per-lookup fingerprint is an allocation-free, order-independent XOR
+  hash over the facts (:func:`database_content_hash`) — one O(|D|) pass with
+  small constants, no frozensets built.  The frozenset snapshot is built
+  once at *store* time, never per query: a hit costs the hash pass plus one
+  allocation-free exact comparison, where PR 1 rebuilt (and then compared)
+  a full tuple-of-frozensets key on every single ``query()`` call.
+* Every hash hit is verified exactly, set by set, against the stored
+  snapshot before the cached result is returned — a colliding hash can
+  never smuggle in a stale fixpoint, not even for an in-place mutation of
+  the previously seen database object that happens to preserve the hash
+  (CPython hashes collide easily, e.g. ``hash(1) == hash(2**61)``).
+* Entries are evicted least-recently-used once ``capacity`` is exceeded, so
+  a working set of several hot documents all stay resident.
+
+Hit/miss counters are exposed through :meth:`FixpointCache.info` so server
+benchmarks can assert cache effectiveness.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Dict, FrozenSet, Generic, List, NamedTuple, Optional, Tuple, TypeVar
+
+from .ast import Database
+
+ResultT = TypeVar("ResultT")
+
+Snapshot = Dict[str, FrozenSet[Tuple[object, ...]]]
+
+
+class CacheInfo(NamedTuple):
+    """Cache statistics, mirroring :func:`functools.lru_cache` conventions."""
+
+    hits: int
+    misses: int
+    size: int
+    capacity: int
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+
+def database_content_hash(database: Database) -> int:
+    """An order-independent content hash of ``{predicate: facts}``.
+
+    XOR-combining per-fact hashes makes the result independent of set and
+    dict iteration order without sorting or building frozensets; empty
+    relations still contribute (their presence changes the fixpoint shape).
+    """
+    result = 0
+    for predicate, facts in database.items():
+        relation_hash = 0
+        for fact in facts:
+            relation_hash ^= hash(fact)
+        result ^= hash((predicate, len(facts), relation_hash))
+    return result
+
+
+class _Entry(Generic[ResultT]):
+    __slots__ = ("snapshot", "result")
+
+    def __init__(self, snapshot: Snapshot, result: ResultT) -> None:
+        self.snapshot = snapshot
+        self.result = result
+
+
+def _snapshot_matches(snapshot: Snapshot, database: Database) -> bool:
+    if len(snapshot) != len(database):
+        return False
+    for predicate, facts in database.items():
+        stored = snapshot.get(predicate)
+        if stored is None or stored != facts:
+            return False
+    return True
+
+
+class FixpointCache(Generic[ResultT]):
+    """An LRU of evaluated fixpoints, keyed by cheap content fingerprints.
+
+    ``lookup`` returns ``(fingerprint, result-or-None)``; on a miss the
+    caller evaluates and calls ``store`` with the same fingerprint.  Entries
+    whose hashes collide share a bucket and are disambiguated by exact
+    verification, so correctness never depends on hash quality.
+    """
+
+    __slots__ = ("capacity", "hits", "misses", "_buckets", "_size")
+
+    def __init__(self, capacity: int = 8) -> None:
+        if capacity < 1:
+            raise ValueError("cache capacity must be >= 1")
+        self.capacity = capacity
+        self.hits = 0
+        self.misses = 0
+        self._buckets: "OrderedDict[int, List[_Entry[ResultT]]]" = OrderedDict()
+        self._size = 0
+
+    def __len__(self) -> int:
+        return self._size
+
+    def lookup(self, database: Database) -> Tuple[int, Optional[ResultT]]:
+        fingerprint = database_content_hash(database)
+        bucket = self._buckets.get(fingerprint)
+        if bucket is not None:
+            for entry in bucket:
+                if _snapshot_matches(entry.snapshot, database):
+                    self._buckets.move_to_end(fingerprint)
+                    self.hits += 1
+                    return fingerprint, entry.result
+        self.misses += 1
+        return fingerprint, None
+
+    def store(self, fingerprint: int, database: Database, result: ResultT) -> None:
+        snapshot: Snapshot = {
+            predicate: frozenset(facts) for predicate, facts in database.items()
+        }
+        bucket = self._buckets.setdefault(fingerprint, [])
+        bucket.append(_Entry(snapshot, result))
+        self._buckets.move_to_end(fingerprint)
+        self._size += 1
+        while self._size > self.capacity:
+            oldest_fingerprint, oldest_bucket = next(iter(self._buckets.items()))
+            oldest_bucket.pop(0)
+            self._size -= 1
+            if not oldest_bucket:
+                del self._buckets[oldest_fingerprint]
+
+    def clear(self) -> None:
+        self._buckets.clear()
+        self._size = 0
+        self.hits = 0
+        self.misses = 0
+
+    def info(self) -> CacheInfo:
+        return CacheInfo(self.hits, self.misses, self._size, self.capacity)
+
+
+KeyT = TypeVar("KeyT")
+_MISSING = object()
+
+
+class LruMap(Generic[KeyT, ResultT]):
+    """A bounded least-recently-used mapping with hit/miss counters.
+
+    For caches whose keys are already exact content fingerprints (tree
+    fingerprints, automaton signatures) — no hash-then-verify step needed.
+    Shared by the monadic ground pipeline and the automata evaluator cache.
+    """
+
+    __slots__ = ("capacity", "hits", "misses", "_entries")
+
+    def __init__(self, capacity: int = 8) -> None:
+        if capacity < 1:
+            raise ValueError("cache capacity must be >= 1")
+        self.capacity = capacity
+        self.hits = 0
+        self.misses = 0
+        self._entries: "OrderedDict[KeyT, ResultT]" = OrderedDict()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def get(self, key: KeyT) -> Optional[ResultT]:
+        value = self._entries.get(key, _MISSING)
+        if value is _MISSING:
+            self.misses += 1
+            return None
+        self._entries.move_to_end(key)
+        self.hits += 1
+        return value  # type: ignore[return-value]
+
+    def put(self, key: KeyT, value: ResultT) -> None:
+        self._entries[key] = value
+        self._entries.move_to_end(key)
+        while len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+
+    def clear(self) -> None:
+        self._entries.clear()
+        self.hits = 0
+        self.misses = 0
+
+    def info(self) -> CacheInfo:
+        return CacheInfo(self.hits, self.misses, len(self._entries), self.capacity)

@@ -4,13 +4,30 @@ This is the reference engine the theory packages compare against.  It works
 for arbitrary (function-free, safe) datalog programs over an extensional
 database given as ``{predicate: set of tuples}``.
 
-Joins are evaluated against the hash-index layer of
-:mod:`repro.datalog.index`: body literals are greedily reordered by estimated
-selectivity (bound-term count, then relation size), each literal is matched
-by probing an index on its currently-bound argument positions instead of
-scanning the whole relation, and builtin/negated literals are hoisted to the
-earliest point all their variables are bound.  The seed nested-loop strategy
-is kept behind ``use_index=False`` as the ablation baseline.
+Evaluation architecture (see ROADMAP.md for the full picture):
+
+1. **Plan compilation** (:mod:`repro.datalog.plan`) — at engine construction
+   every rule is compiled once into a :class:`~repro.datalog.plan.RulePlan`:
+   a variable→slot layout, precompiled filters and head projection, and a
+   per-(delta-position, size-bucket) memo of greedy join orders.  Each
+   stratum also gets a predicate→(rule, position) trigger map so semi-naive
+   iterations fire only the rules a delta actually touches.
+2. **Indexed join** (:mod:`repro.datalog.index`) — body literals are matched
+   by probing hash indexes on their bound argument positions; indexes are
+   built lazily and maintained incrementally.
+3. **Semi-naive loop** — a naive first round followed by delta iteration.
+   Delta storage is recycled across iterations (bucket dictionaries are
+   cleared in place, not reallocated) and each iteration's new facts are
+   loaded with batched index updates, cutting allocator pressure on deep
+   recursions.
+4. **Fixpoint caching** (:mod:`repro.datalog.cache`) — ``fixpoint()`` keeps
+   an LRU of evaluated databases keyed by cheap content hashes with exact
+   verification on hit, sized for the several hot documents of the
+   :mod:`repro.server.pipeline` access pattern.
+
+The PR-1 plan-free indexed join is kept behind ``use_plans=False`` and the
+seed nested-loop strategy behind ``use_index=False`` as ablation baselines;
+property tests assert all three paths compute identical fixpoints.
 
 The specialised linear-time evaluation for monadic datalog over trees
 (Theorem 2.4) lives in :mod:`repro.mdatalog.evaluator`; property-based tests
@@ -19,13 +36,17 @@ check both engines agree.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
 
 from .ast import Atom, Constant, Database, Literal, Program, Rule, Term, Variable
+from .cache import CacheInfo, FixpointCache
 from .index import IndexedDatabase, RelationIndex
+from .plan import RulePlan, compile_stratum
 from .stratify import stratify
 
 Substitution = Dict[Variable, object]
+
+_EMPTY_EXTENSION: FrozenSet[Tuple[object, ...]] = frozenset()
 
 
 class EvaluationError(RuntimeError):
@@ -85,14 +106,25 @@ class EvaluationResult:
     :mod:`repro.server.pipeline` access pattern) do not recompute.
     """
 
-    __slots__ = ("_facts",)
+    __slots__ = ("_facts", "_views")
 
     def __init__(self, facts: Database) -> None:
         self._facts = facts
+        self._views: Dict[str, FrozenSet[Tuple[object, ...]]] = {}
 
-    def query(self, predicate: str) -> Set[Tuple[object, ...]]:
-        """The extension of ``predicate`` (a fresh, mutation-safe set)."""
-        return set(self._facts.get(predicate, ()))
+    def query(self, predicate: str) -> FrozenSet[Tuple[object, ...]]:
+        """The extension of ``predicate`` as an immutable ``frozenset`` view.
+
+        The view is built once per predicate and shared between calls —
+        repeated queries are O(1) instead of copying the whole extension.
+        Callers that want a mutable copy should take ``set(result.query(p))``.
+        """
+        view = self._views.get(predicate)
+        if view is None:
+            facts = self._facts.get(predicate)
+            view = frozenset(facts) if facts else _EMPTY_EXTENSION
+            self._views[predicate] = view
+        return view
 
     def facts(self) -> Database:
         """A fresh ``{predicate: facts}`` snapshot of the whole fixpoint."""
@@ -112,9 +144,11 @@ class SemiNaiveEngine:
     ``neq``) are evaluated on bound arguments, supporting the paper's
     comparison conditions (Section 3.3).
 
-    ``use_index=True`` (the default) evaluates rule bodies with the indexed
-    join of :mod:`repro.datalog.index`; ``use_index=False`` retains the
-    original nested-loop join for ablation benchmarks.
+    ``use_plans=True`` (the default) evaluates through the compile-once rule
+    plans of :mod:`repro.datalog.plan`; ``use_plans=False`` retains the PR-1
+    per-call indexed join and ``use_index=False`` the original nested-loop
+    join, both as ablation baselines.  ``cache_size`` bounds the fixpoint
+    LRU (one entry per distinct hot database).
     """
 
     BUILTINS = {
@@ -126,13 +160,28 @@ class SemiNaiveEngine:
         "neq": lambda a, b: a != b,
     }
 
-    def __init__(self, program: Program, use_index: bool = True) -> None:
+    def __init__(
+        self,
+        program: Program,
+        use_index: bool = True,
+        use_plans: bool = True,
+        cache_size: int = 8,
+    ) -> None:
         program.check_safety()
         self._validate_builtins(program)
         self.program = program
         self.strata = stratify(program)
         self.use_index = use_index
-        self._fixpoint_cache: Optional[Tuple[object, EvaluationResult]] = None
+        self.use_plans = use_index and use_plans
+        self._fixpoint_cache: FixpointCache[EvaluationResult] = FixpointCache(cache_size)
+        # Compile-once rule plans plus per-stratum delta trigger maps.
+        self._stratum_plans: List[List[RulePlan]] = []
+        self._stratum_triggers: List[Dict[str, List[Tuple[RulePlan, int]]]] = []
+        if self.use_plans:
+            for stratum_rules in self.strata:
+                plans, triggers = compile_stratum(stratum_rules, self.BUILTINS)
+                self._stratum_plans.append(plans)
+                self._stratum_triggers.append(triggers)
 
     def _validate_builtins(self, program: Program) -> None:
         """Builtins are binary comparisons; reject wrong arities up front.
@@ -153,43 +202,87 @@ class SemiNaiveEngine:
     def evaluate(self, database: Database) -> Database:
         """Return all derived facts (EDB facts included in the result)."""
         facts = IndexedDatabase(database)
-        for stratum_rules in self.strata:
-            self._evaluate_stratum(stratum_rules, facts)
+        if self.use_plans:
+            for plans, triggers in zip(self._stratum_plans, self._stratum_triggers):
+                self._evaluate_stratum_planned(plans, triggers, facts)
+        else:
+            for stratum_rules in self.strata:
+                self._evaluate_stratum(stratum_rules, facts)
         return facts.to_database()
 
     def fixpoint(self, database: Database) -> EvaluationResult:
-        """Evaluate with memoisation per database content.
+        """Evaluate with LRU memoisation per database content.
 
-        The cache key is a frozenset snapshot of every relation, so any
-        content change — including swapping one fact for another in place —
-        invalidates the cache exactly, while repeated queries over an
-        unchanged database (same object or an equal rebuild) pay only the
-        O(|D|) fingerprint comparison instead of a re-evaluation.
+        Lookups pay one allocation-free O(|D|) content-hash pass plus, on a
+        hash hit, one exact comparison against the stored snapshot (built
+        once at store time, unlike the PR-1 cache that rebuilt a frozenset
+        key per query) — a stale hit can never return a wrong fixpoint.
+        The LRU holds several entries so the multi-document server working
+        set does not thrash the cache.
         """
-        key = self._fingerprint(database)
-        cached = self._fixpoint_cache
-        if cached is not None and cached[0] == key:
-            return cached[1]
+        fingerprint, cached = self._fixpoint_cache.lookup(database)
+        if cached is not None:
+            return cached
         result = EvaluationResult(self.evaluate(database))
-        self._fixpoint_cache = (key, result)
+        self._fixpoint_cache.store(fingerprint, database, result)
         return result
 
-    def query(self, database: Database, predicate: str) -> Set[Tuple[object, ...]]:
+    def query(self, database: Database, predicate: str) -> FrozenSet[Tuple[object, ...]]:
         """Evaluate (cached) and return the extension of ``predicate``."""
         return self.fixpoint(database).query(predicate)
 
-    @staticmethod
-    def _fingerprint(database: Database) -> Tuple[object, ...]:
-        # Exact (not hash- or identity-based): a stale hit would silently
-        # return a wrong fixpoint, so the key holds the facts themselves.
-        # The snapshot is O(|D|) to build and compare — far below
-        # re-evaluation cost — and the cached result already holds the same
-        # facts anyway.
-        return tuple(
-            (predicate, frozenset(database[predicate]))
-            for predicate in sorted(database)
-        )
+    def fixpoint_cache_info(self) -> CacheInfo:
+        """Hit/miss statistics of the fixpoint LRU (for tests/benchmarks)."""
+        return self._fixpoint_cache.info()
 
+    def clear_fixpoint_cache(self) -> None:
+        self._fixpoint_cache.clear()
+
+    # ------------------------------------------------------------------
+    # Planned evaluation (compile-once rule plans, delta compaction)
+    # ------------------------------------------------------------------
+    def _evaluate_stratum_planned(
+        self,
+        plans: List[RulePlan],
+        triggers: Dict[str, List[Tuple[RulePlan, int]]],
+        facts: IndexedDatabase,
+    ) -> None:
+        add_fact = facts.add_fact
+        # Naive first round: every rule fires once without delta restriction.
+        collected: Dict[str, List[Tuple[object, ...]]] = {}
+        for plan in plans:
+            predicate = plan.head_predicate
+            new_facts = None
+            for derived in plan.run(facts):
+                if add_fact(predicate, derived):
+                    if new_facts is None:
+                        new_facts = collected.setdefault(predicate, [])
+                    new_facts.append(derived)
+        # Semi-naive iteration: two delta databases are recycled across all
+        # iterations (cleared in place, loaded with batched index updates)
+        # instead of allocating a fresh IndexedDatabase per round.
+        delta = IndexedDatabase()
+        spare = IndexedDatabase()
+        delta.load(collected)
+        while delta:
+            collected = {}
+            for delta_predicate, relation in delta.relations.items():
+                if not relation:
+                    continue
+                for plan, position in triggers.get(delta_predicate, ()):
+                    predicate = plan.head_predicate
+                    new_facts = None
+                    for derived in plan.run(facts, delta, position):
+                        if add_fact(predicate, derived):
+                            if new_facts is None:
+                                new_facts = collected.setdefault(predicate, [])
+                            new_facts.append(derived)
+            spare.clear()
+            spare.load(collected)
+            delta, spare = spare, delta
+
+    # ------------------------------------------------------------------
+    # Legacy (PR-1) evaluation loop — ablation baseline for the plans
     # ------------------------------------------------------------------
     def _evaluate_stratum(self, rules: List[Rule], facts: IndexedDatabase) -> None:
         head_predicates = {rule.head.predicate for rule in rules}
@@ -256,7 +349,7 @@ class SemiNaiveEngine:
             yield from self._join_nested_loop(rule, facts, delta, delta_position)
 
     # ------------------------------------------------------------------
-    # Indexed join
+    # Indexed join (PR-1 per-call strategy)
     # ------------------------------------------------------------------
     def _join_indexed(
         self,
@@ -450,6 +543,6 @@ def evaluate_program(program: Program, database: Database) -> Database:
 
 def query_program(
     program: Program, database: Database, predicate: str
-) -> Set[Tuple[object, ...]]:
+) -> FrozenSet[Tuple[object, ...]]:
     """One-shot helper: the extension of ``predicate`` after evaluation."""
     return SemiNaiveEngine(program).query(database, predicate)

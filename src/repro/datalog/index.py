@@ -6,11 +6,15 @@ O(|R|^k) nested-loop join.  This module provides the indexed alternative:
 
 * :class:`RelationIndex` — one relation (a set of fact tuples) plus hash
   indexes keyed by tuples of argument positions.  Indexes are built lazily
-  on first probe and maintained incrementally as facts are added, so the
-  semi-naive delta loop never rebuilds an index from scratch.
+  on first probe and maintained incrementally as facts are added
+  (``add``) or in a single pass per index for a whole delta batch
+  (``add_batch``); ``clear`` empties buckets in place so recycled delta
+  storage keeps its index structure warm.  The semi-naive loop therefore
+  never rebuilds an index from scratch.
 * :class:`IndexedDatabase` — a predicate-keyed collection of
   :class:`RelationIndex` instances with the same ``{predicate: facts}``
-  shape as :data:`~repro.datalog.ast.Database`.
+  shape as :data:`~repro.datalog.ast.Database`, plus bulk ``load`` and
+  in-place ``clear`` for the delta-compaction path of the engine.
 
 The engine probes an index with the currently-bound prefix of a literal
 (bound variables plus constants), turning each join step into expected
@@ -72,6 +76,39 @@ class RelationIndex:
             key = tuple(fact[p] for p in positions)
             buckets.setdefault(key, []).append(fact)
         return True
+
+    def add_batch(self, new_facts: Iterable[Fact]) -> int:
+        """Bulk-insert facts, updating each materialised index in one pass.
+
+        The semi-naive loop collects an iteration's delta as plain lists and
+        loads them here, so k materialised indexes cost k tight passes over
+        the batch instead of k dictionary updates per individual ``add``.
+        Returns the number of facts that were actually new.
+        """
+        fresh = [fact for fact in new_facts if fact not in self.facts]
+        if not fresh:
+            return 0
+        self.facts.update(fresh)
+        for positions, buckets in self._indexes.items():
+            last = positions[-1]
+            setdefault = buckets.setdefault
+            for fact in fresh:
+                if last >= len(fact):
+                    continue
+                setdefault(tuple(fact[p] for p in positions), []).append(fact)
+        return len(fresh)
+
+    def clear(self) -> None:
+        """Drop all facts but keep materialised index *structure* alive.
+
+        Buckets are emptied in place and the set of indexed position tuples
+        is preserved, so a relation reused as semi-naive delta storage keeps
+        its indexes warm across iterations instead of lazily rebuilding them
+        from scratch each time.
+        """
+        self.facts.clear()
+        for buckets in self._indexes.values():
+            buckets.clear()
 
     # -- probing -------------------------------------------------------------
     def probe(self, positions: Tuple[int, ...], key: Tuple[object, ...]):
@@ -149,6 +186,21 @@ class IndexedDatabase:
     def add_fact(self, predicate: str, fact: Fact) -> bool:
         """Insert a fact, updating indexes incrementally; True iff new."""
         return self.relation(predicate).add(fact)
+
+    def load(self, batches: Dict[str, List[Fact]]) -> None:
+        """Bulk-load ``{predicate: facts}`` via batched index updates."""
+        for predicate, facts in batches.items():
+            if facts:
+                self.relation(predicate).add_batch(facts)
+
+    def clear(self) -> None:
+        """Empty every relation in place, keeping index structure warm.
+
+        Used by the semi-naive loop to recycle delta storage across
+        iterations instead of allocating a fresh database per round.
+        """
+        for relation in self.relations.values():
+            relation.clear()
 
     # -- export --------------------------------------------------------------
     def to_database(self) -> Database:

@@ -1,0 +1,444 @@
+"""Compile-once rule plans for the semi-naive engine.
+
+The PR-1 indexed join re-derived its whole strategy on every ``_join`` call:
+the greedy join order was recomputed from live relation sizes, the bound
+argument positions and probe keys were rebuilt per literal, builtin/negation
+filters were re-partitioned into ready/pending lists, and every matched fact
+went through a generic term-by-term unification with ``isinstance`` checks
+and dictionary copies.  For deep recursions (transitive closure, graph
+reachability) that per-call overhead dominates the actual probing.
+
+This module moves all of that work to compile time:
+
+* :class:`RulePlan` — built once per rule at engine construction.  It fixes a
+  variable→slot layout (substitutions become flat lists indexed by slot
+  instead of dictionaries), precompiles every builtin/negated literal into a
+  :class:`_CompiledFilter`, and precompiles the head projection.
+* ``RulePlan.run(facts, delta, delta_position)`` — looks up (or compiles) a
+  :class:`_JoinPlan` for the requested delta position and the current
+  *size buckets* of the joined relations, then interprets it.  Join orders
+  are memoised per ``(delta_position, bucket signature)`` with coarse
+  power-of-two buckets (``size.bit_length()``), so the greedy planner only
+  re-runs when a relation size crosses a bucket boundary — a handful of
+  times over a whole fixpoint instead of once per iteration.
+* :class:`_JoinStep` — one probe of the interpreter: the bound argument
+  positions, a precompiled key spec (constants inlined, variables as slots),
+  a bind spec for newly-bound slots, intra-atom equality checks for repeated
+  variables, and the filters that become ready once this step has bound its
+  variables (the hoist points are resolved ahead of time).
+
+The interpreter produces exactly the facts the PR-1 indexed join produced —
+the property tests assert equivalence against both the legacy indexed path
+and the seed nested-loop join.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Mapping, Optional, Sequence, Set, Tuple
+
+from .ast import Constant, Literal, Rule, Variable
+from .index import IndexedDatabase
+
+Fact = Tuple[object, ...]
+
+#: ``(is_slot, payload)`` — payload is a slot index when ``is_slot`` else a
+#: constant value.  Used for probe keys, filter arguments and head terms.
+ValueSpec = Tuple[Tuple[bool, object], ...]
+
+
+def size_bucket(size: int) -> int:
+    """Coarse power-of-two bucket of a relation size.
+
+    Plans are memoised per bucket signature: the greedy join order only
+    replans when a relation size crosses a power-of-two boundary.
+    """
+    return size.bit_length()
+
+
+class _CompiledFilter:
+    """A builtin comparison or negated literal, precompiled to slot form.
+
+    ``slots`` is the set of row slots the filter reads; a filter is hoisted
+    to the earliest join step after which all of them are bound.  Filters
+    over variables no relational literal binds keep the seed behaviour:
+    they raise :class:`~repro.datalog.engine.EvaluationError` the first time
+    a substitution actually reaches them.
+    """
+
+    __slots__ = ("spec", "negated", "fn", "predicate", "slots", "unbound_term", "order")
+
+    def __init__(
+        self,
+        literal: Literal,
+        order: int,
+        slot_of: Mapping[Variable, int],
+        relational_slots: Set[int],
+        builtins: Mapping[str, Callable[..., bool]],
+    ) -> None:
+        atom = literal.atom
+        self.order = order
+        self.negated = literal.negated
+        self.fn = builtins.get(atom.predicate)
+        self.predicate = atom.predicate
+        spec: List[Tuple[bool, object]] = []
+        slots: Set[int] = set()
+        self.unbound_term: Optional[Variable] = None
+        for term in atom.terms:
+            if isinstance(term, Constant):
+                spec.append((False, term.value))
+            else:
+                slot = slot_of[term]
+                spec.append((True, slot))
+                slots.add(slot)
+                if slot not in relational_slots and self.unbound_term is None:
+                    self.unbound_term = term
+        self.spec: ValueSpec = tuple(spec)
+        self.slots = frozenset(slots)
+
+    def passes(self, row: List[object], facts: IndexedDatabase) -> bool:
+        if self.unbound_term is not None:
+            # Matches the seed _ground_terms error (it reuses the head
+            # message even for body filters).
+            from .engine import EvaluationError
+
+            raise EvaluationError(f"unbound variable {self.unbound_term} in rule head")
+        values = tuple(row[p] if s else p for s, p in self.spec)
+        if self.fn is not None:
+            holds = self.fn(*values)
+            return not holds if self.negated else holds
+        # Negated relational literal; its relation is complete (stratified
+        # negation evaluates strictly lower strata first).
+        return not facts.contains_fact(self.predicate, values)
+
+
+class _JoinStep:
+    """One probe of a compiled join: everything the interpreter needs."""
+
+    __slots__ = (
+        "position",
+        "predicate",
+        "from_delta",
+        "arity",
+        "bound_positions",
+        "key_spec",
+        "bind_spec",
+        "check_spec",
+        "filters_after",
+    )
+
+    def __init__(
+        self,
+        position: int,
+        predicate: str,
+        from_delta: bool,
+        arity: int,
+        bound_positions: Tuple[int, ...],
+        key_spec: ValueSpec,
+        bind_spec: Tuple[Tuple[int, int], ...],
+        check_spec: Tuple[Tuple[int, int], ...],
+        filters_after: Tuple[_CompiledFilter, ...],
+    ) -> None:
+        self.position = position
+        self.predicate = predicate
+        self.from_delta = from_delta
+        self.arity = arity
+        self.bound_positions = bound_positions
+        self.key_spec = key_spec
+        self.bind_spec = bind_spec
+        self.check_spec = check_spec
+        self.filters_after = filters_after
+
+
+class _JoinPlan:
+    """A fixed join order plus per-step layouts, interpreted by RulePlan.run."""
+
+    __slots__ = ("steps", "initial_filters", "leftover_filters")
+
+    def __init__(
+        self,
+        steps: Tuple[_JoinStep, ...],
+        initial_filters: Tuple[_CompiledFilter, ...],
+        leftover_filters: Tuple[_CompiledFilter, ...],
+    ) -> None:
+        self.steps = steps
+        self.initial_filters = initial_filters
+        self.leftover_filters = leftover_filters
+
+
+class RulePlan:
+    """The compile-once evaluation strategy of a single rule."""
+
+    __slots__ = (
+        "rule",
+        "head_predicate",
+        "nvars",
+        "slot_of",
+        "relational",
+        "filters",
+        "head_spec",
+        "head_unbound",
+        "_plans",
+    )
+
+    def __init__(self, rule: Rule, builtins: Mapping[str, Callable[..., bool]]) -> None:
+        self.rule = rule
+        self.head_predicate = rule.head.predicate
+
+        # Variable→slot layout over the whole rule (body first, then head).
+        slot_of: Dict[Variable, int] = {}
+        for literal in rule.body:
+            for term in literal.atom.terms:
+                if isinstance(term, Variable) and term not in slot_of:
+                    slot_of[term] = len(slot_of)
+        for term in rule.head.terms:
+            if isinstance(term, Variable) and term not in slot_of:
+                slot_of[term] = len(slot_of)
+        self.slot_of = slot_of
+        self.nvars = len(slot_of)
+
+        # Positive relational literals are joined; builtins and negated
+        # literals become filters.  Which slots the join can ever bind is
+        # order-independent (every order visits all relational literals), so
+        # "leftover" filters are a per-rule static property.
+        relational: List[int] = []
+        relational_slots: Set[int] = set()
+        for position, literal in enumerate(rule.body):
+            if literal.negated or literal.atom.predicate in builtins:
+                continue
+            relational.append(position)
+            for term in literal.atom.terms:
+                if isinstance(term, Variable):
+                    relational_slots.add(slot_of[term])
+        self.relational = tuple(relational)
+        self.filters = tuple(
+            _CompiledFilter(literal, position, slot_of, relational_slots, builtins)
+            for position, literal in enumerate(rule.body)
+            if literal.negated or literal.atom.predicate in builtins
+        )
+
+        # Precompiled head projection.
+        head_spec: List[Tuple[bool, object]] = []
+        self.head_unbound: Optional[Variable] = None
+        for term in rule.head.terms:
+            if isinstance(term, Constant):
+                head_spec.append((False, term.value))
+            else:
+                head_spec.append((True, slot_of[term]))
+                if slot_of[term] not in relational_slots and self.head_unbound is None:
+                    self.head_unbound = term
+        self.head_spec: ValueSpec = tuple(head_spec)
+
+        #: (delta_position, bucket signature) → compiled _JoinPlan
+        self._plans: Dict[Tuple[object, Tuple[int, ...]], _JoinPlan] = {}
+
+    # ------------------------------------------------------------------
+    # Plan lookup (bucket-memoised) and compilation
+    # ------------------------------------------------------------------
+    def plan_count(self) -> int:
+        """Number of compiled join plans (introspection / tests)."""
+        return len(self._plans)
+
+    def _plan_for(
+        self,
+        facts: IndexedDatabase,
+        delta: Optional[IndexedDatabase],
+        delta_position: Optional[int],
+    ) -> _JoinPlan:
+        body = self.rule.body
+        sizes: List[int] = []
+        for position in self.relational:
+            predicate = body[position].atom.predicate
+            source = delta if (position == delta_position and delta is not None) else facts
+            sizes.append(len(source.lookup(predicate)))
+        signature = tuple(size_bucket(size) for size in sizes)
+        key = (delta_position, signature)
+        plan = self._plans.get(key)
+        if plan is None:
+            plan = self._compile(delta_position, dict(zip(self.relational, sizes)))
+            self._plans[key] = plan
+        return plan
+
+    def _compile(
+        self, delta_position: Optional[int], sizes: Mapping[int, int]
+    ) -> _JoinPlan:
+        body = self.rule.body
+        slot_of = self.slot_of
+
+        # Greedy selectivity order, exactly as the PR-1 join: the delta
+        # literal seeds the order, then each pick maximises already-bound
+        # terms and tie-breaks on smaller relation size.
+        remaining = list(self.relational)
+        order: List[int] = []
+        bound: Set[int] = set()
+
+        def absorb(position: int) -> None:
+            for term in body[position].atom.terms:
+                if isinstance(term, Variable):
+                    bound.add(slot_of[term])
+
+        if delta_position is not None and delta_position in remaining:
+            remaining.remove(delta_position)
+            order.append(delta_position)
+            absorb(delta_position)
+        while remaining:
+
+            def selectivity(position: int) -> Tuple[int, int]:
+                atom = body[position].atom
+                bound_terms = sum(
+                    1
+                    for term in atom.terms
+                    if isinstance(term, Constant) or slot_of[term] in bound
+                )
+                return (bound_terms, -sizes[position])
+
+            best = max(remaining, key=selectivity)
+            remaining.remove(best)
+            order.append(best)
+            absorb(best)
+
+        # Second pass: per-step layouts plus filter hoist points.
+        hoistable = sorted(
+            (f for f in self.filters if f.unbound_term is None), key=lambda f: f.order
+        )
+        leftover = tuple(
+            f for f in self.filters if f.unbound_term is not None
+        )
+        bound.clear()
+        initial_filters = tuple(f for f in hoistable if not f.slots)
+        pending = [f for f in hoistable if f.slots]
+        steps: List[_JoinStep] = []
+        for position in order:
+            atom = body[position].atom
+            bound_positions: List[int] = []
+            key_spec: List[Tuple[bool, object]] = []
+            bind_spec: List[Tuple[int, int]] = []
+            check_spec: List[Tuple[int, int]] = []
+            first_seen: Dict[int, int] = {}  # slot -> fact index of first unbound use
+            for index, term in enumerate(atom.terms):
+                if isinstance(term, Constant):
+                    bound_positions.append(index)
+                    key_spec.append((False, term.value))
+                    continue
+                slot = slot_of[term]
+                if slot in bound:
+                    bound_positions.append(index)
+                    key_spec.append((True, slot))
+                elif slot in first_seen:
+                    check_spec.append((index, first_seen[slot]))
+                else:
+                    first_seen[slot] = index
+                    bind_spec.append((index, slot))
+            bound.update(first_seen)
+            # NB: subset comparison is a partial order — "not <=" is NOT the
+            # same as ">" here (a filter can be incomparable to bound).
+            ready = tuple(f for f in pending if f.slots <= bound)
+            if ready:
+                pending = [f for f in pending if not (f.slots <= bound)]
+            steps.append(
+                _JoinStep(
+                    position,
+                    atom.predicate,
+                    position == delta_position,
+                    len(atom.terms),
+                    tuple(bound_positions),
+                    tuple(key_spec),
+                    tuple(bind_spec),
+                    tuple(check_spec),
+                    ready,
+                )
+            )
+        # Any hoistable filter still pending would need a slot no relational
+        # literal binds — excluded by construction (unbound_term is set).
+        assert not pending
+        return _JoinPlan(tuple(steps), initial_filters, leftover)
+
+    # ------------------------------------------------------------------
+    # Plan interpretation
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        facts: IndexedDatabase,
+        delta: Optional[IndexedDatabase] = None,
+        delta_position: Optional[int] = None,
+    ) -> List[Fact]:
+        """All head facts derivable by this rule (delta-restricted when asked).
+
+        The result is fully materialised before the caller inserts it, so
+        inserting derived facts never mutates a relation mid-probe.
+        """
+        plan = self._plan_for(facts, delta, delta_position)
+        row: List[object] = [None] * self.nvars
+        for compiled in plan.initial_filters:
+            if not compiled.passes(row, facts):
+                return []
+        rows = [row]
+        for step in plan.steps:
+            source = delta if step.from_delta else facts
+            relation = source.lookup(step.predicate)  # type: ignore[union-attr]
+            probe = relation.probe
+            positions = step.bound_positions
+            key_spec = step.key_spec
+            bind_spec = step.bind_spec
+            check_spec = step.check_spec
+            filters_after = step.filters_after
+            arity = step.arity
+            next_rows: List[List[object]] = []
+            append = next_rows.append
+            for row in rows:
+                key = tuple(row[p] if s else p for s, p in key_spec)
+                for fact in probe(positions, key):
+                    if len(fact) != arity:
+                        continue
+                    if check_spec:
+                        if any(fact[i] != fact[j] for i, j in check_spec):
+                            continue
+                    new = row[:]
+                    for index, slot in bind_spec:
+                        new[slot] = fact[index]
+                    if filters_after:
+                        if not all(f.passes(new, facts) for f in filters_after):
+                            continue
+                    append(new)
+            rows = next_rows
+            if not rows:
+                return []
+        leftover = plan.leftover_filters
+        head_spec = self.head_spec
+        head_unbound = self.head_unbound
+        out: List[Fact] = []
+        emit = out.append
+        for row in rows:
+            if leftover:
+                if not all(f.passes(row, facts) for f in leftover):
+                    continue
+            if head_unbound is not None:
+                from .engine import EvaluationError
+
+                raise EvaluationError(
+                    f"unbound variable {head_unbound} in rule head"
+                )
+            emit(tuple(row[p] if s else p for s, p in head_spec))
+        return out
+
+
+def compile_stratum(
+    rules: Sequence[Rule], builtins: Mapping[str, Callable[..., bool]]
+) -> Tuple[List[RulePlan], Dict[str, List[Tuple[RulePlan, int]]]]:
+    """Compile one stratum into rule plans plus its delta trigger map.
+
+    ``triggers[p]`` lists every ``(plan, position)`` whose body literal at
+    ``position`` is a positive relational occurrence of ``p`` and ``p`` is
+    derived inside the stratum — the only (rule, delta-position) pairs
+    semi-naive iteration ever needs to fire for a delta on ``p``.
+    """
+    head_predicates = {rule.head.predicate for rule in rules}
+    plans = [RulePlan(rule, builtins) for rule in rules]
+    triggers: Dict[str, List[Tuple[RulePlan, int]]] = {}
+    for plan in plans:
+        for position, literal in enumerate(plan.rule.body):
+            predicate = literal.atom.predicate
+            if literal.negated or predicate in builtins:
+                continue
+            if predicate in head_predicates:
+                triggers.setdefault(predicate, []).append((plan, position))
+    return plans, triggers

@@ -79,6 +79,25 @@ def tree_database(document: Document, include_child: bool = True) -> Database:
     return database
 
 
+def tree_fingerprint(document: Document) -> Tuple[Tuple[str, int], ...]:
+    """An exact content fingerprint of the tau_ur view of ``document``.
+
+    Every tau_ur relation is determined by node labels plus tree shape, and
+    the shape is fully determined by the preorder sequence of
+    ``(label, parent preorder index)`` pairs (siblings appear in order in a
+    preorder traversal).  Equal fingerprints therefore mean equal
+    :func:`tree_database` contents — the key the monadic ground pipeline's
+    fixpoint LRU uses so equal-but-distinct documents hit.
+    """
+    return tuple(
+        (
+            node.label,
+            node.parent.preorder_index if node.parent is not None else -1,
+        )
+        for node in document
+    )
+
+
 def nodes_for_indexes(document: Document, indexes) -> List[Node]:
     """Map an iterable of preorder indexes (or 1-tuples) back to nodes."""
     result: List[Node] = []

@@ -20,12 +20,13 @@ database, preserving semantics at the price of the general-case complexity.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional, Set, Tuple
+from typing import Dict, FrozenSet, Iterable, List, Optional, Set, Tuple
 
 from ..datalog.ast import Atom, Rule, Variable
+from ..datalog.cache import CacheInfo, LruMap
 from ..datalog.engine import SemiNaiveEngine
 from ..datalog.ltur import GroundHornSolver
-from ..datalog.tree_edb import label_predicate, tree_database
+from ..datalog.tree_edb import label_predicate, tree_database, tree_fingerprint
 from ..tree.document import Document
 from ..tree.node import Node
 from .program import MonadicProgram
@@ -38,7 +39,13 @@ class MonadicTreeEvaluator:
     """Evaluates a monadic datalog program over documents.
 
     The evaluator is reusable: construct once per program, call
-    :meth:`evaluate` per document.
+    :meth:`evaluate` per document.  Both pipelines memoise fixpoints across
+    a working set of ``cache_size`` hot documents (the
+    :mod:`repro.server.pipeline` access pattern): the generic engine through
+    its content-keyed fixpoint LRU, the ground pipeline through an LRU of
+    LTUR truth sets keyed by exact tree fingerprints — node identities are
+    re-resolved per call, so cached truths are safe across equal-but-distinct
+    document objects.
     """
 
     def __init__(
@@ -46,11 +53,15 @@ class MonadicTreeEvaluator:
         program: MonadicProgram,
         force_generic: bool = False,
         use_index: bool = True,
+        cache_size: int = 8,
     ) -> None:
         self.program = program
         self.uses_ground_pipeline = False
         self._tmnf_program: Optional[MonadicProgram] = None
         self._generic_engine: Optional[SemiNaiveEngine] = None
+        self._ground_cache: LruMap[
+            Tuple[Tuple[str, int], ...], FrozenSet[GroundAtom]
+        ] = LruMap(cache_size)
 
         if not force_generic and not program.uses_negation():
             try:
@@ -60,8 +71,16 @@ class MonadicTreeEvaluator:
                 self._tmnf_program = None
         if self._tmnf_program is None:
             self._generic_engine = SemiNaiveEngine(
-                program.to_datalog_program(), use_index=use_index
+                program.to_datalog_program(),
+                use_index=use_index,
+                cache_size=cache_size,
             )
+
+    def fixpoint_cache_info(self) -> CacheInfo:
+        """Hit/miss statistics of whichever fixpoint cache is active."""
+        if self._generic_engine is not None:
+            return self._generic_engine.fixpoint_cache_info()
+        return self._ground_cache.info()
 
     # ------------------------------------------------------------------
     def evaluate(self, document: Document) -> Dict[str, List[Node]]:
@@ -85,13 +104,22 @@ class MonadicTreeEvaluator:
     # ------------------------------------------------------------------
     # Grounding pipeline (Theorem 2.4)
     # ------------------------------------------------------------------
-    def _evaluate_ground(self, document: Document) -> Set[GroundAtom]:
+    def _evaluate_ground(self, document: Document) -> FrozenSet[GroundAtom]:
         assert self._tmnf_program is not None
+        # The fingerprint is exact (labels + shape determine every tau_ur
+        # relation), so equal-but-distinct documents share one grounding and
+        # solve; document mutations change the fingerprint and re-evaluate.
+        fingerprint = tree_fingerprint(document)
+        cached = self._ground_cache.get(fingerprint)
+        if cached is not None:
+            return cached
         solver = GroundHornSolver()
         self._add_edb_facts(document, solver)
         for rule in self._tmnf_program.rules:
             self._ground_rule(rule, document, solver)
-        return solver.solve()  # type: ignore[return-value]
+        truth = frozenset(solver.solve())  # type: ignore[arg-type]
+        self._ground_cache.put(fingerprint, truth)
+        return truth
 
     def _add_edb_facts(self, document: Document, solver: GroundHornSolver) -> None:
         for node in document:
@@ -170,8 +198,8 @@ class MonadicTreeEvaluator:
         assert self._generic_engine is not None
         # The tree database is rebuilt per call (O(|dom|)) so document
         # mutations are always observed; fixpoint() memoises per database
-        # CONTENT, so repeated select() calls against an unchanged document
-        # still evaluate once.
+        # CONTENT in an LRU, so repeated select() calls against a working
+        # set of hot documents all evaluate once.
         database = tree_database(document)
         derived = self._generic_engine.fixpoint(database)
         result: Dict[str, List[Node]] = {}

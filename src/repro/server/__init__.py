@@ -2,6 +2,7 @@
 
 from .components import (
     Component,
+    DatalogQueryComponent,
     DelivererComponent,
     Delivery,
     EmailDeliverer,
@@ -25,6 +26,7 @@ __all__ = [
     "ChangeGatedDeliverer",
     "ChangeReport",
     "Component",
+    "DatalogQueryComponent",
     "DelivererComponent",
     "Delivery",
     "EmailDeliverer",

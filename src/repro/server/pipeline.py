@@ -37,6 +37,7 @@ class InformationPipe:
         self._components: Dict[str, Component] = {}
         self._edges: Dict[str, List[str]] = defaultdict(list)   # component -> successors
         self._inputs: Dict[str, List[str]] = defaultdict(list)  # component -> predecessors
+        self._order: Optional[List[str]] = None  # cached topological order
         self.last_results: Dict[str, XmlElement] = {}
 
     # -- construction ------------------------------------------------------
@@ -44,6 +45,7 @@ class InformationPipe:
         if component.name in self._components:
             raise PipelineError(f"duplicate component name {component.name!r}")
         self._components[component.name] = component
+        self._order = None
         return component
 
     def connect(self, source: str, target: str) -> None:
@@ -52,6 +54,7 @@ class InformationPipe:
                 raise PipelineError(f"unknown component {name!r}")
         self._edges[source].append(target)
         self._inputs[target].append(source)
+        self._order = None
 
     def chain(self, *names: str) -> None:
         """Connect the named components in a linear chain."""
@@ -72,6 +75,10 @@ class InformationPipe:
 
     # -- execution -----------------------------------------------------------
     def _topological_order(self) -> List[str]:
+        # The order is cached between runs (periodic server activation re-runs
+        # an unchanged DAG every tick) and invalidated by add/connect.
+        if self._order is not None:
+            return self._order
         indegree = {name: len(self._inputs.get(name, [])) for name in self._components}
         frontier = [name for name, degree in indegree.items() if degree == 0]
         order: List[str] = []
@@ -84,6 +91,7 @@ class InformationPipe:
                     frontier.append(successor)
         if len(order) != len(self._components):
             raise PipelineError(f"pipe {self.name!r} contains a cycle")
+        self._order = order
         return order
 
     def run(self) -> Dict[str, XmlElement]:

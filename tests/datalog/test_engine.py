@@ -154,14 +154,24 @@ def test_query_caches_fixpoint_per_database_content():
     assert len(calls) == 4
 
 
-def test_fixpoint_result_is_mutation_safe():
+def test_fixpoint_result_is_immutable_view():
     program = parse_program("p(X) :- q(X).")
     engine = SemiNaiveEngine(program)
     database = {"q": {(1,)}}
+    # query() returns an immutable frozenset view (no per-call copy); callers
+    # that want a mutable extension must take an explicit set() copy.
     first = engine.query(database, "p")
-    first.add((99,))
+    assert isinstance(first, frozenset)
+    with pytest.raises(AttributeError):
+        first.add((99,))
+    mutable = set(first)
+    mutable.add((99,))
     assert engine.query(database, "p") == {(1,)}
     result = engine.fixpoint(database)
+    # Repeated queries share the same view object instead of copying.
+    assert result.query("p") is result.query("p")
+    assert result.query("missing") == frozenset()
+    # facts() still hands out a fresh mutation-safe snapshot.
     snapshot = result.facts()
     snapshot["p"].add((99,))
     assert result.query("p") == {(1,)}

@@ -1,9 +1,11 @@
-"""Property-based equivalence of the indexed and nested-loop join paths.
+"""Property-based equivalence of the engine's three join strategies.
 
 Randomised datalog programs (with recursion, stratified negation, and
 comparison builtins) over randomised extensional databases must produce the
-same fixpoint whether the engine joins via the hash-index layer or via the
-seed nested-loop scan — the index is a pure evaluation-strategy change.
+same fixpoint whether the engine evaluates through compiled rule plans (the
+default), the PR-1 per-call indexed join (``use_plans=False``), or the seed
+nested-loop scan (``use_index=False``) — plans and indexes are pure
+evaluation-strategy changes.
 """
 
 from __future__ import annotations
@@ -109,10 +111,26 @@ def databases(draw):
 
 @settings(max_examples=60, deadline=None)
 @given(program=programs(), database=databases())
-def test_indexed_and_nested_loop_fixpoints_agree(program, database):
-    indexed = SemiNaiveEngine(program, use_index=True).evaluate(database)
+def test_planned_indexed_and_nested_loop_fixpoints_agree(program, database):
+    planned = SemiNaiveEngine(program).evaluate(database)
+    indexed = SemiNaiveEngine(program, use_plans=False).evaluate(database)
     nested = SemiNaiveEngine(program, use_index=False).evaluate(database)
+    assert planned == indexed
     assert indexed == nested
+
+
+@settings(max_examples=30, deadline=None)
+@given(program=programs(), database=databases())
+def test_plan_reuse_across_databases_stays_equivalent(program, database):
+    # One engine (compiled plans reused and bucket-memoised across calls)
+    # must agree with a fresh nested-loop engine on every database,
+    # including after evaluating a different database in between.
+    engine = SemiNaiveEngine(program)
+    warmup = {predicate: set(list(facts)[:1]) for predicate, facts in database.items()}
+    engine.evaluate(warmup)
+    planned = engine.evaluate(database)
+    nested = SemiNaiveEngine(program, use_index=False).evaluate(database)
+    assert planned == nested
 
 
 @settings(max_examples=30, deadline=None)
@@ -130,6 +148,7 @@ def test_transitive_closure_agrees_on_random_graphs(database):
         """
     )
     edb = {"edge": set(database)}
-    indexed = SemiNaiveEngine(program, use_index=True).evaluate(edb)
+    planned = SemiNaiveEngine(program).evaluate(edb)
+    indexed = SemiNaiveEngine(program, use_plans=False).evaluate(edb)
     nested = SemiNaiveEngine(program, use_index=False).evaluate(edb)
-    assert indexed == nested
+    assert planned == indexed == nested

@@ -5,9 +5,11 @@ from __future__ import annotations
 import pytest
 
 from repro.elog import parse_elog
+from repro.mdatalog import MonadicProgram
 from repro.server import (
     ChangeDetector,
     ChangeGatedDeliverer,
+    DatalogQueryComponent,
     FilterComponent,
     InformationPipe,
     IntegrationComponent,
@@ -123,6 +125,80 @@ def test_wrapper_component_runs_elog_program():
     assert len(books) == 4
     assert all(book.find("title") is not None and book.find("price") is not None for book in books)
     assert results["wrap"].attributes["source"] == "books-a.test/bestsellers"
+
+
+def test_wrapper_component_reuses_one_extractor():
+    web = SimulatedWeb()
+    web.publish_many(bookstore_site(count=2, seed=1))
+    program = parse_elog(
+        "book(S, X) <- document(_, S), subelem(S, ?.tr, X),"
+        " contains(X, (?.td, [(class, title, exact)]))"
+    )
+    wrapper = WrapperComponent("wrap", program, web, "books-a.test/bestsellers")
+    first = wrapper._extractor
+    wrapper.process([])
+    wrapper.process([])
+    assert wrapper._extractor is first  # periodic activations reuse the interpreter
+
+
+def test_datalog_query_component_serves_hot_documents_from_cache():
+    from repro.tree.builder import tree
+
+    documents = [
+        tree(("doc", ("a", "b"), ("b",))),
+        tree(("doc", ("b", "a"), ("a", ("b",)))),
+    ]
+    current = {"index": 0}
+
+    def supplier():
+        return documents[current["index"]]
+
+    program = MonadicProgram.parse(
+        "hit(X) :- label_b(X).", query_predicates=["hit"]
+    )
+    component = DatalogQueryComponent(
+        "wrap", program, supplier, cache_size=4, force_generic=True
+    )
+    pipe = InformationPipe("datalog")
+    pipe.add(component)
+
+    expected = []
+    for document in documents:
+        expected.append(
+            sorted(
+                str(node.preorder_index)
+                for node in document
+                if node.label == "b"
+            )
+        )
+    for round_index in range(3):
+        for doc_index in range(2):
+            current["index"] = doc_index
+            result = pipe.run()["wrap"]
+            hits = sorted(r.attributes["node"] for r in result.find_all("hit"))
+            assert hits == expected[doc_index]
+            assert all(r.attributes["label"] == "b" for r in result.find_all("hit"))
+    info = component.cache_info()
+    # 6 activations over a 2-document working set: 2 misses, 4 hits.
+    assert info.misses == 2 and info.hits == 4
+    assert info.hit_rate == pytest.approx(2 / 3)
+
+
+def test_datalog_query_component_ground_pipeline_caches_by_content():
+    from repro.tree.builder import tree
+
+    program = MonadicProgram.parse(
+        "hit(X) :- label_b(X).", query_predicates=["hit"]
+    )
+    component = DatalogQueryComponent(
+        "wrap", program, lambda: tree(("doc", ("b",), ("a",))), cache_size=4
+    )
+    # The supplier builds an equal-but-distinct document per call; the
+    # ground pipeline's tree-fingerprint LRU must still hit.
+    component.process([])
+    component.process([])
+    info = component.cache_info()
+    assert info.misses == 1 and info.hits == 1
 
 
 def test_transformation_server_scheduling():
