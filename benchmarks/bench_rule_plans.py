@@ -147,10 +147,8 @@ def test_plan_cache_stays_small_across_fixpoint():
     program, database = _chain_reach_workload(5_000)
     engine = SemiNaiveEngine(program)
     engine.evaluate(database)
-    plan_counts = [
-        plan.plan_count() for plans in engine._stratum_plans for plan in plans
-    ]
-    assert max(plan_counts) <= 32
+    plan_counts = engine.plan_memo_counts()
+    assert 0 < max(plan_counts) <= 32
     print(f"\ncompiled join plans per rule: {plan_counts}")
 
 

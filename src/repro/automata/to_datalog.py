@@ -149,20 +149,33 @@ def compiled_evaluator(
     labels: Iterable[str],
     query_predicate: str = SELECTED,
     force_generic: bool = False,
+    share_plans: bool = True,
 ) -> MonadicTreeEvaluator:
     """A (cached) evaluator for ``automaton``'s monadic datalog compilation.
 
     The cache is keyed on automaton content, so callers that repeatedly
     query the same (or an equal) automaton skip both recompilation and
-    evaluator construction, while mutated automata recompile.
+    evaluator construction, while mutated automata recompile.  An evaluator
+    cache miss over a previously seen *program* content still shares the
+    downstream compilation (``share_plans``, the default): the TMNF rewrite
+    and the generic engine's rule plans come from the process-wide caches
+    of :mod:`repro.mdatalog.evaluator` / :mod:`repro.datalog.registry`.
     """
     label_set = tuple(sorted(set(labels)))
-    key = (_automaton_signature(automaton), label_set, query_predicate, force_generic)
+    key = (
+        _automaton_signature(automaton),
+        label_set,
+        query_predicate,
+        force_generic,
+        share_plans,
+    )
     evaluator = _EVALUATOR_CACHE.get(key)
     if evaluator is not None:
         return evaluator
     program = compile_automaton(automaton, label_set, query_predicate)
-    evaluator = MonadicTreeEvaluator(program, force_generic=force_generic)
+    evaluator = MonadicTreeEvaluator(
+        program, force_generic=force_generic, share_plans=share_plans
+    )
     _EVALUATOR_CACHE.put(key, evaluator)
     return evaluator
 
@@ -173,6 +186,7 @@ def compiled_select(
     labels: Optional[Iterable[str]] = None,
     query_predicate: str = SELECTED,
     force_generic: bool = False,
+    share_plans: bool = True,
 ) -> List[Node]:
     """Nodes of ``document`` selected by ``automaton``'s compiled program.
 
@@ -182,6 +196,6 @@ def compiled_select(
     """
     label_set = set(labels) if labels is not None else set(document.labels())
     evaluator = compiled_evaluator(
-        automaton, label_set, query_predicate, force_generic
+        automaton, label_set, query_predicate, force_generic, share_plans
     )
     return evaluator.select(document, query_predicate)

@@ -25,6 +25,15 @@ from .engine import (
 )
 from .index import IndexedDatabase, RelationIndex
 from .plan import RulePlan, compile_stratum
+from .registry import (
+    CompiledProgram,
+    PlanRegistry,
+    clear_plan_registry,
+    plan_registry_info,
+    program_fingerprint,
+    shared_compiled_program,
+    shared_registry,
+)
 from .ltur import GroundHornSolver, solve_ground_program
 from .parser import DatalogSyntaxError, parse_atom_text, parse_program, parse_rules
 from .stratify import StratificationError, is_stratifiable, stratify
@@ -39,6 +48,7 @@ from .tree_edb import (
 __all__ = [
     "Atom",
     "CacheInfo",
+    "CompiledProgram",
     "Constant",
     "Database",
     "DatalogSyntaxError",
@@ -49,6 +59,7 @@ __all__ = [
     "IndexedDatabase",
     "Literal",
     "LruMap",
+    "PlanRegistry",
     "Program",
     "RelationIndex",
     "Rule",
@@ -56,8 +67,13 @@ __all__ = [
     "SemiNaiveEngine",
     "StratificationError",
     "Variable",
+    "clear_plan_registry",
     "compile_stratum",
     "database_content_hash",
+    "plan_registry_info",
+    "program_fingerprint",
+    "shared_compiled_program",
+    "shared_registry",
     "atom",
     "const",
     "evaluate_program",

@@ -51,6 +51,17 @@ class Atom:
     predicate: str
     terms: Tuple[Term, ...]
 
+    def __hash__(self) -> int:
+        # Cached: atoms are immutable and hashed hot — program fingerprints
+        # (repro/datalog/registry.py) and plan/slot tables hash the same
+        # objects over and over, and the generated dataclass hash walks the
+        # whole term tuple every call.
+        value = self.__dict__.get("_hash")
+        if value is None:
+            value = hash((self.predicate, self.terms))
+            object.__setattr__(self, "_hash", value)
+        return value
+
     def __str__(self) -> str:
         if not self.terms:
             return self.predicate
@@ -98,6 +109,15 @@ class Rule:
     head: Atom
     body: Tuple[Literal, ...] = ()
 
+    def __hash__(self) -> int:
+        # Cached for the same reason as :meth:`Atom.__hash__`: rule hashing
+        # is the per-construction cost of registry fingerprints.
+        value = self.__dict__.get("_hash")
+        if value is None:
+            value = hash((self.head, self.body))
+            object.__setattr__(self, "_hash", value)
+        return value
+
     def __str__(self) -> str:
         if not self.body:
             return f"{self.head}."
@@ -120,14 +140,24 @@ class Rule:
         return [literal.atom for literal in self.body if literal.negated]
 
     def is_safe(self) -> bool:
-        """Safety: every head / negated-body variable occurs in a positive body atom."""
+        """Safety: every head / negated-body variable occurs in a positive body atom.
+
+        Cached per rule object — every engine construction re-validates its
+        program, and with the plan registry sharing compilation the repeated
+        safety walk would otherwise dominate construction.
+        """
+        cached = self.__dict__.get("_safe")
+        if cached is not None:
+            return cached
         positive_variables: Set[Variable] = set()
         for atom in self.positive_body():
             positive_variables |= atom.variables()
         needed = set(self.head.variables())
         for atom in self.negative_body():
             needed |= atom.variables()
-        return needed <= positive_variables
+        safe = needed <= positive_variables
+        object.__setattr__(self, "_safe", safe)
+        return safe
 
 
 @dataclass

@@ -29,11 +29,22 @@ benchmarks can assert cache effectiveness.
 from __future__ import annotations
 
 from collections import OrderedDict
-from typing import Dict, FrozenSet, Generic, List, NamedTuple, Optional, Tuple, TypeVar
+from typing import (
+    Callable,
+    Dict,
+    FrozenSet,
+    Generic,
+    List,
+    NamedTuple,
+    Optional,
+    Tuple,
+    TypeVar,
+)
 
 from .ast import Database
 
 ResultT = TypeVar("ResultT")
+EntryT = TypeVar("EntryT")
 
 Snapshot = Dict[str, FrozenSet[Tuple[object, ...]]]
 
@@ -68,6 +79,62 @@ def database_content_hash(database: Database) -> int:
     return result
 
 
+class VerifiedLruBuckets(Generic[EntryT]):
+    """Fingerprint-bucketed LRU storage with caller-supplied verification.
+
+    The machinery shared by :class:`FixpointCache` and
+    :class:`repro.datalog.registry.PlanRegistry`: entries live in hash
+    buckets keyed by a cheap content fingerprint, a bucket hit is
+    disambiguated by an exact ``matches`` predicate (hash quality is a
+    performance concern, never a correctness one), recency is refreshed per
+    fingerprint on every verified find, and the globally oldest entry is
+    evicted once ``capacity`` is exceeded.  Hit/miss accounting and any
+    locking live in the owning cache.
+    """
+
+    __slots__ = ("capacity", "_buckets", "_size")
+
+    def __init__(self, capacity: int) -> None:
+        if capacity < 1:
+            raise ValueError("cache capacity must be >= 1")
+        self.capacity = capacity
+        self._buckets: "OrderedDict[int, List[EntryT]]" = OrderedDict()
+        self._size = 0
+
+    def __len__(self) -> int:
+        return self._size
+
+    def find(
+        self, fingerprint: int, matches: Callable[[EntryT], bool]
+    ) -> Optional[EntryT]:
+        """The verified entry under ``fingerprint``, refreshing its recency."""
+        bucket = self._buckets.get(fingerprint)
+        if bucket is None:
+            return None
+        for entry in bucket:
+            if matches(entry):
+                self._buckets.move_to_end(fingerprint)
+                return entry
+        return None
+
+    def insert(self, fingerprint: int, entry: EntryT) -> None:
+        """Insert ``entry`` as most recent, evicting the oldest past capacity."""
+        bucket = self._buckets.setdefault(fingerprint, [])
+        bucket.append(entry)
+        self._buckets.move_to_end(fingerprint)
+        self._size += 1
+        while self._size > self.capacity:
+            oldest_fingerprint, oldest_bucket = next(iter(self._buckets.items()))
+            oldest_bucket.pop(0)
+            self._size -= 1
+            if not oldest_bucket:
+                del self._buckets[oldest_fingerprint]
+
+    def clear(self) -> None:
+        self._buckets.clear()
+        self._size = 0
+
+
 class _Entry(Generic[ResultT]):
     __slots__ = ("snapshot", "result")
 
@@ -95,55 +162,54 @@ class FixpointCache(Generic[ResultT]):
     verification, so correctness never depends on hash quality.
     """
 
-    __slots__ = ("capacity", "hits", "misses", "_buckets", "_size")
+    __slots__ = ("hits", "misses", "_entries")
 
     def __init__(self, capacity: int = 8) -> None:
-        if capacity < 1:
-            raise ValueError("cache capacity must be >= 1")
-        self.capacity = capacity
         self.hits = 0
         self.misses = 0
-        self._buckets: "OrderedDict[int, List[_Entry[ResultT]]]" = OrderedDict()
-        self._size = 0
+        self._entries: VerifiedLruBuckets[_Entry[ResultT]] = VerifiedLruBuckets(capacity)
+
+    @property
+    def capacity(self) -> int:
+        return self._entries.capacity
 
     def __len__(self) -> int:
-        return self._size
+        return len(self._entries)
 
     def lookup(self, database: Database) -> Tuple[int, Optional[ResultT]]:
         fingerprint = database_content_hash(database)
-        bucket = self._buckets.get(fingerprint)
-        if bucket is not None:
-            for entry in bucket:
-                if _snapshot_matches(entry.snapshot, database):
-                    self._buckets.move_to_end(fingerprint)
-                    self.hits += 1
-                    return fingerprint, entry.result
+        entry = self._entries.find(
+            fingerprint, lambda entry: _snapshot_matches(entry.snapshot, database)
+        )
+        if entry is not None:
+            self.hits += 1
+            return fingerprint, entry.result
         self.misses += 1
         return fingerprint, None
 
     def store(self, fingerprint: int, database: Database, result: ResultT) -> None:
+        # Exact duplicates refresh the existing entry in place: repeated
+        # stores of one database (callers skipping lookup, or racing
+        # lookup/store pairs) must not inflate the size and evict hot
+        # documents that are genuinely distinct.
+        entry = self._entries.find(
+            fingerprint, lambda entry: _snapshot_matches(entry.snapshot, database)
+        )
+        if entry is not None:
+            entry.result = result
+            return
         snapshot: Snapshot = {
             predicate: frozenset(facts) for predicate, facts in database.items()
         }
-        bucket = self._buckets.setdefault(fingerprint, [])
-        bucket.append(_Entry(snapshot, result))
-        self._buckets.move_to_end(fingerprint)
-        self._size += 1
-        while self._size > self.capacity:
-            oldest_fingerprint, oldest_bucket = next(iter(self._buckets.items()))
-            oldest_bucket.pop(0)
-            self._size -= 1
-            if not oldest_bucket:
-                del self._buckets[oldest_fingerprint]
+        self._entries.insert(fingerprint, _Entry(snapshot, result))
 
     def clear(self) -> None:
-        self._buckets.clear()
-        self._size = 0
+        self._entries.clear()
         self.hits = 0
         self.misses = 0
 
     def info(self) -> CacheInfo:
-        return CacheInfo(self.hits, self.misses, self._size, self.capacity)
+        return CacheInfo(self.hits, self.misses, len(self._entries), self.capacity)
 
 
 KeyT = TypeVar("KeyT")
@@ -176,15 +242,27 @@ class LruMap(Generic[KeyT, ResultT]):
         if value is _MISSING:
             self.misses += 1
             return None
-        self._entries.move_to_end(key)
+        try:
+            self._entries.move_to_end(key)
+        except KeyError:
+            # Concurrently evicted between the read and the recency refresh
+            # (module-level LruMaps serve multi-threaded server construction
+            # paths); the value already read stays valid.
+            pass
         self.hits += 1
         return value  # type: ignore[return-value]
 
     def put(self, key: KeyT, value: ResultT) -> None:
         self._entries[key] = value
-        self._entries.move_to_end(key)
+        try:
+            self._entries.move_to_end(key)
+        except KeyError:
+            pass  # concurrently evicted; treat as immediately aged out
         while len(self._entries) > self.capacity:
-            self._entries.popitem(last=False)
+            try:
+                self._entries.popitem(last=False)
+            except KeyError:
+                break  # another thread emptied the map under us
 
     def clear(self) -> None:
         self._entries.clear()

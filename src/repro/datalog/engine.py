@@ -6,12 +6,16 @@ database given as ``{predicate: set of tuples}``.
 
 Evaluation architecture (see ROADMAP.md for the full picture):
 
-1. **Plan compilation** (:mod:`repro.datalog.plan`) — at engine construction
-   every rule is compiled once into a :class:`~repro.datalog.plan.RulePlan`:
-   a variable→slot layout, precompiled filters and head projection, and a
-   per-(delta-position, size-bucket) memo of greedy join orders.  Each
-   stratum also gets a predicate→(rule, position) trigger map so semi-naive
-   iterations fire only the rules a delta actually touches.
+1. **Plan compilation** (:mod:`repro.datalog.plan`) — every rule is compiled
+   once into a :class:`~repro.datalog.plan.RulePlan`: a variable→slot
+   layout, precompiled filters and head projection, and a per-(delta-
+   position, size-bucket) memo of greedy join orders.  Each stratum also
+   gets a predicate→(rule, position) trigger map so semi-naive iterations
+   fire only the rules a delta actually touches.  Compilation happens once
+   per distinct *program*, not per engine: the process-wide registry
+   (:mod:`repro.datalog.registry`) shares strata, plans and trigger maps
+   across every engine constructed over content-equal programs
+   (``share_plans=False`` opts out); join-order memos stay per-engine.
 2. **Indexed join** (:mod:`repro.datalog.index`) — body literals are matched
    by probing hash indexes on their bound argument positions; indexes are
    built lazily and maintained incrementally.
@@ -41,7 +45,8 @@ from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tup
 from .ast import Atom, Constant, Database, Literal, Program, Rule, Term, Variable
 from .cache import CacheInfo, FixpointCache
 from .index import IndexedDatabase, RelationIndex
-from .plan import RulePlan, compile_stratum
+from .plan import PlanMemo, RulePlan, compile_stratum
+from .registry import shared_compiled_program
 from .stratify import stratify
 
 Substitution = Dict[Variable, object]
@@ -149,6 +154,13 @@ class SemiNaiveEngine:
     per-call indexed join and ``use_index=False`` the original nested-loop
     join, both as ablation baselines.  ``cache_size`` bounds the fixpoint
     LRU (one entry per distinct hot database).
+
+    ``share_plans=True`` (the default) obtains strata, rule plans and
+    trigger maps from the process-wide registry
+    (:mod:`repro.datalog.registry`), so N engines over the same program pay
+    one compilation; every piece of database-sized state — join-order
+    memos, delta storage, the fixpoint LRU — stays instance-local.
+    ``share_plans=False`` compiles privately (the ablation baseline).
     """
 
     BUILTINS = {
@@ -166,22 +178,37 @@ class SemiNaiveEngine:
         use_index: bool = True,
         use_plans: bool = True,
         cache_size: int = 8,
+        share_plans: bool = True,
     ) -> None:
         program.check_safety()
         self._validate_builtins(program)
         self.program = program
-        self.strata = stratify(program)
         self.use_index = use_index
         self.use_plans = use_index and use_plans
+        self.share_plans = self.use_plans and share_plans
         self._fixpoint_cache: FixpointCache[EvaluationResult] = FixpointCache(cache_size)
-        # Compile-once rule plans plus per-stratum delta trigger maps.
+        # Compile-once rule plans plus per-stratum delta trigger maps —
+        # shared through the registry by default, compiled privately on
+        # ``share_plans=False``.
         self._stratum_plans: List[List[RulePlan]] = []
         self._stratum_triggers: List[Dict[str, List[Tuple[RulePlan, int]]]] = []
-        if self.use_plans:
-            for stratum_rules in self.strata:
-                plans, triggers = compile_stratum(stratum_rules, self.BUILTINS)
-                self._stratum_plans.append(plans)
-                self._stratum_triggers.append(triggers)
+        if self.share_plans:
+            compiled = shared_compiled_program(program, self.BUILTINS)
+            self.strata = compiled.strata
+            self._stratum_plans = compiled.stratum_plans
+            self._stratum_triggers = compiled.stratum_triggers
+        else:
+            self.strata = stratify(program)
+            if self.use_plans:
+                for stratum_rules in self.strata:
+                    plans, triggers = compile_stratum(stratum_rules, self.BUILTINS)
+                    self._stratum_plans.append(plans)
+                    self._stratum_triggers.append(triggers)
+        # Join-order memos are database-sized state and therefore NEVER
+        # shared: one memo per (possibly shared) plan, owned by this engine.
+        self._plan_memos: Dict[int, PlanMemo] = {
+            id(plan): {} for plans in self._stratum_plans for plan in plans
+        }
 
     def _validate_builtins(self, program: Program) -> None:
         """Builtins are binary comparisons; reject wrong arities up front.
@@ -235,6 +262,15 @@ class SemiNaiveEngine:
         """Hit/miss statistics of the fixpoint LRU (for tests/benchmarks)."""
         return self._fixpoint_cache.info()
 
+    def plan_memo_counts(self) -> List[int]:
+        """Compiled join plans per rule in this engine's instance-local
+        memos (bucket-memoisation introspection for tests/benchmarks)."""
+        return [
+            len(self._plan_memos[id(plan)])
+            for plans in self._stratum_plans
+            for plan in plans
+        ]
+
     def clear_fixpoint_cache(self) -> None:
         self._fixpoint_cache.clear()
 
@@ -248,12 +284,13 @@ class SemiNaiveEngine:
         facts: IndexedDatabase,
     ) -> None:
         add_fact = facts.add_fact
+        memos = self._plan_memos
         # Naive first round: every rule fires once without delta restriction.
         collected: Dict[str, List[Tuple[object, ...]]] = {}
         for plan in plans:
             predicate = plan.head_predicate
             new_facts = None
-            for derived in plan.run(facts):
+            for derived in plan.run(facts, memo=memos[id(plan)]):
                 if add_fact(predicate, derived):
                     if new_facts is None:
                         new_facts = collected.setdefault(predicate, [])
@@ -272,7 +309,7 @@ class SemiNaiveEngine:
                 for plan, position in triggers.get(delta_predicate, ()):
                     predicate = plan.head_predicate
                     new_facts = None
-                    for derived in plan.run(facts, delta, position):
+                    for derived in plan.run(facts, delta, position, memos[id(plan)]):
                         if add_fact(predicate, derived):
                             if new_facts is None:
                                 new_facts = collected.setdefault(predicate, [])

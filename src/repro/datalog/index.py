@@ -85,7 +85,17 @@ class RelationIndex:
         the batch instead of k dictionary updates per individual ``add``.
         Returns the number of facts that were actually new.
         """
-        fresh = [fact for fact in new_facts if fact not in self.facts]
+        # Dedup within the batch as well as against the relation: a fact
+        # appearing twice in one batch must land in each index bucket once,
+        # or every later probe would yield duplicate join rows.
+        known = self.facts
+        batch_seen: Set[Fact] = set()
+        fresh: List[Fact] = []
+        for fact in new_facts:
+            if fact in known or fact in batch_seen:
+                continue
+            batch_seen.add(fact)
+            fresh.append(fact)
         if not fresh:
             return 0
         self.facts.update(fresh)

@@ -20,7 +20,10 @@ This module moves all of that work to compile time:
   are memoised per ``(delta_position, bucket signature)`` with coarse
   power-of-two buckets (``size.bit_length()``), so the greedy planner only
   re-runs when a relation size crosses a bucket boundary — a handful of
-  times over a whole fixpoint instead of once per iteration.
+  times over a whole fixpoint instead of once per iteration.  The memo is
+  database-sized state: when a plan is shared across engines through
+  :mod:`repro.datalog.registry`, each engine passes its own memo into
+  ``run`` so one engine's relation sizes never steer another's joins.
 * :class:`_JoinStep` — one probe of the interpreter: the bound argument
   positions, a precompiled key spec (constants inlined, variables as slots),
   a bind spec for newly-bound slots, intra-atom equality checks for repeated
@@ -44,6 +47,11 @@ Fact = Tuple[object, ...]
 #: ``(is_slot, payload)`` — payload is a slot index when ``is_slot`` else a
 #: constant value.  Used for probe keys, filter arguments and head terms.
 ValueSpec = Tuple[Tuple[bool, object], ...]
+
+#: ``(delta_position, bucket signature)`` → compiled :class:`_JoinPlan`.
+#: Engines that share a plan (repro/datalog/registry.py) each pass their own
+#: memo into :meth:`RulePlan.run`, keeping database-sized state per engine.
+PlanMemo = Dict[Tuple[Optional[int], Tuple[int, ...]], "_JoinPlan"]
 
 
 def size_bucket(size: int) -> int:
@@ -228,14 +236,15 @@ class RulePlan:
                     self.head_unbound = term
         self.head_spec: ValueSpec = tuple(head_spec)
 
-        #: (delta_position, bucket signature) → compiled _JoinPlan
-        self._plans: Dict[Tuple[object, Tuple[int, ...]], _JoinPlan] = {}
+        #: Default join-order memo, used when the caller supplies none.
+        #: Engines sharing this plan pass an instance-local memo instead.
+        self._plans: PlanMemo = {}
 
     # ------------------------------------------------------------------
     # Plan lookup (bucket-memoised) and compilation
     # ------------------------------------------------------------------
     def plan_count(self) -> int:
-        """Number of compiled join plans (introspection / tests)."""
+        """Number of compiled join plans in the default memo (tests)."""
         return len(self._plans)
 
     def _plan_for(
@@ -243,6 +252,7 @@ class RulePlan:
         facts: IndexedDatabase,
         delta: Optional[IndexedDatabase],
         delta_position: Optional[int],
+        memo: Optional[PlanMemo] = None,
     ) -> _JoinPlan:
         body = self.rule.body
         sizes: List[int] = []
@@ -252,10 +262,12 @@ class RulePlan:
             sizes.append(len(source.lookup(predicate)))
         signature = tuple(size_bucket(size) for size in sizes)
         key = (delta_position, signature)
-        plan = self._plans.get(key)
+        if memo is None:
+            memo = self._plans
+        plan = memo.get(key)
         if plan is None:
             plan = self._compile(delta_position, dict(zip(self.relational, sizes)))
-            self._plans[key] = plan
+            memo[key] = plan
         return plan
 
     def _compile(
@@ -360,13 +372,17 @@ class RulePlan:
         facts: IndexedDatabase,
         delta: Optional[IndexedDatabase] = None,
         delta_position: Optional[int] = None,
+        memo: Optional[PlanMemo] = None,
     ) -> List[Fact]:
         """All head facts derivable by this rule (delta-restricted when asked).
 
+        ``memo`` is the join-order memo to consult (defaulting to this
+        plan's own); engines that share one plan through the registry pass
+        an instance-local memo so their size-bucket histories stay separate.
         The result is fully materialised before the caller inserts it, so
         inserting derived facts never mutates a relation mid-probe.
         """
-        plan = self._plan_for(facts, delta, delta_position)
+        plan = self._plan_for(facts, delta, delta_position, memo)
         row: List[object] = [None] * self.nvars
         for compiled in plan.initial_filters:
             if not compiled.passes(row, facts):

@@ -34,6 +34,30 @@ from .tmnf import TMNFRewriteError, is_tmnf, rule_tmnf_form, to_tmnf
 
 GroundAtom = Tuple[str, int]  # (predicate, preorder index)
 
+#: Shared TMNF rewrites (cross-evaluator program reuse, mirroring the
+#: compiled-plan registry of :mod:`repro.datalog.registry`): hundreds of
+#: server components wrapping the same monadic program pay one Theorem-2.7
+#: rewrite.  Keyed exactly — the rule tuple plus the query predicates — so
+#: a hit can never alias two different programs; the sentinel records
+#: programs outside the TMNF fragment so their failed rewrite is not
+#: retried per component either.
+_TMNF_UNREWRITABLE = object()
+_TMNF_CACHE: LruMap[Tuple[object, ...], object] = LruMap(64)
+
+
+def _shared_tmnf_program(program: MonadicProgram) -> Optional[MonadicProgram]:
+    key = (tuple(program.rules), program.query_predicates)
+    cached = _TMNF_CACHE.get(key)
+    if cached is not None:
+        return None if cached is _TMNF_UNREWRITABLE else cached  # type: ignore[return-value]
+    try:
+        tmnf = program if is_tmnf(program) else to_tmnf(program)
+    except TMNFRewriteError:
+        _TMNF_CACHE.put(key, _TMNF_UNREWRITABLE)
+        return None
+    _TMNF_CACHE.put(key, tmnf)
+    return tmnf
+
 
 class MonadicTreeEvaluator:
     """Evaluates a monadic datalog program over documents.
@@ -46,6 +70,12 @@ class MonadicTreeEvaluator:
     LTUR truth sets keyed by exact tree fingerprints — node identities are
     re-resolved per call, so cached truths are safe across equal-but-distinct
     document objects.
+
+    ``share_plans=True`` (the default) additionally shares the per-program
+    analysis across evaluator instances: the TMNF rewrite through the
+    module-level rewrite cache, and (in the generic fallback) the engine's
+    compiled rule plans through :mod:`repro.datalog.registry`.  Per-document
+    caches are always instance-local.
     """
 
     def __init__(
@@ -54,6 +84,7 @@ class MonadicTreeEvaluator:
         force_generic: bool = False,
         use_index: bool = True,
         cache_size: int = 8,
+        share_plans: bool = True,
     ) -> None:
         self.program = program
         self.uses_ground_pipeline = False
@@ -64,16 +95,22 @@ class MonadicTreeEvaluator:
         ] = LruMap(cache_size)
 
         if not force_generic and not program.uses_negation():
-            try:
-                self._tmnf_program = program if is_tmnf(program) else to_tmnf(program)
-                self.uses_ground_pipeline = True
-            except TMNFRewriteError:
-                self._tmnf_program = None
+            if share_plans:
+                self._tmnf_program = _shared_tmnf_program(program)
+            else:
+                try:
+                    self._tmnf_program = (
+                        program if is_tmnf(program) else to_tmnf(program)
+                    )
+                except TMNFRewriteError:
+                    self._tmnf_program = None
+            self.uses_ground_pipeline = self._tmnf_program is not None
         if self._tmnf_program is None:
             self._generic_engine = SemiNaiveEngine(
                 program.to_datalog_program(),
                 use_index=use_index,
                 cache_size=cache_size,
+                share_plans=share_plans,
             )
 
     def fixpoint_cache_info(self) -> CacheInfo:

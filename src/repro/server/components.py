@@ -15,9 +15,11 @@ can be added by subclassing :class:`Component`.
 
 from __future__ import annotations
 
+import html
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Callable, Dict, Iterable, List, Optional, Sequence
+from typing import TYPE_CHECKING, Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 
+from ..datalog.cache import LruMap
 from ..elog.ast import ElogProgram
 from ..elog.extractor import Extractor, Fetcher
 from ..xmlgen.document import XmlElement
@@ -46,6 +48,33 @@ class Component:
 # ---------------------------------------------------------------------------
 
 
+#: Shared Elog interpreters, keyed by (program, fetcher) *object identity*:
+#: N wrapper components constructed over the same parsed program and fetcher
+#: reuse one Extractor — the same cross-component sharing the datalog side
+#: gets from the compiled-plan registry.  Extraction state lives in the
+#: per-run PatternInstanceBase, so one interpreter serves any number of
+#: components.  Identity (not content) is deliberate: ``ElogProgram`` is a
+#: mutable AST (``add_rule`` / ``mark_auxiliary``), so a content key frozen
+#: at construction could serve a stale interpreter after mutation, while
+#: identity keying lets mutations flow through the shared program object;
+#: the cost is that separately re-parsed copies of the same wrapper text get
+#: their own interpreter (which is merely the pre-sharing behaviour).
+#: Identity keys are safe because each cache entry holds a strong reference
+#: to the Extractor, which keeps the keyed program and fetcher objects
+#: alive — their ids cannot be recycled while the entry exists.
+_EXTRACTOR_CACHE: "LruMap[Tuple[int, int], Extractor]" = LruMap(128)
+
+
+def shared_extractor(program: ElogProgram, fetcher: Fetcher) -> Extractor:
+    """One Elog interpreter per (program, fetcher) object pair, process-wide."""
+    key = (id(program), id(fetcher))
+    extractor = _EXTRACTOR_CACHE.get(key)
+    if extractor is None:
+        extractor = Extractor(program, fetcher=fetcher)
+        _EXTRACTOR_CACHE.put(key, extractor)
+    return extractor
+
+
 class WrapperComponent(Component):
     """Acquires a page and runs an Elog wrapper over it (stage 1).
 
@@ -61,17 +90,23 @@ class WrapperComponent(Component):
         fetcher: Fetcher,
         url: str,
         root_name: Optional[str] = None,
+        share_interpreter: bool = True,
     ) -> None:
         super().__init__(name)
         self.program = program
         self.fetcher = fetcher
         self.url = url
         self.root_name = root_name or name
-        # One interpreter for the component's lifetime: periodic activations
-        # reuse the program analysis instead of rebuilding an Extractor per
-        # run (extraction state lives in the per-run PatternInstanceBase, so
+        # One interpreter per (program, fetcher) pair for the server's
+        # lifetime: periodic activations — and, with ``share_interpreter``
+        # (the default), every other component wrapping the same program —
+        # reuse the interpreter instead of rebuilding an Extractor per run
+        # (extraction state lives in the per-run PatternInstanceBase, so
         # reuse is safe).
-        self._extractor = Extractor(self.program, fetcher=self.fetcher)
+        if share_interpreter:
+            self._extractor = shared_extractor(self.program, self.fetcher)
+        else:
+            self._extractor = Extractor(self.program, fetcher=self.fetcher)
 
     def process(self, inputs: List[XmlElement]) -> XmlElement:
         result = self._extractor.extract_to_xml(url=self.url, root_name=self.root_name)
@@ -109,6 +144,7 @@ class DatalogQueryComponent(Component):
         root_name: Optional[str] = None,
         cache_size: int = 8,
         force_generic: bool = False,
+        share_plans: bool = True,
     ) -> None:
         super().__init__(name)
         from ..mdatalog.evaluator import MonadicTreeEvaluator
@@ -116,7 +152,10 @@ class DatalogQueryComponent(Component):
         self.supplier = supplier
         self.root_name = root_name or name
         self._evaluator = MonadicTreeEvaluator(
-            program, force_generic=force_generic, cache_size=cache_size
+            program,
+            force_generic=force_generic,
+            cache_size=cache_size,
+            share_plans=share_plans,
         )
 
     def process(self, inputs: List[XmlElement]) -> XmlElement:
@@ -124,7 +163,13 @@ class DatalogQueryComponent(Component):
         matches = self._evaluator.evaluate(document)
         result = XmlElement(self.root_name)
         for predicate in sorted(matches):
-            for node in matches[predicate]:
+            # Document order is this component's output contract: downstream
+            # change detection diffs the serialised XML, so the ordering is
+            # enforced here at the boundary rather than assumed from the
+            # evaluator (whose interface does not promise any order).
+            # Sorting an already-sorted list is a linear pass.
+            nodes = sorted(matches[predicate], key=lambda node: node.preorder_index)
+            for node in nodes:
                 record = result.add(predicate)
                 record.attributes["node"] = str(node.preorder_index)
                 record.attributes["label"] = node.label
@@ -185,13 +230,21 @@ class JoinComponent(Component):
         other_records: List[XmlElement] = []
         for document in others:
             other_records.extend(document.iter(self.other_record_name))
+        # Records without a key (missing or empty key element) cannot join:
+        # indexing them under the normalised empty string would cross-join
+        # every keyless record on both sides.  They are skipped on the other
+        # side and passed through unjoined on the primary side.
         index: Dict[str, List[XmlElement]] = {}
         for record in other_records:
-            index.setdefault(self._key_of(record, self.other_key), []).append(record)
+            key = self._key_of(record, self.other_key)
+            if key:
+                index.setdefault(key, []).append(record)
         for record in primary.iter(self.record_name):
             joined = record.copy()
-            for match in index.get(self._key_of(record, self.key), []):
-                joined.append(match.copy())
+            key = self._key_of(record, self.key)
+            if key:
+                for match in index.get(key, []):
+                    joined.append(match.copy())
             result.append(joined)
         return result
 
@@ -386,10 +439,15 @@ class HtmlPortalDeliverer(DelivererComponent):
         self.page: str = ""
 
     def deliver(self, document: XmlElement) -> Delivery:
+        # Field text is scraped content: a literal "<" or "&" must render as
+        # data, never as markup injected into the portal page.
         rows = []
         for record in document.iter(self.record_name):
-            cells = "".join(f"<td>{record.findtext(field)}</td>" for field in self.fields)
+            cells = "".join(
+                f"<td>{html.escape(record.findtext(field))}</td>"
+                for field in self.fields
+            )
             rows.append(f"<tr>{cells}</tr>")
-        header = "".join(f"<th>{field}</th>" for field in self.fields)
+        header = "".join(f"<th>{html.escape(field)}</th>" for field in self.fields)
         self.page = f"<html><body><table><tr>{header}</tr>{''.join(rows)}</table></body></html>"
         return Delivery(self.channel, self.recipient, self.record_name, self.page)

@@ -20,6 +20,8 @@ from collections import defaultdict
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
+from ..datalog.cache import CacheInfo
+from ..datalog.registry import plan_registry_info
 from ..xmlgen.document import XmlElement
 from ..xmlgen.serializer import to_compact_xml
 from .components import Component, DelivererComponent
@@ -162,5 +164,26 @@ class TransformationServer:
         return ran
 
     def run_all(self) -> Dict[str, Dict[str, XmlElement]]:
-        """Run every registered pipe once, immediately."""
-        return {name: scheduled.pipe.run() for name, scheduled in self._pipes.items()}
+        """Run every registered pipe once, immediately.
+
+        The runs go through the scheduler bookkeeping: each counts as the
+        pipe's activation at the current clock (logged in ``run_log``) and
+        pushes ``next_activation`` a full period out, so a following
+        :meth:`tick` does not immediately double-run every pipe.
+        """
+        results: Dict[str, Dict[str, XmlElement]] = {}
+        for name, scheduled in self._pipes.items():
+            results[name] = scheduled.pipe.run()
+            scheduled.next_activation = self.clock + scheduled.period
+            self.run_log.append((self.clock, name))
+        return results
+
+    # -- monitoring ----------------------------------------------------------
+    def plan_registry_info(self) -> CacheInfo:
+        """Statistics of the process-wide compiled-program registry.
+
+        Exposed next to the per-component fixpoint caches so server
+        monitoring can assert that its hundreds of components over a
+        handful of programs really paid a handful of compilations.
+        """
+        return plan_registry_info()

@@ -75,6 +75,42 @@ def test_hit_across_equal_but_distinct_databases():
     assert cache.lookup({"q": {(1,), (2,)}, "r": set(), "s": set()})[1] is None
 
 
+def test_store_refreshes_exact_duplicates_instead_of_inflating():
+    cache = FixpointCache(capacity=2)
+    database = {"q": {(1,)}}
+    fingerprint, _ = cache.lookup(database)
+    cache.store(fingerprint, database, "first")
+    cache.store(fingerprint, database, "second")
+    assert len(cache) == 1  # refreshed in place, not appended
+    assert cache.lookup(database)[1] == "second"
+
+    other = {"q": {(2,)}}
+    other_fingerprint, _ = cache.lookup(other)
+    cache.store(other_fingerprint, other, "other")
+    # Repeated stores of one hot document must not evict the other one.
+    for _ in range(5):
+        cache.store(fingerprint, database, "again")
+    assert len(cache) == 2
+    assert cache.lookup(other)[1] == "other"
+    assert cache.lookup(database)[1] == "again"
+
+
+def test_store_dedup_is_exact_not_fingerprint_based():
+    # Hash-equal but different databases still get their own entries.
+    collider = 2**61
+    assert hash((1,)) == hash((collider,))
+    cache = FixpointCache(capacity=4)
+    a = {"q": {(1,)}}
+    b = {"q": {(collider,)}}
+    fingerprint_a, _ = cache.lookup(a)
+    fingerprint_b, _ = cache.lookup(b)
+    assert fingerprint_a == fingerprint_b
+    cache.store(fingerprint_a, a, "a")
+    cache.store(fingerprint_b, b, "b")
+    assert len(cache) == 2
+    assert cache.lookup(a)[1] == "a" and cache.lookup(b)[1] == "b"
+
+
 def test_content_hash_is_order_independent_and_shape_sensitive():
     a = {"q": {(1,), (2,), (3,)}, "r": {(4,)}}
     b = {"r": {(4,)}, "q": {(3,), (2,), (1,)}}

@@ -145,3 +145,18 @@ def test_cartesian_product_rule():
     expected = {(1, "a"), (1, "b"), (2, "a"), (2, "b")}
     assert indexed.query(database, "pair") == expected
     assert nested.query(database, "pair") == expected
+
+
+def test_add_batch_dedups_within_the_batch():
+    from repro.datalog import RelationIndex
+
+    relation = RelationIndex({(9, 9)})
+    # Materialise an index first so batch insertion must maintain it.
+    assert list(relation.probe((0,), (9,))) == [(9, 9)]
+    added = relation.add_batch([(1, 2), (1, 2), (9, 9), (3, 4), (1, 2)])
+    assert added == 2
+    assert len(relation) == 3
+    # Each fact appears in the probed bucket exactly once.
+    assert list(relation.probe((0,), (1,))) == [(1, 2)]
+    assert list(relation.probe((0,), (3,))) == [(3, 4)]
+    assert list(relation.probe((0,), (9,))) == [(9, 9)]

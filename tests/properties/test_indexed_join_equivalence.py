@@ -5,7 +5,10 @@ comparison builtins) over randomised extensional databases must produce the
 same fixpoint whether the engine evaluates through compiled rule plans (the
 default), the PR-1 per-call indexed join (``use_plans=False``), or the seed
 nested-loop scan (``use_index=False``) — plans and indexes are pure
-evaluation-strategy changes.
+evaluation-strategy changes.  The same holds for *where* the plans come
+from: engines sharing one compilation through the registry
+(``share_plans=True``, the default) must agree with privately compiled
+engines (``share_plans=False``).
 """
 
 from __future__ import annotations
@@ -117,6 +120,25 @@ def test_planned_indexed_and_nested_loop_fixpoints_agree(program, database):
     nested = SemiNaiveEngine(program, use_index=False).evaluate(database)
     assert planned == indexed
     assert indexed == nested
+
+
+@settings(max_examples=40, deadline=None)
+@given(program=programs(), database=databases())
+def test_shared_registry_fixpoints_match_private_compilation(program, database):
+    # Two default engines hit the shared registry (the second reuses the
+    # first's compiled plans — same objects); both must compute exactly the
+    # fixpoint of a privately compiled engine (share_plans=False), i.e.
+    # cross-engine plan sharing is invisible to evaluation.
+    shared_first = SemiNaiveEngine(program)
+    shared_second = SemiNaiveEngine(program)
+    private = SemiNaiveEngine(program, share_plans=False)
+    if shared_second._stratum_plans:
+        assert (
+            shared_second._stratum_plans[0][0] is shared_first._stratum_plans[0][0]
+        )
+    result = shared_first.evaluate(database)
+    assert result == shared_second.evaluate(database)
+    assert result == private.evaluate(database)
 
 
 @settings(max_examples=30, deadline=None)

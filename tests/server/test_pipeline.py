@@ -201,6 +201,49 @@ def test_datalog_query_component_ground_pipeline_caches_by_content():
     assert info.misses == 1 and info.hits == 1
 
 
+def test_join_component_skips_keyless_records():
+    # Records whose key element is missing (or empty) must not be joined on
+    # the normalised empty string — that cross-joined every keyless record.
+    left_root = XmlElement("catalog")
+    keyed = left_root.add("book")
+    keyed.add("title", text="A")
+    left_root.add("book")  # no <title> at all
+    blank = left_root.add("book")
+    blank.add("title", text="   ")  # whitespace-only normalises to ""
+
+    right_root = XmlElement("reviews")
+    review = right_root.add("review")
+    review.add("title", text="a")
+    review.add("stars", text="5")
+    keyless_review = right_root.add("review")
+    keyless_review.add("stars", text="1")
+
+    pipe = InformationPipe("joined")
+    pipe.add(XmlSourceComponent("left", lambda: left_root))
+    pipe.add(XmlSourceComponent("right", lambda: right_root))
+    pipe.add(JoinComponent("join", "book", "review", key="title"))
+    pipe.connect("left", "join")
+    pipe.connect("right", "join")
+    books = pipe.run()["join"].find_all("book")
+    assert len(books) == 3  # keyless primaries still pass through, unjoined
+    assert books[0].find("review") is not None
+    assert books[1].find("review") is None
+    assert books[2].find("review") is None
+
+
+def test_datalog_query_component_emits_records_in_document_order():
+    from repro.tree.builder import tree
+
+    document = tree(("doc", ("b",), ("a", ("b",)), ("b",)))
+    program = MonadicProgram.parse("hit(X) :- label_b(X).", query_predicates=["hit"])
+    component = DatalogQueryComponent("wrap", program, lambda: document)
+    for _ in range(3):  # identical (and sorted) across repeated activations
+        result = component.process([])
+        indexes = [int(r.attributes["node"]) for r in result.find_all("hit")]
+        assert indexes == sorted(indexes)
+        assert len(indexes) == 3
+
+
 def test_transformation_server_scheduling():
     counter = {"runs": 0}
 
@@ -224,6 +267,70 @@ def test_transformation_server_scheduling():
     assert server.pipes() == ["fast", "slow"]
     with pytest.raises(PipelineError):
         server.register(fast)
+
+
+def test_run_all_goes_through_scheduler_bookkeeping():
+    counter = {"runs": 0}
+
+    def supply():
+        counter["runs"] += 1
+        return XmlElement("doc")
+
+    pipe = InformationPipe("p")
+    pipe.add(XmlSourceComponent("s", supply))
+    server = TransformationServer()
+    server.register(pipe, period=2)
+
+    results = server.run_all()
+    assert set(results) == {"p"} and counter["runs"] == 1
+    # The run was logged and counts as the activation at the current clock...
+    assert server.run_log == [(0, "p")]
+    # ...so the next ticks must not double-run until the period elapses.
+    assert server.tick() == []  # clock 0 -> 1: next_activation is 2
+    assert server.tick() == []  # clock 1 -> 2
+    assert server.tick() == ["p"]  # clock 2: the period has elapsed
+    assert counter["runs"] == 2
+    assert server.run_log == [(0, "p"), (2, "p")]
+
+
+def test_html_portal_deliverer_escapes_scraped_text():
+    from repro.server import HtmlPortalDeliverer
+
+    root = XmlElement("board")
+    record = root.add("song")
+    record.add("title", text="Bold & <Beautiful>")
+    record.add("artist", text='"AC/DC" <script>alert(1)</script>')
+    deliverer = HtmlPortalDeliverer("portal", "song", ["title", "artist"])
+    delivery = deliverer.deliver(root)
+    assert "<script>" not in delivery.body
+    assert "Bold &amp; &lt;Beautiful&gt;" in delivery.body
+    assert "&lt;script&gt;alert(1)&lt;/script&gt;" in delivery.body
+    # The table markup itself survives.
+    assert "<td>" in delivery.body and "<th>title</th>" in delivery.body
+
+
+def test_wrapper_components_share_one_interpreter_per_program():
+    web = SimulatedWeb()
+    web.publish_many(bookstore_site(count=2, seed=1))
+    program = parse_elog(
+        "book(S, X) <- document(_, S), subelem(S, ?.tr, X),"
+        " contains(X, (?.td, [(class, title, exact)]))"
+    )
+    shared_a = WrapperComponent("a", program, web, "books-a.test/bestsellers")
+    shared_b = WrapperComponent("b", program, web, "books-a.test/bestsellers")
+    assert shared_a._extractor is shared_b._extractor
+    private = WrapperComponent(
+        "c", program, web, "books-a.test/bestsellers", share_interpreter=False
+    )
+    assert private._extractor is not shared_a._extractor
+    # Another program gets its own interpreter.
+    other = WrapperComponent(
+        "d", parse_elog("book(S, X) <- document(_, S), subelem(S, ?.tr, X)"),
+        web, "books-a.test/bestsellers",
+    )
+    assert other._extractor is not shared_a._extractor
+    # Sharing does not change what gets extracted.
+    assert shared_a.process([]).children == private.process([]).children
 
 
 def test_change_detector_reports_added_changed_removed():
