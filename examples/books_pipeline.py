@@ -2,77 +2,63 @@
 
 Three shops with different layouts are wrapped, their offers integrated,
 filtered, sorted by price and delivered — the Transformation Server workflow
-of Section 5.
+of Section 5, declared through the ``Pipeline`` builder of the façade.
 
 Run with:  python examples/books_pipeline.py
 """
 
-from repro.elog import parse_elog
-from repro.server import (
-    FilterComponent,
-    InformationPipe,
-    IntegrationComponent,
-    SortComponent,
-    WrapperComponent,
-    XmlDeliverer,
-)
+from repro import Session
+from repro.api import XmlDeliverer
+from repro.elog.concepts import parse_number
 from repro.web import SimulatedWeb
 from repro.web.sites.bookstore import bookstore_site
-from repro.elog.concepts import parse_number
 
-SHOP_A = parse_elog(
-    """
-    book(S, X)  <- document(_, S), subelem(S, ?.tr, X), contains(X, (?.td, [(class, title, exact)]))
-    title(S, X) <- book(_, S), subelem(S, (?.td, [(class, title, exact)]), X)
-    price(S, X) <- book(_, S), subelem(S, (?.td, [(class, price, exact)]), X)
-    """
-)
-SHOP_B = parse_elog(
-    """
-    book(S, X)  <- document(_, S), subelem(S, ?.li, X)
-    title(S, X) <- book(_, S), subelem(S, (?.span, [(class, title, exact)]), X)
-    price(S, X) <- book(_, S), subelem(S, (?.span, [(class, price, exact)]), X)
-    """
-)
-SHOP_C = parse_elog(
-    """
-    book(S, X)  <- document(_, S), subelem(S, (?.div, [(class, entry, exact)]), X)
-    title(S, X) <- book(_, S), subelem(S, (?.div, [(class, t, exact)]), X)
-    price(S, X) <- book(_, S), subelem(S, (?.div, [(class, p, exact)]), X)
-    """
-)
+SHOP_A = """
+book(S, X)  <- document(_, S), subelem(S, ?.tr, X), contains(X, (?.td, [(class, title, exact)]))
+title(S, X) <- book(_, S), subelem(S, (?.td, [(class, title, exact)]), X)
+price(S, X) <- book(_, S), subelem(S, (?.td, [(class, price, exact)]), X)
+"""
+SHOP_B = """
+book(S, X)  <- document(_, S), subelem(S, ?.li, X)
+title(S, X) <- book(_, S), subelem(S, (?.span, [(class, title, exact)]), X)
+price(S, X) <- book(_, S), subelem(S, (?.span, [(class, price, exact)]), X)
+"""
+SHOP_C = """
+book(S, X)  <- document(_, S), subelem(S, (?.div, [(class, entry, exact)]), X)
+title(S, X) <- book(_, S), subelem(S, (?.div, [(class, t, exact)]), X)
+price(S, X) <- book(_, S), subelem(S, (?.div, [(class, p, exact)]), X)
+"""
 
 
 def main() -> None:
     web = SimulatedWeb()
     web.publish_many(bookstore_site(count=8, seed=7))
 
-    pipe = InformationPipe("books")
-    pipe.add(WrapperComponent("shop_a", SHOP_A, web, "books-a.test/bestsellers"))
-    pipe.add(WrapperComponent("shop_b", SHOP_B, web, "books-b.test/chart"))
-    pipe.add(WrapperComponent("shop_c", SHOP_C, web, "books-c.test/picks"))
-    pipe.add(IntegrationComponent("integrate", root_name="allbooks"))
-    pipe.add(
-        FilterComponent(
+    session = Session()
+    pipeline = (
+        session.pipeline("books")
+        .wrapper("shop_a", SHOP_A, web, "books-a.test/bestsellers")
+        .wrapper("shop_b", SHOP_B, web, "books-b.test/chart")
+        .wrapper("shop_c", SHOP_C, web, "books-c.test/picks")
+        .integrate("integrate", inputs=["shop_a", "shop_b", "shop_c"], root_name="allbooks")
+        .filter(
             "affordable", "book",
             lambda book: (parse_number(book.findtext("price")) or 999) < 30,
             root_name="affordable",
         )
+        .sort("by_price", "book", "price", root_name="offers")
+        .deliver(XmlDeliverer("deliver", recipient="portal"))
+        .build()
     )
-    pipe.add(SortComponent("by_price", "book", "price", root_name="offers"))
-    pipe.add(XmlDeliverer("deliver", recipient="portal"))
-    for shop in ("shop_a", "shop_b", "shop_c"):
-        pipe.connect(shop, "integrate")
-    pipe.chain("integrate", "affordable", "by_price", "deliver")
 
-    results = pipe.run()
+    results = pipeline.run()
     offers = results["by_price"].find_all("book")
     print(f"integrated {len(results['integrate'].children)} source documents, "
           f"{len(offers)} affordable offers after filtering:\n")
     for offer in offers:
         print(f"  {offer.findtext('price'):>12}  {offer.findtext('title')}")
 
-    delivery = pipe.component("deliver").last_delivery()
+    delivery = pipeline.component("deliver").last_delivery()
     print(f"\ndelivered via {delivery.channel!r} to {delivery.recipient!r}, "
           f"{len(delivery.body.splitlines())} XML lines")
 

@@ -2,16 +2,19 @@
 
 Evaluates "b-nodes below an a-node" as monadic datalog, Core XPath (linear
 and naive), a conjunctive query, a tree automaton, and through the
-translations between the formalisms, checking that all agree.
+translations between the formalisms, checking that all agree.  Every
+datalog-side evaluation runs through one façade :class:`Session`, which
+picks the backend (monadic pipeline, compiled automaton) by program type.
 
 Run with:  python examples/complexity_tour.py
 """
 
 import time
 
-from repro.automata import compile_automaton, leaf_selector_automaton
+from repro import Session
+from repro.automata import leaf_selector_automaton
 from repro.cq import classify, query, to_positive_core_xpath, unary_answers
-from repro.mdatalog import MonadicProgram, MonadicTreeEvaluator, is_tmnf, to_tmnf
+from repro.mdatalog import MonadicProgram, is_tmnf, to_tmnf
 from repro.tree import random_tree
 from repro.xpath import CoreXPathEvaluator, NaiveXPathEvaluator, translate_to_tmnf
 
@@ -27,6 +30,7 @@ def timed(label, function, *args):
 
 def main() -> None:
     document = random_tree(3_000, labels=LABELS, seed=99)
+    session = Session()
     print(f"document: {len(document)} nodes, labels {sorted(document.labels())}\n")
 
     print("the same unary query in every formalism:")
@@ -49,7 +53,7 @@ def main() -> None:
     )
     datalog_answers = timed(
         "monadic datalog (Theorem 2.4 pipeline)",
-        lambda: MonadicTreeEvaluator(program).select(document, "answer"),
+        lambda: session.select(program, document, "answer"),
     )
     print(f"      program in TMNF already? {is_tmnf(program)}; "
           f"after Theorem 2.7 rewriting: {is_tmnf(to_tmnf(program))}")
@@ -61,7 +65,7 @@ def main() -> None:
     translated = translate_to_tmnf("//a//b", labels=LABELS)
     translated_answers = timed(
         "Core XPath -> TMNF -> evaluate (Theorem 4.6)",
-        lambda: MonadicTreeEvaluator(translated).select(document, "answer"),
+        lambda: session.select(translated, document, "answer"),
     )
     back_to_xpath = to_positive_core_xpath(cq)
     round_trip_answers = timed(
@@ -70,11 +74,10 @@ def main() -> None:
     )
 
     automaton = leaf_selector_automaton(LABELS)
-    automaton_program = compile_automaton(automaton, LABELS)
     timed("tree automaton (leaf selector), direct run", lambda: automaton.select(document))
     timed(
         "tree automaton compiled to monadic datalog",
-        lambda: MonadicTreeEvaluator(automaton_program).select(document, "selected"),
+        lambda: session.query(automaton, document, labels=LABELS).nodes("selected"),
     )
 
     reference = {node.preorder_index for node in xpath_answers}

@@ -3,7 +3,8 @@
 Run with:  python examples/ebay_auctions.py
 """
 
-from repro.elog import Extractor, FIGURE5_TEXT, figure5_program
+from repro import Session
+from repro.elog import FIGURE5_TEXT, figure5_program
 from repro.web import SimulatedWeb
 from repro.web.sites.ebay import ebay_site
 from repro.xmlgen import to_xml
@@ -17,11 +18,11 @@ def main() -> None:
     print("The Elog program of Figure 5 (adapted paths, see DESIGN.md):")
     print(FIGURE5_TEXT)
 
-    program = figure5_program()
-    base = Extractor(program, fetcher=web).extract(url="www.ebay.com")
+    session = Session()
+    result = session.extract(figure5_program(), url="www.ebay.com", fetcher=web)
 
-    print(f"extracted {base.count('record')} records")
-    for record in base.instances_of("record"):
+    print(f"extracted {result.count('record')} records")
+    for record in result.instances("record"):
         description = record.find_all("itemdes")
         price = record.find_all("price")
         bids = record.find_all("bids")
@@ -35,7 +36,7 @@ def main() -> None:
         )
 
     print("\nXML output (first lines):")
-    xml = to_xml(base.to_xml(root_name="auctions", auxiliary=["tableseq"]))
+    xml = to_xml(result.to_xml(root_name="auctions", auxiliary=["tableseq"]))
     print("\n".join(xml.splitlines()[:25]))
 
 

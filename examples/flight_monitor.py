@@ -2,32 +2,23 @@
 
 The departures board of a simulated airport is wrapped periodically; the
 subscriber is notified by (simulated) SMS only when the status of one of the
-watched flights changes between consecutive requests.
+watched flights changes between consecutive requests.  The change gate is
+declared directly on the pipeline's ``deliver`` stage.
 
 Run with:  python examples/flight_monitor.py
 """
 
-from repro.elog import parse_elog
-from repro.server import (
-    ChangeDetector,
-    ChangeGatedDeliverer,
-    FilterComponent,
-    InformationPipe,
-    SmsDeliverer,
-    TransformationServer,
-    WrapperComponent,
-)
+from repro import Session
+from repro.api import ChangeDetector, SmsDeliverer
 from repro.web import SimulatedWeb
 from repro.web.sites.flights import advance_statuses, departures_page, generate_flights
 
-BOARD_WRAPPER = parse_elog(
-    """
-    flight(S, X) <- document(_, S), subelem(S, ?.tr, X), contains(X, (?.td, [(class, flight, exact)]))
-    number(S, X) <- flight(_, S), subelem(S, (?.td, [(class, flight, exact)]), X)
-    dest(S, X)   <- flight(_, S), subelem(S, (?.td, [(class, dest, exact)]), X)
-    status(S, X) <- flight(_, S), subelem(S, (?.td, [(class, status, exact)]), X)
-    """
-)
+BOARD_WRAPPER = """
+flight(S, X) <- document(_, S), subelem(S, ?.tr, X), contains(X, (?.td, [(class, flight, exact)]))
+number(S, X) <- flight(_, S), subelem(S, (?.td, [(class, flight, exact)]), X)
+dest(S, X)   <- flight(_, S), subelem(S, (?.td, [(class, dest, exact)]), X)
+status(S, X) <- flight(_, S), subelem(S, (?.td, [(class, status, exact)]), X)
+"""
 
 
 def main() -> None:
@@ -38,25 +29,26 @@ def main() -> None:
     web.publish(url, departures_page("Vienna", flights))
 
     sms = SmsDeliverer("sms", "+43 660 0000", summarise=lambda doc: doc.full_text())
-    gate = ChangeGatedDeliverer(
-        "gate",
-        sms,
-        ChangeDetector("flight", key="number"),
-        message=lambda report: "flight update: " + ", ".join(
-            f"{f.findtext('number')} now {f.findtext('status')}"
-            for f in report.changed + report.added
-        ),
+
+    session = Session()
+    pipeline = (
+        session.pipeline("flight-monitor")
+        .wrapper("board", BOARD_WRAPPER, web, url, root_name="departures")
+        .filter("watched", "flight",
+                lambda f: f.findtext("number") == watched, root_name="watchlist")
+        .deliver(
+            sms,
+            name="gate",
+            on_change=ChangeDetector("flight", key="number"),
+            message=lambda report: "flight update: " + ", ".join(
+                f"{f.findtext('number')} now {f.findtext('status')}"
+                for f in report.changed + report.added
+            ),
+        )
+        .build()
     )
 
-    pipe = InformationPipe("flight-monitor")
-    pipe.add(WrapperComponent("board", BOARD_WRAPPER, web, url, root_name="departures"))
-    pipe.add(FilterComponent("watched", "flight",
-                             lambda f: f.findtext("number") == watched, root_name="watchlist"))
-    pipe.add(gate)
-    pipe.chain("board", "watched", "gate")
-
-    server = TransformationServer()
-    server.register(pipe, period=1)
+    server = pipeline.serve(period=1)
 
     print(f"subscribed to flight {watched}")
     server.tick()                      # baseline snapshot — no SMS

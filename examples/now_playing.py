@@ -2,72 +2,62 @@
 
 Wraps the simulated radio / chart / lyrics sites, joins the currently playing
 songs with their chart positions and lyrics, and syndicates the result as a
-small HTML portal page for mobile devices.
+small HTML portal page for mobile devices.  The whole network — four radio
+wrappers fanning into a merge, a two-sided join, an HTML deliverer — is
+declared through the façade's pipeline builder.
 
 Run with:  python examples/now_playing.py
 """
 
-from repro.elog import parse_elog
-from repro.server import (
-    HtmlPortalDeliverer,
-    InformationPipe,
-    IntegrationComponent,
-    JoinComponent,
-    TransformationServer,
-    WrapperComponent,
-)
+from repro import Session
+from repro.api import HtmlPortalDeliverer
 from repro.web import SimulatedWeb
 from repro.web.sites.music import now_playing_site, stations
 
-RADIO_WRAPPER = parse_elog(
-    """
-    playing(S, X) <- document(_, S), subelem(S, (?.div, [(class, nowplaying, exact)]), X)
-    song(S, X)    <- playing(_, S), subelem(S, (?.span, [(class, song, exact)]), X)
-    artist(S, X)  <- playing(_, S), subelem(S, (?.span, [(class, artist, exact)]), X)
-    stream(S, X)  <- playing(_, S), subelem(S, (?.a, [(class, stream, exact)]), X)
-    """
-)
-CHART_WRAPPER = parse_elog(
-    """
-    entry(S, X)    <- document(_, S), subelem(S, ?.tr, X), contains(X, (?.td, [(class, pos, exact)]))
-    position(S, X) <- entry(_, S), subelem(S, (?.td, [(class, pos, exact)]), X)
-    song(S, X)     <- entry(_, S), subelem(S, (?.td, [(class, song, exact)]), X)
-    """
-)
+RADIO_WRAPPER = """
+playing(S, X) <- document(_, S), subelem(S, (?.div, [(class, nowplaying, exact)]), X)
+song(S, X)    <- playing(_, S), subelem(S, (?.span, [(class, song, exact)]), X)
+artist(S, X)  <- playing(_, S), subelem(S, (?.span, [(class, artist, exact)]), X)
+stream(S, X)  <- playing(_, S), subelem(S, (?.a, [(class, stream, exact)]), X)
+"""
+CHART_WRAPPER = """
+entry(S, X)    <- document(_, S), subelem(S, ?.tr, X), contains(X, (?.td, [(class, pos, exact)]))
+position(S, X) <- entry(_, S), subelem(S, (?.td, [(class, pos, exact)]), X)
+song(S, X)     <- entry(_, S), subelem(S, (?.td, [(class, song, exact)]), X)
+"""
 
 
 def main() -> None:
     web = SimulatedWeb()
     web.publish_many(now_playing_site(station_count=4, chart_count=2, seed=5))
 
-    pipe = InformationPipe("now-playing")
+    session = Session()
+    builder = session.pipeline("now-playing")
     radio_names = []
     for station in stations(4, seed=5):
         name = f"radio_{station.name.replace(' ', '_').lower()}"
         radio_names.append(name)
-        pipe.add(WrapperComponent(name, RADIO_WRAPPER, web, station.url, root_name="station"))
-    pipe.add(WrapperComponent("chart_1", CHART_WRAPPER, web, "charts-1.test/top", root_name="chart"))
-    pipe.add(IntegrationComponent("radio_merge", root_name="stations"))
-    pipe.add(
-        JoinComponent(
-            "with_charts", record_name="playing", other_record_name="entry",
+        builder.wrapper(name, RADIO_WRAPPER, web, station.url, root_name="station")
+    pipeline = (
+        builder
+        .wrapper("chart_1", CHART_WRAPPER, web, "charts-1.test/top", root_name="chart")
+        .integrate("radio_merge", inputs=radio_names, root_name="stations")
+        .join(
+            "with_charts", primary="radio_merge", other="chart_1",
+            record_name="playing", other_record_name="entry",
             key="song", root_name="enriched",
         )
+        .deliver(HtmlPortalDeliverer("pda", record_name="playing",
+                                     fields=("song", "artist", "position")))
+        .build()
     )
-    pipe.add(HtmlPortalDeliverer("pda", record_name="playing", fields=("song", "artist", "position")))
-    for name in radio_names:
-        pipe.connect(name, "radio_merge")
-    pipe.connect("radio_merge", "with_charts")
-    pipe.connect("chart_1", "with_charts")
-    pipe.connect("with_charts", "pda")
 
     # Periodic refresh: radio sites every tick, charts would be slower in a
     # real deployment (Section 6.1).
-    server = TransformationServer()
-    server.register(pipe, period=1)
+    server = pipeline.serve(period=1)
     server.tick(steps=2)
 
-    enriched = pipe.last_results["with_charts"]
+    enriched = pipeline.last_results["with_charts"]
     print("currently playing (joined with chart positions):")
     for playing in enriched.find_all("playing"):
         song = playing.findtext("song")
@@ -76,7 +66,7 @@ def main() -> None:
         position = entries[0].findtext("position") if entries else "-"
         print(f"  {song:<24} {artist:<18} chart position: {position}")
 
-    portal = pipe.component("pda")
+    portal = pipeline.component("pda")
     print(f"\nPDA portal page ({len(portal.page)} characters of HTML) delivered "
           f"to {portal.deliveries[-1].recipient!r}")
 

@@ -2,45 +2,33 @@
 
 Two press sites and a quotes page are wrapped, integrated, renamed into the
 NITF element vocabulary, and delivered as XML for a downstream content
-system.
+system — declared end to end through the façade's pipeline builder.
 
 Run with:  python examples/press_clipping.py
 """
 
-from repro.elog import parse_elog
-from repro.server import (
-    InformationPipe,
-    IntegrationComponent,
-    RenameComponent,
-    WrapperComponent,
-    XmlDeliverer,
-)
+from repro import Session
+from repro.api import XmlDeliverer
 from repro.web import SimulatedWeb
 from repro.web.sites.news import press_clipping_site
 
-DAILY_WRAPPER = parse_elog(
-    """
-    article(S, X)  <- document(_, S), subelem(S, (?.div, [(class, article, exact)]), X)
-    headline(S, X) <- article(_, S), subelem(S, (?.h2, [(class, headline, exact)]), X)
-    date(S, X)     <- article(_, S), subelem(S, (?.span, [(class, date, exact)]), X)
-    body(S, X)     <- article(_, S), subelem(S, (?.p, [(class, body, exact)]), X)
-    """
-)
-WIRE_WRAPPER = parse_elog(
-    """
-    article(S, X)  <- document(_, S), subelem(S, ?.tr, X), contains(X, (?.td, [(class, headline, exact)]))
-    headline(S, X) <- article(_, S), subelem(S, ?.a, X)
-    date(S, X)     <- article(_, S), subelem(S, (?.td, [(class, date, exact)]), X)
-    """
-)
-QUOTES_WRAPPER = parse_elog(
-    """
-    quote(S, X)   <- document(_, S), subelem(S, ?.tr, X), contains(X, (?.td, [(class, company, exact)]))
-    company(S, X) <- quote(_, S), subelem(S, (?.td, [(class, company, exact)]), X)
-    price(S, X)   <- quote(_, S), subelem(S, (?.td, [(class, price, exact)]), X)
-    change(S, X)  <- quote(_, S), subelem(S, (?.td, [(class, change, exact)]), X)
-    """
-)
+DAILY_WRAPPER = """
+article(S, X)  <- document(_, S), subelem(S, (?.div, [(class, article, exact)]), X)
+headline(S, X) <- article(_, S), subelem(S, (?.h2, [(class, headline, exact)]), X)
+date(S, X)     <- article(_, S), subelem(S, (?.span, [(class, date, exact)]), X)
+body(S, X)     <- article(_, S), subelem(S, (?.p, [(class, body, exact)]), X)
+"""
+WIRE_WRAPPER = """
+article(S, X)  <- document(_, S), subelem(S, ?.tr, X), contains(X, (?.td, [(class, headline, exact)]))
+headline(S, X) <- article(_, S), subelem(S, ?.a, X)
+date(S, X)     <- article(_, S), subelem(S, (?.td, [(class, date, exact)]), X)
+"""
+QUOTES_WRAPPER = """
+quote(S, X)   <- document(_, S), subelem(S, ?.tr, X), contains(X, (?.td, [(class, company, exact)]))
+company(S, X) <- quote(_, S), subelem(S, (?.td, [(class, company, exact)]), X)
+price(S, X)   <- quote(_, S), subelem(S, (?.td, [(class, price, exact)]), X)
+change(S, X)  <- quote(_, S), subelem(S, (?.td, [(class, change, exact)]), X)
+"""
 
 # Pattern names -> NITF-ish element names (NewsML/NITF, as in the paper).
 NITF_MAPPING = {
@@ -56,18 +44,19 @@ def main() -> None:
     web = SimulatedWeb()
     web.publish_many(press_clipping_site(count=6, seed=12))
 
-    pipe = InformationPipe("press-clipping")
-    pipe.add(WrapperComponent("daily", DAILY_WRAPPER, web, "financial-daily.test/news", root_name="news"))
-    pipe.add(WrapperComponent("wire", WIRE_WRAPPER, web, "market-wire.test/stories", root_name="news"))
-    pipe.add(WrapperComponent("quotes", QUOTES_WRAPPER, web, "exchange.test/quotes", root_name="quotes"))
-    pipe.add(IntegrationComponent("merge", root_name="clipping"))
-    pipe.add(RenameComponent("nitf", NITF_MAPPING))
-    pipe.add(XmlDeliverer("deliver", recipient="content-management-system"))
-    for source in ("daily", "wire", "quotes"):
-        pipe.connect(source, "merge")
-    pipe.chain("merge", "nitf", "deliver")
+    session = Session()
+    pipeline = (
+        session.pipeline("press-clipping")
+        .wrapper("daily", DAILY_WRAPPER, web, "financial-daily.test/news", root_name="news")
+        .wrapper("wire", WIRE_WRAPPER, web, "market-wire.test/stories", root_name="news")
+        .wrapper("quotes", QUOTES_WRAPPER, web, "exchange.test/quotes", root_name="quotes")
+        .integrate("merge", inputs=["daily", "wire", "quotes"], root_name="clipping")
+        .rename("nitf", NITF_MAPPING)
+        .deliver(XmlDeliverer("deliver", recipient="content-management-system"))
+        .build()
+    )
 
-    results = pipe.run()
+    results = pipeline.run()
     nitf = results["nitf"]
     blocks = list(nitf.iter("block"))
     quotes = list(nitf.iter("quote"))
@@ -78,7 +67,7 @@ def main() -> None:
     for quote in quotes:
         print(f"  {quote.findtext('company'):<16} {quote.findtext('price'):>8}  {quote.findtext('change')}")
 
-    delivery = pipe.component("deliver").last_delivery()
+    delivery = pipeline.component("deliver").last_delivery()
     print(f"\ndelivered {len(delivery.body)} characters of NITF XML to {delivery.recipient!r}")
 
 

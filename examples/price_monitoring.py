@@ -1,35 +1,26 @@
 """Sections 6.6/6.7 — business intelligence: competitor price monitoring.
 
 Three competitor part catalogues are wrapped and integrated; for every
-product the cheapest competitor is reported, and a change-gated deliverer
-raises an alert when a competitor moves a price.
+product the cheapest competitor is reported, and a change-gated e-mail
+deliverer — declared on the pipeline's ``deliver`` stage — raises an alert
+when a competitor moves a price.
 
 Run with:  python examples/price_monitoring.py
 """
 
 from collections import defaultdict
 
-from repro.elog import parse_elog
+from repro import Session
+from repro.api import ChangeDetector, EmailDeliverer
 from repro.elog.concepts import parse_number
-from repro.server import (
-    ChangeDetector,
-    ChangeGatedDeliverer,
-    EmailDeliverer,
-    InformationPipe,
-    IntegrationComponent,
-    TransformationServer,
-    WrapperComponent,
-)
 from repro.web import SimulatedWeb
 from repro.web.sites.markets import competitor_sites
 
-PRICE_WRAPPER = parse_elog(
-    """
-    offer(S, X)   <- document(_, S), subelem(S, ?.tr, X)
-    product(S, X) <- offer(_, S), subelem(S, (?.td, [(class, product, exact)]), X)
-    price(S, X)   <- offer(_, S), subelem(S, (?.td, [(class, price, exact)]), X)
-    """
-)
+PRICE_WRAPPER = """
+offer(S, X)   <- document(_, S), subelem(S, ?.tr, X)
+product(S, X) <- offer(_, S), subelem(S, (?.td, [(class, product, exact)]), X)
+price(S, X)   <- offer(_, S), subelem(S, (?.td, [(class, price, exact)]), X)
+"""
 
 
 def main() -> None:
@@ -37,27 +28,28 @@ def main() -> None:
     web.publish_many(competitor_sites(shops=3, count=6, seed=9))
 
     email = EmailDeliverer("alerts", "analyst@example.test", subject="price change alert")
-    gate = ChangeGatedDeliverer("gate", email, ChangeDetector("offer", key="product"))
 
-    pipe = InformationPipe("price-watch")
+    session = Session()
+    builder = session.pipeline("price-watch")
+    competitor_names = []
     for index in range(3):
         name = f"competitor_{index + 1}"
-        pipe.add(
-            WrapperComponent(name, PRICE_WRAPPER, web,
-                             f"competitor-{index + 1}.test/prices", root_name=name)
-        )
-    pipe.add(IntegrationComponent("market", root_name="market"))
-    pipe.add(gate)
-    for index in range(3):
-        pipe.connect(f"competitor_{index + 1}", "market")
-    # the analyst watches competitor 2 specifically for price moves
-    pipe.connect("competitor_2", "gate")
+        competitor_names.append(name)
+        builder.wrapper(name, PRICE_WRAPPER, web,
+                        f"competitor-{index + 1}.test/prices", root_name=name)
+    pipeline = (
+        builder
+        .integrate("market", inputs=competitor_names, root_name="market")
+        # the analyst watches competitor 2 specifically for price moves
+        .deliver(email, name="gate", inputs=["competitor_2"],
+                 on_change=ChangeDetector("offer", key="product"))
+        .build()
+    )
 
-    server = TransformationServer()
-    server.register(pipe, period=1)
+    server = pipeline.serve(period=1)
     server.tick()
 
-    market = pipe.last_results["market"]
+    market = pipeline.last_results["market"]
     best = defaultdict(lambda: (None, float("inf")))
     for shop in market.children:
         for offer in shop.iter("offer"):

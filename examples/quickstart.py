@@ -1,9 +1,9 @@
-"""Quickstart: write a small Elog wrapper and run it over an HTML page.
+"""Quickstart: write a small Elog wrapper and run it through the façade.
 
 Run with:  python examples/quickstart.py
 """
 
-from repro.elog import Extractor, parse_elog
+from repro import Session
 from repro.html import parse_html
 from repro.xmlgen import to_xml
 
@@ -31,20 +31,21 @@ url(S, X)    <- link(_, S), subatt(S, href, X)
 
 def main() -> None:
     document = parse_html(PAGE, url="cameras.example/offers")
-    program = parse_elog(WRAPPER).mark_auxiliary("link")
-    extractor = Extractor(program)
+    session = Session()
+    program = session.wrapper(WRAPPER).program.mark_auxiliary("link")
 
-    # 1. The pattern instance base: the hierarchical extraction result.
-    base = extractor.extract(document=document)
-    print("patterns extracted:", ", ".join(base.patterns()))
-    for offer in base.instances_of("offer"):
+    # 1. The uniform extraction result over the pattern instance base.
+    result = session.extract(program, document=document)
+    print("patterns extracted:", ", ".join(sorted(result.patterns())))
+    for offer in result.instances("offer"):
         model = offer.find_all("model")
         price = offer.find_all("price")
         print(" -", model[0].text() if model else "?", "/", price[0].text() if price else "?")
 
-    # 2. The XML Designer / Transformer output (the machine-friendly view).
+    # 2. The XML Designer / Transformer output (the machine-friendly view);
+    #    the result remembers the wrapper's auxiliary patterns by itself.
     print("\nXML output:\n")
-    print(to_xml(base.to_xml(root_name="offers", auxiliary=program.auxiliary_patterns)))
+    print(to_xml(result.to_xml(root_name="offers")))
 
 
 if __name__ == "__main__":

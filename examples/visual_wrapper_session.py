@@ -2,12 +2,14 @@
 
 A bestseller page is "displayed"; the user defines patterns by selecting
 regions of the rendered text; the system generates Elog filters, the user
-refines one that is too general, and the finished wrapper is run.
+refines one that is too general, and the finished wrapper is run through
+the façade :class:`Session`.
 
 Run with:  python examples/visual_wrapper_session.py
 """
 
-from repro.elog import ContainsCondition, ElementPath, Extractor
+from repro import Session
+from repro.elog import ContainsCondition, ElementPath
 from repro.html import parse_html
 from repro.visual import PatternBuilderSession
 from repro.web.sites.bookstore import generate_books, table_shop_page
@@ -54,9 +56,10 @@ def main() -> None:
 
     print("\ntesting the <price> pattern:", session.test_pattern("price"))
 
-    base = Extractor(session.wrapper()).extract(document=document)
+    # Run the finished wrapper through the façade.
+    result = Session().extract(session.wrapper(), document=document)
     print("\nfinal XML output:\n")
-    print(to_xml(base.to_xml(root_name="bestsellers")))
+    print(to_xml(result.to_xml(root_name="bestsellers")))
 
 
 if __name__ == "__main__":

@@ -1,0 +1,323 @@
+"""The Session: one front door to every evaluator of the reproduction.
+
+A :class:`Session` is the façade's unit of ownership.  It holds
+
+* one :class:`~repro.datalog.options.EngineOptions` applied to every
+  evaluator it builds,
+* its **own** :class:`~repro.datalog.registry.PlanRegistry` — compiled
+  programs (strata, rule plans, trigger maps) are shared across the
+  session's engines without touching the process-wide singleton, so two
+  sessions never contend on module globals and dropping the session drops
+  every compilation it paid for,
+* an evaluator memo per (backend, program content, options) — the
+  per-engine state (join-order memos, fixpoint LRUs) lives inside those
+  memoised engines, and
+* an Elog interpreter memo per (wrapper program, fetcher).
+
+Everything evaluates through the backend registry
+(:mod:`repro.api.backends`): callers pick ``"semi-naive"``, ``"monadic"``
+or ``"automata"`` by name, or let the program's type choose.  Results come
+back as the uniform :class:`~repro.api.results.QueryResult` /
+:class:`~repro.api.results.ExtractionResult` views.
+
+The batch entry points — :meth:`Session.query_many` and
+:meth:`Session.extract_many` — are the server-style path: one compiled
+program, one interpreter, streamed over many documents, so plan sharing
+and the fixpoint LRUs do their work across the whole stream.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Iterable, List, Optional, Sequence, Tuple
+
+from ..datalog.cache import CacheInfo, LruMap
+from ..datalog.options import DEFAULT_OPTIONS, EngineOptions
+from ..datalog.registry import PlanRegistry
+from ..elog.ast import ElogProgram
+from ..elog.extractor import Extractor, Fetcher
+from ..elog.parser import parse_elog
+from ..tree.document import Document
+from ..tree.node import Node
+from .backends import EvaluatorBackend, backend_named, infer_backend
+from .results import ExtractionResult, QueryResult
+
+
+class Session:
+    """A configured, stateful entry point over all evaluation layers.
+
+    Parameters
+    ----------
+    options:
+        The :class:`EngineOptions` applied to every evaluator the session
+        builds (defaults to the stock options).
+    registry:
+        The compiled-program registry the session's engines share.  By
+        default each session owns a private one; pass
+        :func:`repro.datalog.shared_registry` to join the process-wide
+        registry instead (several sessions amortising one compilation), or
+        any other registry to share between chosen sessions.
+    """
+
+    #: Capacities of the session-level memos.  Bounded like every other
+    #: server-scale cache in the stack (see :mod:`repro.datalog.cache`):
+    #: a long-lived session streaming documents with ever-new label
+    #: alphabets (automata backend) or wrapper texts must not grow without
+    #: limit — an evicted evaluator merely recompiles through the
+    #: registry on next use.
+    MAX_EVALUATORS = 64
+    MAX_EXTRACTORS = 64
+
+    def __init__(
+        self,
+        options: Optional[EngineOptions] = None,
+        *,
+        registry: Optional[PlanRegistry] = None,
+    ) -> None:
+        self.options = options if options is not None else DEFAULT_OPTIONS
+        self.registry = registry if registry is not None else PlanRegistry()
+        self._evaluators: LruMap[Tuple[str, Hashable], object] = LruMap(
+            self.MAX_EVALUATORS
+        )
+        self._extractors: LruMap[Hashable, Extractor] = LruMap(self.MAX_EXTRACTORS)
+        self._parsed_wrappers: LruMap[str, ElogProgram] = LruMap(self.MAX_EXTRACTORS)
+        # (backend name, program text) -> normalised program, so repeated
+        # session.query(TEXT, ...) calls parse once, not per call.
+        self._parsed_programs: LruMap[Tuple[str, str], object] = LruMap(
+            self.MAX_EVALUATORS
+        )
+        self._backends_used: set = set()
+
+    # ------------------------------------------------------------------
+    # Evaluator construction (memoised per backend + program content)
+    # ------------------------------------------------------------------
+    def engine(
+        self,
+        program: object,
+        backend: Optional[str] = None,
+        *,
+        labels: Optional[Iterable[str]] = None,
+    ) -> object:
+        """The session's (memoised) evaluator for ``program``.
+
+        ``backend`` defaults by program type: datalog :class:`Program` →
+        ``"semi-naive"``, :class:`MonadicProgram` → ``"monadic"``,
+        :class:`TreeAutomaton` → ``"automata"``.  Program *text* needs an
+        explicit backend name.  ``labels`` pins the label alphabet of the
+        automata compilation — required here (only :meth:`query` can
+        derive it from the queried document).
+        """
+        resolved, native, label_key = self._resolve(program, backend, labels)
+        return self._memoised(resolved, native, label_key)
+
+    def _memoised(
+        self,
+        resolved: EvaluatorBackend,
+        native: object,
+        label_key: Optional[Tuple[str, ...]],
+    ) -> object:
+        key = (resolved.name, resolved.cache_key(native, self.options, label_key))
+        evaluator = self._evaluators.get(key)
+        if evaluator is None:
+            evaluator = resolved.build(native, self.options, self.registry, label_key)
+            self._evaluators.put(key, evaluator)
+            self._backends_used.add(resolved.name)
+        return evaluator
+
+    def _resolve(
+        self,
+        program: object,
+        backend: Optional[str],
+        labels: Optional[Iterable[str]],
+        source: Optional[object] = None,
+    ) -> Tuple[EvaluatorBackend, object, Optional[Tuple[str, ...]]]:
+        resolved = backend_named(backend) if backend else infer_backend(program)
+        if isinstance(program, str):
+            memo_key = (resolved.name, program)
+            native = self._parsed_programs.get(memo_key)
+            if native is None:
+                native = resolved.normalise(program)
+                self._parsed_programs.put(memo_key, native)
+        else:
+            native = resolved.normalise(program)
+        label_key: Optional[Tuple[str, ...]] = None
+        if labels is not None:
+            label_key = tuple(sorted(set(labels)))
+        elif isinstance(source, Document):
+            label_key = tuple(sorted(source.labels()))
+        return resolved, native, label_key
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def query(
+        self,
+        program: object,
+        source: object,
+        backend: Optional[str] = None,
+        *,
+        labels: Optional[Iterable[str]] = None,
+    ) -> QueryResult:
+        """Evaluate ``program`` over one source, uniformly wrapped.
+
+        ``source`` is a ``{predicate: facts}`` database or a
+        :class:`Document` (semi-naive accepts both; monadic and automata
+        take documents).
+        """
+        resolved, native, label_key = self._resolve(program, backend, labels, source)
+        return resolved.run(self._memoised(resolved, native, label_key), source)
+
+    def query_many(
+        self,
+        program: object,
+        sources: Sequence[object],
+        backend: Optional[str] = None,
+        *,
+        labels: Optional[Iterable[str]] = None,
+    ) -> List[QueryResult]:
+        """The batch path: one compiled evaluator over a source stream.
+
+        All sources run through a single memoised evaluator, so the
+        compilation is paid once, the fixpoint LRU serves repeated
+        documents, and (for the automata backend) one program covering the
+        union of the documents' labels is compiled instead of one per
+        document.
+        """
+        if labels is None:
+            union: set = set()
+            for source in sources:
+                if isinstance(source, Document):
+                    union.update(source.labels())
+            labels = union or None
+        # Resolve and normalise once for the whole stream — per-source
+        # query() calls would re-parse text programs and recompute the
+        # content cache key N times just to hit the same memo entry.
+        resolved, native, label_key = self._resolve(program, backend, labels)
+        evaluator = self._memoised(resolved, native, label_key)
+        return [resolved.run(evaluator, source) for source in sources]
+
+    def select(
+        self,
+        program: object,
+        document: Document,
+        predicate: str,
+        backend: Optional[str] = None,
+    ) -> Tuple[Node, ...]:
+        """The nodes one predicate selects — shorthand over :meth:`query`."""
+        return self.query(program, document, backend).nodes(predicate)
+
+    # ------------------------------------------------------------------
+    # Elog extraction
+    # ------------------------------------------------------------------
+    def wrapper(
+        self,
+        program: "ElogProgram | str",
+        fetcher: Optional[Fetcher] = None,
+    ) -> Extractor:
+        """The session's (memoised) Elog interpreter for ``program``.
+
+        Program text is parsed once per distinct text; ``ElogProgram``
+        objects are keyed by identity (they are mutable ASTs — see
+        :func:`repro.server.components.shared_extractor` for the
+        rationale).  The sharing is deliberate in both directions:
+        mutating the returned interpreter's program (e.g.
+        ``session.wrapper(TEXT).program.mark_auxiliary(...)``) flows
+        through to every later use of the same wrapper text in this
+        session — callers that need a private copy should parse their own
+        ``ElogProgram``.  One interpreter serves any number of
+        extractions: per-run state lives in the
+        :class:`~repro.elog.instance_base.PatternInstanceBase`.
+        """
+        if isinstance(program, str):
+            parsed = self._parsed_wrappers.get(program)
+            if parsed is None:
+                parsed = parse_elog(program)
+                self._parsed_wrappers.put(program, parsed)
+            program = parsed
+        key = (id(program), id(fetcher))
+        extractor = self._extractors.get(key)
+        if extractor is None:
+            extractor = Extractor(program, fetcher=fetcher)
+            self._extractors.put(key, extractor)
+        return extractor
+
+    def extract(
+        self,
+        program: "ElogProgram | str",
+        document: Optional[Document] = None,
+        *,
+        documents: Optional[Sequence[Document]] = None,
+        url: Optional[str] = None,
+        fetcher: Optional[Fetcher] = None,
+    ) -> ExtractionResult:
+        """Run an Elog wrapper and return the uniform extraction result.
+
+        Accepts any combination of a single ``document``, several
+        ``documents`` and a start ``url`` (which requires ``fetcher``),
+        exactly like :meth:`Extractor.extract`; the result's
+        :meth:`~repro.api.results.ExtractionResult.to_xml` already knows
+        the program's auxiliary patterns.
+        """
+        extractor = self.wrapper(program, fetcher)
+        base = extractor.extract(document=document, documents=documents, url=url)
+        return ExtractionResult(base, auxiliary=extractor.program.auxiliary_patterns)
+
+    def extract_many(
+        self,
+        program: "ElogProgram | str",
+        documents: Sequence[Document] = (),
+        *,
+        urls: Sequence[str] = (),
+        fetcher: Optional[Fetcher] = None,
+    ) -> List[ExtractionResult]:
+        """The batch extraction path for server-style document streams.
+
+        One interpreter — hence one parsed program, one set of compiled
+        plans behind any datalog translation — serves the whole stream;
+        each document (or fetched URL) yields its own
+        :class:`ExtractionResult`.
+        """
+        extractor = self.wrapper(program, fetcher)
+        auxiliary = extractor.program.auxiliary_patterns
+        results = [
+            ExtractionResult(extractor.extract(document=doc), auxiliary=auxiliary)
+            for doc in documents
+        ]
+        results.extend(
+            ExtractionResult(extractor.extract(url=url), auxiliary=auxiliary)
+            for url in urls
+        )
+        return results
+
+    # ------------------------------------------------------------------
+    # Pipelines
+    # ------------------------------------------------------------------
+    def pipeline(self, name: str = "pipeline"):
+        """A :class:`~repro.api.pipeline.PipelineBuilder` bound to this
+        session (its wrapper/query stages reuse the session's interpreters,
+        options and plan registry)."""
+        from .pipeline import PipelineBuilder
+
+        return PipelineBuilder(name, session=self)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def plan_registry_info(self) -> CacheInfo:
+        """Hit/miss statistics of the session-owned compiled-plan registry."""
+        return self.registry.info()
+
+    def info(self) -> Dict[str, object]:
+        """A monitoring snapshot of everything the session owns."""
+        return {
+            "options": self.options,
+            "backends": set(self._backends_used),
+            "evaluators": len(self._evaluators),
+            "extractors": len(self._extractors),
+            "plan_registry": self.registry.info(),
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Session(evaluators={len(self._evaluators)}, "
+            f"extractors={len(self._extractors)}, options={self.options})"
+        )

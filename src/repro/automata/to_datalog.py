@@ -12,10 +12,13 @@ automaton selects — an executable witness of the theorem.
 
 from __future__ import annotations
 
+import weakref
 from typing import Dict, Iterable, List, Optional, Tuple
 
 from ..datalog.ast import Atom, Literal, Rule, Variable
 from ..datalog.cache import LruMap
+from ..datalog.options import UNSET, EngineOptions, resolve_options
+from ..datalog.registry import PlanRegistry
 from ..datalog.tree_edb import label_predicate
 from ..mdatalog.evaluator import MonadicTreeEvaluator
 from ..mdatalog.program import MonadicProgram
@@ -135,6 +138,28 @@ def compile_automaton(
 # accumulating evaluators.
 _EVALUATOR_CACHE: LruMap[Tuple[object, ...], MonadicTreeEvaluator] = LruMap(32)
 
+#: Callers that bring their own :class:`PlanRegistry` get an evaluator
+#: cache scoped to that registry instead of the process-wide one above —
+#: repeated ``compiled_select(..., registry=r)`` calls must not recompile
+#: per call, yet a process-wide entry must not outlive (or alias) the
+#: registry it was built against.  Weak keys drop each cache with its
+#: registry.
+_REGISTRY_EVALUATOR_CACHES: "weakref.WeakKeyDictionary[PlanRegistry, LruMap[Tuple[object, ...], MonadicTreeEvaluator]]" = (
+    weakref.WeakKeyDictionary()
+)
+
+
+def _evaluator_cache_for(
+    registry: Optional[PlanRegistry],
+) -> LruMap[Tuple[object, ...], MonadicTreeEvaluator]:
+    if registry is None:
+        return _EVALUATOR_CACHE
+    cache = _REGISTRY_EVALUATOR_CACHES.get(registry)
+    if cache is None:
+        cache = LruMap(32)
+        _REGISTRY_EVALUATOR_CACHES[registry] = cache
+    return cache
+
 
 def _automaton_signature(automaton: TreeAutomaton) -> Tuple[object, ...]:
     return (
@@ -148,8 +173,11 @@ def compiled_evaluator(
     automaton: TreeAutomaton,
     labels: Iterable[str],
     query_predicate: str = SELECTED,
-    force_generic: bool = False,
-    share_plans: bool = True,
+    force_generic: object = UNSET,
+    share_plans: object = UNSET,
+    *,
+    options: Optional[EngineOptions] = None,
+    registry: Optional[PlanRegistry] = None,
 ) -> MonadicTreeEvaluator:
     """A (cached) evaluator for ``automaton``'s monadic datalog compilation.
 
@@ -160,23 +188,33 @@ def compiled_evaluator(
     downstream compilation (``share_plans``, the default): the TMNF rewrite
     and the generic engine's rule plans come from the process-wide caches
     of :mod:`repro.mdatalog.evaluator` / :mod:`repro.datalog.registry`.
+
+    Tuning goes through ``options=`` (:class:`EngineOptions` keys the cache,
+    so differently tuned evaluators never alias); the pre-façade kwargs
+    still work with a :class:`DeprecationWarning`.  Callers that supply
+    their own ``registry`` (the :class:`repro.api.Session` path) are cached
+    in a registry-scoped evaluator cache (weakly keyed, so a process-wide
+    entry never pins a session-owned registry alive).
     """
+    options = resolve_options(
+        "compiled_evaluator",
+        options,
+        {"force_generic": force_generic, "share_plans": share_plans},
+    )
     label_set = tuple(sorted(set(labels)))
     key = (
         _automaton_signature(automaton),
         label_set,
         query_predicate,
-        force_generic,
-        share_plans,
+        options,
     )
-    evaluator = _EVALUATOR_CACHE.get(key)
+    cache = _evaluator_cache_for(registry)
+    evaluator = cache.get(key)
     if evaluator is not None:
         return evaluator
     program = compile_automaton(automaton, label_set, query_predicate)
-    evaluator = MonadicTreeEvaluator(
-        program, force_generic=force_generic, share_plans=share_plans
-    )
-    _EVALUATOR_CACHE.put(key, evaluator)
+    evaluator = MonadicTreeEvaluator(program, options=options, registry=registry)
+    cache.put(key, evaluator)
     return evaluator
 
 
@@ -185,8 +223,11 @@ def compiled_select(
     document: Document,
     labels: Optional[Iterable[str]] = None,
     query_predicate: str = SELECTED,
-    force_generic: bool = False,
-    share_plans: bool = True,
+    force_generic: object = UNSET,
+    share_plans: object = UNSET,
+    *,
+    options: Optional[EngineOptions] = None,
+    registry: Optional[PlanRegistry] = None,
 ) -> List[Node]:
     """Nodes of ``document`` selected by ``automaton``'s compiled program.
 
@@ -194,8 +235,17 @@ def compiled_select(
     datalog side of the bridge; ``labels`` defaults to the document's label
     set.
     """
+    options = resolve_options(
+        "compiled_select",
+        options,
+        {"force_generic": force_generic, "share_plans": share_plans},
+    )
     label_set = set(labels) if labels is not None else set(document.labels())
     evaluator = compiled_evaluator(
-        automaton, label_set, query_predicate, force_generic, share_plans
+        automaton,
+        label_set,
+        query_predicate,
+        options=options,
+        registry=registry,
     )
     return evaluator.select(document, query_predicate)

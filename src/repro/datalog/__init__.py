@@ -24,6 +24,7 @@ from .engine import (
     query_program,
 )
 from .index import IndexedDatabase, RelationIndex
+from .options import DEFAULT_OPTIONS, EngineOptions, resolve_options
 from .plan import RulePlan, compile_stratum
 from .registry import (
     CompiledProgram,
@@ -52,6 +53,8 @@ __all__ = [
     "Constant",
     "Database",
     "DatalogSyntaxError",
+    "DEFAULT_OPTIONS",
+    "EngineOptions",
     "EvaluationError",
     "EvaluationResult",
     "FixpointCache",
@@ -86,6 +89,7 @@ __all__ = [
     "parse_program",
     "parse_rules",
     "query_program",
+    "resolve_options",
     "rule",
     "solve_ground_program",
     "stratify",

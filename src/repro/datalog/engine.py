@@ -45,8 +45,9 @@ from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tup
 from .ast import Atom, Constant, Database, Literal, Program, Rule, Term, Variable
 from .cache import CacheInfo, FixpointCache
 from .index import IndexedDatabase, RelationIndex
+from .options import UNSET, EngineOptions, resolve_options
 from .plan import PlanMemo, RulePlan, compile_stratum
-from .registry import shared_compiled_program
+from .registry import PlanRegistry, shared_registry
 from .stratify import stratify
 
 Substitution = Dict[Variable, object]
@@ -123,6 +124,13 @@ class EvaluationResult:
         The view is built once per predicate and shared between calls —
         repeated queries are O(1) instead of copying the whole extension.
         Callers that want a mutable copy should take ``set(result.query(p))``.
+
+        A predicate the program never derives — including one it never
+        mentions at all — yields the empty extension rather than an error.
+        This is the unknown-predicate contract of the whole stack (see
+        docs/API.md): queries are lenient, while *declaring* an undefined
+        query predicate (``MonadicProgram(query_predicates=...)``) fails
+        fast at construction.
         """
         view = self._views.get(predicate)
         if view is None:
@@ -149,18 +157,26 @@ class SemiNaiveEngine:
     ``neq``) are evaluated on bound arguments, supporting the paper's
     comparison conditions (Section 3.3).
 
-    ``use_plans=True`` (the default) evaluates through the compile-once rule
-    plans of :mod:`repro.datalog.plan`; ``use_plans=False`` retains the PR-1
-    per-call indexed join and ``use_index=False`` the original nested-loop
-    join, both as ablation baselines.  ``cache_size`` bounds the fixpoint
-    LRU (one entry per distinct hot database).
+    Tuning is declared through one :class:`~repro.datalog.options.
+    EngineOptions` object (``options=``): ``use_plans=True`` (the default)
+    evaluates through the compile-once rule plans of
+    :mod:`repro.datalog.plan`; ``use_plans=False`` retains the PR-1 per-call
+    indexed join and ``use_index=False`` the original nested-loop join, both
+    as ablation baselines.  ``cache_size`` bounds the fixpoint LRU (one
+    entry per distinct hot database).
 
     ``share_plans=True`` (the default) obtains strata, rule plans and
-    trigger maps from the process-wide registry
-    (:mod:`repro.datalog.registry`), so N engines over the same program pay
-    one compilation; every piece of database-sized state — join-order
+    trigger maps from a shared :class:`~repro.datalog.registry.
+    PlanRegistry` — the process-wide singleton, or the registry passed as
+    ``registry=`` (a :class:`repro.api.Session` passes its own, so sessions
+    never contend on module globals) — so N engines over the same program
+    pay one compilation; every piece of database-sized state — join-order
     memos, delta storage, the fixpoint LRU — stays instance-local.
     ``share_plans=False`` compiles privately (the ablation baseline).
+
+    The pre-façade tuning kwargs (``use_index=``, ``use_plans=``,
+    ``cache_size=``, ``share_plans=``) still work but emit
+    :class:`DeprecationWarning`; new code passes ``options=``.
     """
 
     BUILTINS = {
@@ -175,25 +191,42 @@ class SemiNaiveEngine:
     def __init__(
         self,
         program: Program,
-        use_index: bool = True,
-        use_plans: bool = True,
-        cache_size: int = 8,
-        share_plans: bool = True,
+        use_index: object = UNSET,
+        use_plans: object = UNSET,
+        cache_size: object = UNSET,
+        share_plans: object = UNSET,
+        *,
+        options: Optional[EngineOptions] = None,
+        registry: Optional[PlanRegistry] = None,
     ) -> None:
+        options = resolve_options(
+            "SemiNaiveEngine",
+            options,
+            {
+                "use_index": use_index,
+                "use_plans": use_plans,
+                "cache_size": cache_size,
+                "share_plans": share_plans,
+            },
+        )
         program.check_safety()
         self._validate_builtins(program)
         self.program = program
-        self.use_index = use_index
-        self.use_plans = use_index and use_plans
-        self.share_plans = self.use_plans and share_plans
-        self._fixpoint_cache: FixpointCache[EvaluationResult] = FixpointCache(cache_size)
+        self.options = options
+        self.use_index = options.use_index
+        self.use_plans = options.effective_use_plans
+        self.share_plans = options.effective_share_plans
+        self._fixpoint_cache: FixpointCache[EvaluationResult] = FixpointCache(
+            options.cache_size
+        )
         # Compile-once rule plans plus per-stratum delta trigger maps —
         # shared through the registry by default, compiled privately on
         # ``share_plans=False``.
         self._stratum_plans: List[List[RulePlan]] = []
         self._stratum_triggers: List[Dict[str, List[Tuple[RulePlan, int]]]] = []
         if self.share_plans:
-            compiled = shared_compiled_program(program, self.BUILTINS)
+            source = registry if registry is not None else shared_registry()
+            compiled = source.compiled(program, self.BUILTINS)
             self.strata = compiled.strata
             self._stratum_plans = compiled.stratum_plans
             self._stratum_triggers = compiled.stratum_triggers

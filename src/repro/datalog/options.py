@@ -1,0 +1,143 @@
+"""Engine tuning options: one frozen dataclass for every evaluator.
+
+Before the :mod:`repro.api` façade, each evaluation layer grew its own
+ad-hoc tuning kwargs — ``SemiNaiveEngine(use_index=, use_plans=,
+cache_size=, share_plans=)``, ``MonadicTreeEvaluator(force_generic=,
+use_index=, cache_size=, share_plans=)``, ``compiled_evaluator(
+force_generic=, share_plans=)`` — so a caller configuring a whole stack had
+to thread four or five booleans through every constructor, and a new knob
+meant touching every signature on the way down.
+
+:class:`EngineOptions` replaces the scattered kwargs: it is the single
+declarative description of *how* to evaluate, accepted uniformly by
+:class:`~repro.datalog.engine.SemiNaiveEngine`,
+:class:`~repro.mdatalog.evaluator.MonadicTreeEvaluator`, the compiled
+automata evaluators of :mod:`repro.automata.to_datalog`, and the server
+components — and owned by :class:`repro.api.Session`, which applies one
+options object to every engine it builds.  The legacy kwargs still work on
+every constructor but emit :class:`DeprecationWarning` through
+:func:`resolve_options` (the shim the constructors share).
+
+The dataclass is frozen and hashable so it can key evaluator memos (the
+:mod:`repro.api` session memoises one engine per (program, options) pair,
+and the automata layer keys its module-level evaluator cache by options).
+"""
+
+from __future__ import annotations
+
+import warnings
+from dataclasses import dataclass, fields, replace
+from typing import Any, Dict, Mapping
+
+
+class _Unset:
+    """Sentinel distinguishing "kwarg not passed" from an explicit value."""
+
+    __slots__ = ()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "UNSET"
+
+
+#: Default value of every legacy tuning kwarg: "not passed".
+UNSET = _Unset()
+
+
+@dataclass(frozen=True)
+class EngineOptions:
+    """Declarative tuning of one evaluator stack.
+
+    Attributes
+    ----------
+    use_index:
+        Match body literals through hash indexes (:mod:`repro.datalog.index`).
+        ``False`` restores the seed nested-loop join (ablation baseline).
+    use_plans:
+        Evaluate through compile-once rule plans (:mod:`repro.datalog.plan`).
+        ``False`` restores the PR-1 per-call indexed join; implies nothing
+        when ``use_index`` is already ``False``.
+    share_plans:
+        Obtain compiled programs (strata, rule plans, trigger maps — and, in
+        the monadic layer, TMNF rewrites) from a shared
+        :class:`~repro.datalog.registry.PlanRegistry` so N engines over one
+        program pay one compilation.  Which registry is used is orthogonal:
+        engines default to the process-wide singleton, while engines built
+        by a :class:`repro.api.Session` use the session-owned registry.
+    cache_size:
+        Capacity of every per-engine fixpoint LRU (one entry per distinct
+        hot database / document).
+    force_generic:
+        Monadic layer only: skip the Theorem-2.4 ground+LTUR pipeline and
+        evaluate through the generic semi-naive engine even for programs in
+        the TMNF fragment.
+    """
+
+    use_index: bool = True
+    use_plans: bool = True
+    share_plans: bool = True
+    cache_size: int = 8
+    force_generic: bool = False
+
+    def __post_init__(self) -> None:
+        if self.cache_size < 1:
+            raise ValueError(
+                f"EngineOptions.cache_size must be >= 1, got {self.cache_size}"
+            )
+
+    # ------------------------------------------------------------------
+    def derive(self, **changes: Any) -> "EngineOptions":
+        """A copy with ``changes`` applied (the frozen-dataclass idiom)."""
+        return replace(self, **changes)
+
+    @property
+    def effective_use_plans(self) -> bool:
+        """Plans require the index layer; ``use_index=False`` disables both."""
+        return self.use_index and self.use_plans
+
+    @property
+    def effective_share_plans(self) -> bool:
+        """Sharing applies to compiled plans only, so it requires them."""
+        return self.effective_use_plans and self.share_plans
+
+
+#: The default options every constructor resolves to when nothing is passed.
+DEFAULT_OPTIONS = EngineOptions()
+
+_FIELD_NAMES = frozenset(field.name for field in fields(EngineOptions))
+
+
+def resolve_options(
+    owner: str,
+    options: "EngineOptions | None",
+    legacy: Mapping[str, Any],
+) -> EngineOptions:
+    """The deprecation shim shared by every evaluator constructor.
+
+    ``legacy`` maps each pre-façade tuning kwarg to the value the caller
+    passed, or :data:`UNSET` when it was not passed.  Passing any legacy
+    kwarg still works — it is folded into an :class:`EngineOptions` — but
+    emits a :class:`DeprecationWarning` naming the replacement; mixing
+    legacy kwargs with an explicit ``options`` object is an error (the two
+    could silently disagree).
+    """
+    passed: Dict[str, Any] = {
+        name: value for name, value in legacy.items() if value is not UNSET
+    }
+    unknown = set(passed) - _FIELD_NAMES
+    if unknown:  # pragma: no cover - programming error in the caller
+        raise TypeError(f"{owner}: unknown tuning kwargs {sorted(unknown)}")
+    if not passed:
+        return options if options is not None else DEFAULT_OPTIONS
+    if options is not None:
+        raise ValueError(
+            f"{owner}: pass either options=EngineOptions(...) or the legacy "
+            f"kwargs {sorted(passed)}, not both"
+        )
+    warnings.warn(
+        f"{owner}({', '.join(sorted(passed))}=...) is deprecated; pass "
+        f"options=EngineOptions({', '.join(sorted(passed))}=...) instead "
+        "(see docs/API.md)",
+        DeprecationWarning,
+        stacklevel=3,
+    )
+    return EngineOptions(**passed)

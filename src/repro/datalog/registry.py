@@ -131,7 +131,10 @@ class PlanRegistry:
     the lock.
     """
 
-    __slots__ = ("hits", "misses", "_entries", "_lock")
+    # __weakref__ lets per-registry companion caches (e.g. the automata
+    # layer's evaluator caches) key weakly on the registry without pinning
+    # it alive.
+    __slots__ = ("hits", "misses", "_entries", "_lock", "__weakref__")
 
     def __init__(self, capacity: int = 256) -> None:
         self.hits = 0

@@ -26,6 +26,8 @@ from ..datalog.ast import Atom, Rule, Variable
 from ..datalog.cache import CacheInfo, LruMap
 from ..datalog.engine import SemiNaiveEngine
 from ..datalog.ltur import GroundHornSolver
+from ..datalog.options import UNSET, EngineOptions, resolve_options
+from ..datalog.registry import PlanRegistry
 from ..datalog.tree_edb import label_predicate, tree_database, tree_fingerprint
 from ..tree.document import Document
 from ..tree.node import Node
@@ -74,28 +76,49 @@ class MonadicTreeEvaluator:
     ``share_plans=True`` (the default) additionally shares the per-program
     analysis across evaluator instances: the TMNF rewrite through the
     module-level rewrite cache, and (in the generic fallback) the engine's
-    compiled rule plans through :mod:`repro.datalog.registry`.  Per-document
-    caches are always instance-local.
+    compiled rule plans through :mod:`repro.datalog.registry` — the
+    process-wide registry, or the one passed as ``registry=`` (a
+    :class:`repro.api.Session` passes its own).  Per-document caches are
+    always instance-local.
+
+    Tuning is declared through one :class:`~repro.datalog.options.
+    EngineOptions` (``options=``); the pre-façade kwargs (``force_generic``,
+    ``use_index``, ``cache_size``, ``share_plans``) still work but emit
+    :class:`DeprecationWarning`.
     """
 
     def __init__(
         self,
         program: MonadicProgram,
-        force_generic: bool = False,
-        use_index: bool = True,
-        cache_size: int = 8,
-        share_plans: bool = True,
+        force_generic: object = UNSET,
+        use_index: object = UNSET,
+        cache_size: object = UNSET,
+        share_plans: object = UNSET,
+        *,
+        options: Optional[EngineOptions] = None,
+        registry: Optional[PlanRegistry] = None,
     ) -> None:
+        options = resolve_options(
+            "MonadicTreeEvaluator",
+            options,
+            {
+                "force_generic": force_generic,
+                "use_index": use_index,
+                "cache_size": cache_size,
+                "share_plans": share_plans,
+            },
+        )
         self.program = program
+        self.options = options
         self.uses_ground_pipeline = False
         self._tmnf_program: Optional[MonadicProgram] = None
         self._generic_engine: Optional[SemiNaiveEngine] = None
         self._ground_cache: LruMap[
             Tuple[Tuple[str, int], ...], FrozenSet[GroundAtom]
-        ] = LruMap(cache_size)
+        ] = LruMap(options.cache_size)
 
-        if not force_generic and not program.uses_negation():
-            if share_plans:
+        if not options.force_generic and not program.uses_negation():
+            if options.share_plans:
                 self._tmnf_program = _shared_tmnf_program(program)
             else:
                 try:
@@ -108,9 +131,8 @@ class MonadicTreeEvaluator:
         if self._tmnf_program is None:
             self._generic_engine = SemiNaiveEngine(
                 program.to_datalog_program(),
-                use_index=use_index,
-                cache_size=cache_size,
-                share_plans=share_plans,
+                options=options,
+                registry=registry,
             )
 
     def fixpoint_cache_info(self) -> CacheInfo:
@@ -134,9 +156,40 @@ class MonadicTreeEvaluator:
         return self._evaluate_generic(document)
 
     def select(self, document: Document, predicate: str) -> List[Node]:
-        """The nodes selected by one query predicate (an information
-        extraction function), in document order."""
-        return self.evaluate(document).get(predicate, [])
+        """The nodes selected by one unary predicate, in document order.
+
+        Any predicate the program derives is selectable — query predicates
+        and auxiliary IDB predicates alike — mirroring
+        :meth:`~repro.datalog.engine.EvaluationResult.query`, whose fixpoint
+        also contains the auxiliary relations.  A predicate the program
+        never defines yields ``[]`` rather than an error: the stack-wide
+        unknown-predicate contract (see docs/API.md) is lenient at query
+        time and strict only at declaration time
+        (``MonadicProgram(query_predicates=...)``).
+        """
+        if predicate in self.program.query_predicates:
+            return self.evaluate(document).get(predicate, [])
+        return self._select_indexes(document, predicate)
+
+    def _select_indexes(self, document: Document, predicate: str) -> List[Node]:
+        """Resolve one non-query predicate through whichever pipeline runs.
+
+        Only *unary* extensions select nodes — the ground pipeline never
+        derives anything else, and the generic engine's fixpoint also
+        carries the binary tree relations, which must not leak out as
+        (duplicated) first components.  Both pipelines therefore agree:
+        binary and unknown predicates alike come back empty.
+        """
+        if self.uses_ground_pipeline:
+            truth = self._evaluate_ground(document)
+            indexes = sorted(index for (name, index) in truth if name == predicate)
+        else:
+            assert self._generic_engine is not None
+            derived = self._generic_engine.fixpoint(tree_database(document))
+            indexes = sorted(
+                value[0] for value in derived.query(predicate) if len(value) == 1
+            )
+        return [document.node_at(index) for index in indexes]
 
     # ------------------------------------------------------------------
     # Grounding pipeline (Theorem 2.4)

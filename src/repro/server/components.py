@@ -16,16 +16,19 @@ can be added by subclassing :class:`Component`.
 from __future__ import annotations
 
 import html
+import warnings
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 
 from ..datalog.cache import LruMap
+from ..datalog.options import DEFAULT_OPTIONS, UNSET, EngineOptions, resolve_options
 from ..elog.ast import ElogProgram
 from ..elog.extractor import Extractor, Fetcher
 from ..xmlgen.document import XmlElement
 from ..xmlgen.serializer import to_compact_xml, to_xml
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..datalog.registry import PlanRegistry
     from ..mdatalog.program import MonadicProgram
     from ..tree.document import Document
 
@@ -90,20 +93,43 @@ class WrapperComponent(Component):
         fetcher: Fetcher,
         url: str,
         root_name: Optional[str] = None,
-        share_interpreter: bool = True,
+        share_interpreter: object = UNSET,
+        *,
+        options: Optional[EngineOptions] = None,
+        extractor: Optional[Extractor] = None,
     ) -> None:
         super().__init__(name)
+        if share_interpreter is not UNSET:
+            if options is not None:
+                raise ValueError(
+                    "WrapperComponent: pass either options=EngineOptions(...) "
+                    "or the legacy share_interpreter kwarg, not both"
+                )
+            warnings.warn(
+                "WrapperComponent(share_interpreter=...) is deprecated; pass "
+                "options=EngineOptions(share_plans=...) instead (see docs/API.md)",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+            options = EngineOptions(share_plans=bool(share_interpreter))
+        elif options is None:
+            options = DEFAULT_OPTIONS
         self.program = program
         self.fetcher = fetcher
         self.url = url
         self.root_name = root_name or name
         # One interpreter per (program, fetcher) pair for the server's
-        # lifetime: periodic activations — and, with ``share_interpreter``
-        # (the default), every other component wrapping the same program —
-        # reuse the interpreter instead of rebuilding an Extractor per run
-        # (extraction state lives in the per-run PatternInstanceBase, so
-        # reuse is safe).
-        if share_interpreter:
+        # lifetime: periodic activations — and, with ``share_plans`` (the
+        # default; the pre-façade spelling ``share_interpreter`` is a
+        # deprecated alias) — every other component wrapping the same
+        # program reuses the interpreter instead of rebuilding an Extractor
+        # per run (extraction state lives in the per-run
+        # PatternInstanceBase, so reuse is safe).  A pre-built interpreter
+        # (``extractor=``, the :class:`repro.api.Session` path) wins over
+        # both: sessions own their extractors.
+        if extractor is not None:
+            self._extractor = extractor
+        elif options.share_plans:
             self._extractor = shared_extractor(self.program, self.fetcher)
         else:
             self._extractor = Extractor(self.program, fetcher=self.fetcher)
@@ -142,20 +168,29 @@ class DatalogQueryComponent(Component):
         program: "MonadicProgram",
         supplier: "Callable[[], Document]",
         root_name: Optional[str] = None,
-        cache_size: int = 8,
-        force_generic: bool = False,
-        share_plans: bool = True,
+        cache_size: object = UNSET,
+        force_generic: object = UNSET,
+        share_plans: object = UNSET,
+        *,
+        options: Optional[EngineOptions] = None,
+        registry: Optional["PlanRegistry"] = None,
     ) -> None:
         super().__init__(name)
         from ..mdatalog.evaluator import MonadicTreeEvaluator
 
+        options = resolve_options(
+            "DatalogQueryComponent",
+            options,
+            {
+                "cache_size": cache_size,
+                "force_generic": force_generic,
+                "share_plans": share_plans,
+            },
+        )
         self.supplier = supplier
         self.root_name = root_name or name
         self._evaluator = MonadicTreeEvaluator(
-            program,
-            force_generic=force_generic,
-            cache_size=cache_size,
-            share_plans=share_plans,
+            program, options=options, registry=registry
         )
 
     def process(self, inputs: List[XmlElement]) -> XmlElement:

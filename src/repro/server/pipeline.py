@@ -16,6 +16,7 @@ activation (the scheduler advances a logical clock instead of sleeping).
 
 from __future__ import annotations
 
+import warnings
 from collections import defaultdict
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Set, Tuple
@@ -31,6 +32,15 @@ class PipelineError(ValueError):
     """Raised on malformed pipe definitions (cycles, unknown components)."""
 
 
+def _warn_imperative_wiring(method: str) -> None:
+    warnings.warn(
+        f"{method}() imperative wiring is deprecated; declare pipelines with "
+        "repro.api.Pipeline.builder() (see docs/API.md)",
+        DeprecationWarning,
+        stacklevel=3,
+    )
+
+
 class InformationPipe:
     """A DAG of components with XML hand-over along the edges."""
 
@@ -43,14 +53,21 @@ class InformationPipe:
         self.last_results: Dict[str, XmlElement] = {}
 
     # -- construction ------------------------------------------------------
-    def add(self, component: Component) -> Component:
+    #
+    # The public ``add``/``connect``/``chain`` trio is the pre-façade,
+    # imperative wiring surface; it still works but emits a
+    # ``DeprecationWarning`` pointing at the declarative, build-time
+    # validated ``repro.api.Pipeline.builder()`` (which assembles pipes
+    # through the underscore internals below).
+
+    def _add(self, component: Component) -> Component:
         if component.name in self._components:
             raise PipelineError(f"duplicate component name {component.name!r}")
         self._components[component.name] = component
         self._order = None
         return component
 
-    def connect(self, source: str, target: str) -> None:
+    def _connect(self, source: str, target: str) -> None:
         for name in (source, target):
             if name not in self._components:
                 raise PipelineError(f"unknown component {name!r}")
@@ -58,10 +75,19 @@ class InformationPipe:
         self._inputs[target].append(source)
         self._order = None
 
+    def add(self, component: Component) -> Component:
+        _warn_imperative_wiring("InformationPipe.add")
+        return self._add(component)
+
+    def connect(self, source: str, target: str) -> None:
+        _warn_imperative_wiring("InformationPipe.connect")
+        self._connect(source, target)
+
     def chain(self, *names: str) -> None:
         """Connect the named components in a linear chain."""
+        _warn_imperative_wiring("InformationPipe.chain")
         for source, target in zip(names, names[1:]):
-            self.connect(source, target)
+            self._connect(source, target)
 
     def component(self, name: str) -> Component:
         return self._components[name]

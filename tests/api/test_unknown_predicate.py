@@ -1,0 +1,112 @@
+"""The stack-wide unknown-predicate contract (satellite of the façade PR).
+
+One behaviour, everywhere: *querying* a predicate the program never defines
+returns an empty result — ``frozenset()`` from the datalog engine, ``[]``
+from the monadic evaluator, empty views from the façade results, an empty
+record set from the server component — never an error.  Strictness lives at
+*declaration* time only: naming an undefined query predicate when
+constructing a :class:`MonadicProgram` fails fast.  Auxiliary IDB
+predicates are queryable on every surface (the fixpoint contains them).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import Session
+from repro.datalog import SemiNaiveEngine, parse_program
+from repro.mdatalog import MonadicityError, MonadicProgram, MonadicTreeEvaluator
+from repro.server import DatalogQueryComponent
+from repro.tree import tree
+
+PROGRAM = parse_program(
+    """
+    aux(X) :- e(X).
+    p(X) :- aux(X).
+    """
+)
+
+MONADIC = MonadicProgram.parse(
+    """
+    aux(X) :- label_i(X).
+    hit(X) :- aux(X0), firstchild(X0, X).
+    """,
+    query_predicates=["hit"],
+)
+
+
+@pytest.fixture
+def doc():
+    return tree(("doc", ("i", ("b",)), ("a",)))
+
+
+def test_engine_query_unknown_predicate_is_empty():
+    engine = SemiNaiveEngine(PROGRAM)
+    result = engine.fixpoint({"e": {(1,)}})
+    assert result.query("never_defined") == frozenset()
+    assert "never_defined" not in result
+    # Auxiliary IDB predicates are part of the fixpoint.
+    assert result.query("aux") == {(1,)}
+
+
+def test_monadic_select_unknown_predicate_is_empty_on_both_pipelines(doc):
+    ground = MonadicTreeEvaluator(MONADIC)
+    assert ground.uses_ground_pipeline
+    assert ground.select(doc, "never_defined") == []
+    generic = MonadicTreeEvaluator(
+        MONADIC, options=__import__("repro").EngineOptions(force_generic=True)
+    )
+    assert generic.select(doc, "never_defined") == []
+
+
+def test_monadic_select_resolves_auxiliary_predicates(doc):
+    # Pre-façade, select() silently returned [] for aux predicates even
+    # though the fixpoint derives them; now both pipelines resolve them,
+    # matching EvaluationResult.query.
+    ground = MonadicTreeEvaluator(MONADIC)
+    generic = MonadicTreeEvaluator(
+        MONADIC, options=__import__("repro").EngineOptions(force_generic=True)
+    )
+    assert [n.label for n in ground.select(doc, "aux")] == ["i"]
+    assert [n.preorder_index for n in ground.select(doc, "aux")] == [
+        n.preorder_index for n in generic.select(doc, "aux")
+    ]
+
+
+def test_monadic_select_of_binary_predicates_is_empty_on_both_pipelines(doc):
+    # The fixpoint of the generic fallback also carries the binary tree
+    # relations; select() must not leak their first components as nodes —
+    # both pipelines answer [] for any non-unary predicate.
+    ground = MonadicTreeEvaluator(MONADIC)
+    generic = MonadicTreeEvaluator(
+        MONADIC, options=__import__("repro").EngineOptions(force_generic=True)
+    )
+    for predicate in ("firstchild", "nextsibling", "child"):
+        assert ground.select(doc, predicate) == []
+        assert generic.select(doc, predicate) == []
+
+
+def test_facade_views_are_empty_for_unknown_predicates(doc):
+    session = Session()
+    result = session.query(MONADIC, doc)
+    assert result.tuples("never_defined") == frozenset()
+    assert result.nodes("never_defined") == ()
+    assert result.texts("never_defined") == ()
+    assert result.count("never_defined") == 0
+    facts = session.query(PROGRAM, {"e": {(1,)}})
+    assert facts.tuples("never_defined") == frozenset()
+
+
+def test_server_component_with_unmatched_query_predicate_emits_no_records(doc):
+    # The component's output contract: one record per match of each query
+    # predicate; a predicate that derives nothing simply contributes none.
+    empty = MonadicProgram.parse(
+        "hit(X) :- label_missing(X).", query_predicates=["hit"]
+    )
+    component = DatalogQueryComponent("q", empty, lambda: doc)
+    assert component.process([]).children == []
+
+
+def test_declaring_an_undefined_query_predicate_fails_fast():
+    with pytest.raises(MonadicityError, match="not defined"):
+        MonadicProgram.parse("hit(X) :- label_i(X).", query_predicates=["nope"])

@@ -61,3 +61,18 @@ def test_compile_automaton_without_selecting_states_selects_nothing():
     program = compile_automaton(automaton, labels)
     document = random_tree(30, labels=labels, seed=1)
     assert selected_indexes(program, document) == set()
+
+
+def test_compiled_evaluator_with_a_private_registry_is_cached_per_registry():
+    from repro.automata.to_datalog import compiled_evaluator
+    from repro.datalog import PlanRegistry
+
+    labels = ("a", "b")
+    automaton = leaf_selector_automaton(labels)
+    registry = PlanRegistry()
+    first = compiled_evaluator(automaton, labels, registry=registry)
+    # Repeated calls with the same registry must reuse the evaluator (no
+    # per-call recompilation); a different registry — or none — gets its own.
+    assert compiled_evaluator(automaton, labels, registry=registry) is first
+    assert compiled_evaluator(automaton, labels, registry=PlanRegistry()) is not first
+    assert compiled_evaluator(automaton, labels) is not first
