@@ -11,10 +11,16 @@ a gated workload regressed beyond the threshold:
 * ``*_x`` speed-up factors are the ratio of two wall-clocks — the noisiest
   statistic by construction, so they are *reported* with the same
   up/down annotation but never fail the gate (their numerator and
-  denominator timings are gated individually anyway).
+  denominator timings are gated individually anyway);
+* thread-scheduling workloads (the ``session_concurrency_*`` storm and the
+  ``extract_many_parallel_*`` pool timings of
+  ``bench_session_concurrency.py``) are gated at **twice** the threshold:
+  their medians ride on OS scheduling and pool spin-up, which jitters far
+  beyond single-threaded evaluation on shared CI runners.
 
 Workloads present on only one side are reported but never fail the gate
-(benchmarks come and go across PRs).  Usage::
+(benchmarks come and go across PRs — new concurrency workloads appear as
+report-only notes on their first run).  Usage::
 
     python benchmarks/check_perf_trajectory.py BASELINE.json CURRENT.json \
         [--threshold 0.20]
@@ -38,6 +44,18 @@ def load(path: str) -> Dict[str, float]:
     }
 
 
+#: Workload families whose timings depend on OS thread scheduling; their
+#: effective threshold is doubled (see module docstring).
+NOISY_PREFIXES: Tuple[str, ...] = ("session_concurrency_", "extract_many_parallel_")
+
+
+def workload_threshold(workload: str, threshold: float) -> float:
+    """The effective regression threshold for one workload."""
+    if workload.startswith(NOISY_PREFIXES):
+        return threshold * 2.0
+    return threshold
+
+
 def compare(
     baseline: Dict[str, float], current: Dict[str, float], threshold: float
 ) -> Tuple[List[str], List[str]]:
@@ -54,20 +72,23 @@ def compare(
         old, new = baseline[workload], current[workload]
         lower_is_better = workload.endswith("_s")
         gated = not workload.endswith("_x")
+        effective = workload_threshold(workload, threshold)
         if old <= 0:
             notes.append(f"{workload}: non-positive baseline {old}; skipped")
             continue
         change = (new - old) / old
         direction = "slower" if lower_is_better else "lower"
-        worse = change > threshold if lower_is_better else change < -threshold
+        worse = change > effective if lower_is_better else change < -effective
         status = "worse" if worse else "ok"
         if worse and not gated:
             status = "worse (informational: speed-up ratios are not gated)"
+        if effective != threshold:
+            status += f" [thread-noisy: threshold {effective:.0%}]"
         notes.append(f"{workload}: {old:.6f} -> {new:.6f} ({change:+.1%}, {status})")
         if worse and gated:
             regressions.append(
                 f"{workload} is {abs(change):.1%} {direction} "
-                f"({old:.6f} -> {new:.6f}, threshold {threshold:.0%})"
+                f"({old:.6f} -> {new:.6f}, threshold {effective:.0%})"
             )
     return regressions, notes
 

@@ -237,9 +237,10 @@ class PipelineBuilder:
             program = extractor.program
         elif isinstance(program, str):
             # Text is parsed through a module-level memo so that N unbound
-            # builders over one wrapper text share one program object — and
-            # therefore one interpreter through the identity-keyed
-            # process-wide extractor cache.
+            # builders over one wrapper text share one program object.
+            # (Interpreter sharing no longer depends on this — the
+            # process-wide extractor cache keys by content since PR 5 —
+            # the memo just saves re-parsing.)
             parsed = _PARSED_WRAPPER_TEXTS.get(program)
             if parsed is None:
                 parsed = parse_elog(program)

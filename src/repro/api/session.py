@@ -23,18 +23,31 @@ back as the uniform :class:`~repro.api.results.QueryResult` /
 The batch entry points — :meth:`Session.query_many` and
 :meth:`Session.extract_many` — are the server-style path: one compiled
 program, one interpreter, streamed over many documents, so plan sharing
-and the fixpoint LRUs do their work across the whole stream.
+and the fixpoint LRUs do their work across the whole stream.  Both accept
+``max_workers=`` to run the stream on a thread pool, and the ``urls=``
+extraction path overlaps fetching with evaluation through the
+async-capable fetcher protocol (:meth:`repro.elog.extractor.Fetcher.
+fetch_async`).
+
+Thread safety: one ``Session`` is safe to share across the request threads
+of a server front end.  Every session-scale cache locks internally
+(:mod:`repro.datalog.cache`), and the evaluator/extractor/parse memos are
+built under :class:`~repro.datalog.cache.SingleFlight` coordination, so
+concurrent :meth:`Session.engine` / :meth:`Session.wrapper` calls over one
+cold key construct exactly one instance (see docs/API.md, "Thread safety &
+concurrency").
 """
 
 from __future__ import annotations
 
+from concurrent.futures import ThreadPoolExecutor
 from typing import Dict, Hashable, Iterable, List, Optional, Sequence, Tuple
 
-from ..datalog.cache import CacheInfo, LruMap
+from ..datalog.cache import CacheInfo, LruMap, SingleFlight
 from ..datalog.options import DEFAULT_OPTIONS, EngineOptions
 from ..datalog.registry import PlanRegistry
 from ..elog.ast import ElogProgram
-from ..elog.extractor import Extractor, Fetcher
+from ..elog.extractor import Extractor, ExtractorCache, Fetcher, PrefetchedFetcher
 from ..elog.parser import parse_elog
 from ..tree.document import Document
 from ..tree.node import Node
@@ -78,7 +91,7 @@ class Session:
         self._evaluators: LruMap[Tuple[str, Hashable], object] = LruMap(
             self.MAX_EVALUATORS
         )
-        self._extractors: LruMap[Hashable, Extractor] = LruMap(self.MAX_EXTRACTORS)
+        self._extractors: ExtractorCache = ExtractorCache(self.MAX_EXTRACTORS)
         self._parsed_wrappers: LruMap[str, ElogProgram] = LruMap(self.MAX_EXTRACTORS)
         # (backend name, program text) -> normalised program, so repeated
         # session.query(TEXT, ...) calls parse once, not per call.
@@ -86,6 +99,10 @@ class Session:
             self.MAX_EVALUATORS
         )
         self._backends_used: set = set()
+        # Per-key build coordination for every memo above: the caches lock
+        # their own structure, the flight guarantees at most one evaluator /
+        # parsed program is ever *constructed* per key under concurrency.
+        self._flight = SingleFlight()
 
     # ------------------------------------------------------------------
     # Evaluator construction (memoised per backend + program content)
@@ -116,12 +133,19 @@ class Session:
         label_key: Optional[Tuple[str, ...]],
     ) -> object:
         key = (resolved.name, resolved.cache_key(native, self.options, label_key))
-        evaluator = self._evaluators.get(key)
-        if evaluator is None:
-            evaluator = resolved.build(native, self.options, self.registry, label_key)
+
+        def store(evaluator: object) -> None:
             self._evaluators.put(key, evaluator)
             self._backends_used.add(resolved.name)
-        return evaluator
+
+        # Single-flight: N request threads hitting one cold key pay one
+        # compilation and share the one evaluator it produced.
+        return self._flight.run(
+            ("evaluator", key),
+            lambda: self._evaluators.get(key),
+            lambda: resolved.build(native, self.options, self.registry, label_key),
+            store,
+        )
 
     def _resolve(
         self,
@@ -133,10 +157,12 @@ class Session:
         resolved = backend_named(backend) if backend else infer_backend(program)
         if isinstance(program, str):
             memo_key = (resolved.name, program)
-            native = self._parsed_programs.get(memo_key)
-            if native is None:
-                native = resolved.normalise(program)
-                self._parsed_programs.put(memo_key, native)
+            native = self._flight.run(
+                ("parse", memo_key),
+                lambda: self._parsed_programs.get(memo_key),
+                lambda: resolved.normalise(program),
+                lambda parsed: self._parsed_programs.put(memo_key, parsed),
+            )
         else:
             native = resolved.normalise(program)
         label_key: Optional[Tuple[str, ...]] = None
@@ -173,6 +199,7 @@ class Session:
         backend: Optional[str] = None,
         *,
         labels: Optional[Iterable[str]] = None,
+        max_workers: Optional[int] = None,
     ) -> List[QueryResult]:
         """The batch path: one compiled evaluator over a source stream.
 
@@ -181,6 +208,13 @@ class Session:
         documents, and (for the automata backend) one program covering the
         union of the documents' labels is compiled instead of one per
         document.
+
+        ``max_workers`` > 1 evaluates the stream on a thread pool (result
+        order still matches ``sources``).  Evaluation is safe to fan out —
+        per-call state is call-local and the shared caches lock — but it is
+        CPU-bound Python, so threads pay the GIL; the pool buys the most
+        when sources hit the fixpoint LRU unevenly or the caller's fetcher
+        / supplier does I/O.
         """
         if labels is None:
             union: set = set()
@@ -193,6 +227,13 @@ class Session:
         # content cache key N times just to hit the same memo entry.
         resolved, native, label_key = self._resolve(program, backend, labels)
         evaluator = self._memoised(resolved, native, label_key)
+        if max_workers is not None and max_workers > 1 and len(sources) > 1:
+            with ThreadPoolExecutor(
+                max_workers=max_workers, thread_name_prefix="repro-query"
+            ) as pool:
+                return list(
+                    pool.map(lambda source: resolved.run(evaluator, source), sources)
+                )
         return [resolved.run(evaluator, source) for source in sources]
 
     def select(
@@ -215,30 +256,30 @@ class Session:
     ) -> Extractor:
         """The session's (memoised) Elog interpreter for ``program``.
 
-        Program text is parsed once per distinct text; ``ElogProgram``
-        objects are keyed by identity (they are mutable ASTs — see
-        :func:`repro.server.components.shared_extractor` for the
-        rationale).  The sharing is deliberate in both directions:
-        mutating the returned interpreter's program (e.g.
-        ``session.wrapper(TEXT).program.mark_auxiliary(...)``) flows
-        through to every later use of the same wrapper text in this
-        session — callers that need a private copy should parse their own
+        Program text is parsed once per distinct text; interpreters are
+        keyed by **program content** (rule text + auxiliary patterns, see
+        :func:`repro.elog.extractor.wrapper_fingerprint`) plus the fetcher,
+        so content-equal programs share one interpreter and a recycled
+        ``id()`` can never serve a stranger's interpreter (the pre-PR-5
+        identity keys could).  Mutating the returned interpreter's program
+        (e.g. ``session.wrapper(TEXT).program.mark_auxiliary(...)``) still
+        flows through to every later use of the same wrapper text in this
+        session — the parse memo returns the same (now mutated) program
+        object, whose moved fingerprint builds a fresh interpreter around
+        it — while callers that need a private copy should parse their own
         ``ElogProgram``.  One interpreter serves any number of
         extractions: per-run state lives in the
         :class:`~repro.elog.instance_base.PatternInstanceBase`.
         """
         if isinstance(program, str):
-            parsed = self._parsed_wrappers.get(program)
-            if parsed is None:
-                parsed = parse_elog(program)
-                self._parsed_wrappers.put(program, parsed)
-            program = parsed
-        key = (id(program), id(fetcher))
-        extractor = self._extractors.get(key)
-        if extractor is None:
-            extractor = Extractor(program, fetcher=fetcher)
-            self._extractors.put(key, extractor)
-        return extractor
+            text = program
+            program = self._flight.run(
+                ("elog-parse", text),
+                lambda: self._parsed_wrappers.get(text),
+                lambda: parse_elog(text),
+                lambda parsed: self._parsed_wrappers.put(text, parsed),
+            )
+        return self._extractors.get(program, fetcher)
 
     def extract(
         self,
@@ -268,6 +309,7 @@ class Session:
         *,
         urls: Sequence[str] = (),
         fetcher: Optional[Fetcher] = None,
+        max_workers: Optional[int] = None,
     ) -> List[ExtractionResult]:
         """The batch extraction path for server-style document streams.
 
@@ -275,9 +317,28 @@ class Session:
         plans behind any datalog translation — serves the whole stream;
         each document (or fetched URL) yields its own
         :class:`ExtractionResult`.
+
+        ``max_workers`` > 1 runs the stream concurrently, and the ``urls=``
+        path additionally *overlaps fetching with evaluation*: every URL's
+        acquisition starts up front on a dedicated fetch pool (through
+        :meth:`~repro.elog.extractor.Fetcher.fetch_async`), and extraction
+        consumes the in-flight futures through a
+        :class:`~repro.elog.extractor.PrefetchedFetcher` — so on
+        fetch-bound workloads the wall clock approaches
+        max(total fetch / workers, total evaluation).  Result order always
+        matches ``documents`` + ``urls``; fetch errors surface on the
+        result exactly as the sequential path raises them.
         """
         extractor = self.wrapper(program, fetcher)
         auxiliary = extractor.program.auxiliary_patterns
+        if (
+            max_workers is not None
+            and max_workers > 1
+            and len(documents) + len(urls) > 1
+        ):
+            return self._extract_many_parallel(
+                extractor, auxiliary, documents, urls, fetcher, max_workers
+            )
         results = [
             ExtractionResult(extractor.extract(document=doc), auxiliary=auxiliary)
             for doc in documents
@@ -287,6 +348,57 @@ class Session:
             for url in urls
         )
         return results
+
+    def _extract_many_parallel(
+        self,
+        extractor: Extractor,
+        auxiliary,
+        documents: Sequence[Document],
+        urls: Sequence[str],
+        fetcher: Optional[Fetcher],
+        max_workers: int,
+    ) -> List[ExtractionResult]:
+        # Two pools, never one: extraction tasks block on fetch futures, so
+        # sharing a pool could park every worker on a fetch that has no
+        # worker left to run (classic nested-submit deadlock).
+        fetch_pool: Optional[ThreadPoolExecutor] = None
+        try:
+            url_extractors = [extractor] * len(urls)
+            if urls and fetcher is not None:
+                fetch_pool = ThreadPoolExecutor(
+                    max_workers=max_workers, thread_name_prefix="repro-fetch"
+                )
+                # One fetch per URL *instance*, exactly like the sequential
+                # loop: a duplicated URL is fetched twice, so stateful
+                # fetchers (rotating content, per-fetch counters, transient
+                # errors) see the same calls either way.  Crawling targets
+                # beyond the start URL fall through to the base fetcher,
+                # synchronously — results match the sequential path byte
+                # for byte.
+                url_extractors = [
+                    extractor.with_fetcher(
+                        PrefetchedFetcher(
+                            fetcher, {url: fetcher.fetch_async(url, fetch_pool)}
+                        )
+                    )
+                    for url in urls
+                ]
+            with ThreadPoolExecutor(
+                max_workers=max_workers, thread_name_prefix="repro-extract"
+            ) as pool:
+                jobs = [
+                    pool.submit(extractor.extract, document=doc) for doc in documents
+                ]
+                jobs.extend(
+                    pool.submit(url_extractor.extract, url=url)
+                    for url, url_extractor in zip(urls, url_extractors)
+                )
+                return [
+                    ExtractionResult(job.result(), auxiliary=auxiliary) for job in jobs
+                ]
+        finally:
+            if fetch_pool is not None:
+                fetch_pool.shutdown()
 
     # ------------------------------------------------------------------
     # Pipelines

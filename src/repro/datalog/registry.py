@@ -139,8 +139,13 @@ class PlanRegistry:
     def __init__(self, capacity: int = 256) -> None:
         self.hits = 0
         self.misses = 0
-        self._entries: VerifiedLruBuckets[_Entry] = VerifiedLruBuckets(capacity)
-        self._lock = threading.Lock()
+        # One lock serves both the counters and the bucket core (re-entrant,
+        # so the buckets' own internal locking nests under the compound
+        # find-or-insert sections below without deadlocking).
+        self._lock = threading.RLock()
+        self._entries: VerifiedLruBuckets[_Entry] = VerifiedLruBuckets(
+            capacity, lock=self._lock
+        )
 
     @property
     def capacity(self) -> int:

@@ -20,7 +20,14 @@ from .ast import (
 from .concepts import ConceptRegistry, DEFAULT_CONCEPTS, parse_date, parse_number
 from .conditions import ConditionContext, evaluate_condition
 from .epath import AttributeCondition, ElementPath, EPathSyntaxError
-from .extractor import ExtractionError, Extractor, Fetcher
+from .extractor import (
+    ExtractionError,
+    Extractor,
+    ExtractorCache,
+    Fetcher,
+    PrefetchedFetcher,
+    wrapper_fingerprint,
+)
 from .figure5 import FIGURE5_TEXT, figure5_program, figure5_program_programmatic
 from .instance_base import PatternInstance, PatternInstanceBase
 from .parser import ElogSyntaxError, parse_elog, parse_rule
@@ -47,8 +54,10 @@ __all__ = [
     "EPathSyntaxError",
     "ExtractionError",
     "Extractor",
+    "ExtractorCache",
     "FIGURE5_TEXT",
     "Fetcher",
+    "PrefetchedFetcher",
     "FirstSubtreeCondition",
     "PatternInstance",
     "PatternInstanceBase",
@@ -68,4 +77,5 @@ __all__ = [
     "parse_rule",
     "pattern_predicate",
     "to_monadic_datalog",
+    "wrapper_fingerprint",
 ]

@@ -15,8 +15,10 @@ instances (duplicates are eliminated by the instance base).
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence, Tuple, Union
+import threading
+from typing import TYPE_CHECKING, Dict, FrozenSet, List, Mapping, Optional, Sequence, Tuple, Union
 
+from ..datalog.cache import LruMap, SingleFlight
 from ..tree.document import Document
 from ..tree.node import Node
 from ..xmlgen.document import XmlElement
@@ -41,11 +43,66 @@ from .instance_base import PatternInstance, PatternInstanceBase
 Candidate = Tuple[Union[Node, List[Node], str], Dict[str, object]]
 
 
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from concurrent.futures import Executor, Future
+
+
 class Fetcher:
-    """Interface for document acquisition (implemented by repro.web)."""
+    """Interface for document acquisition (implemented by repro.web).
+
+    Besides the synchronous :meth:`fetch`, the protocol is *async-capable*:
+    :meth:`fetch_async` schedules an acquisition on an executor and returns
+    a future, letting callers overlap fetching with evaluation (the
+    ``urls=`` batch path of :meth:`repro.api.Session.extract_many` and
+    :meth:`repro.server.components.WrapperComponent.prefetch`).  The
+    default implementation simply runs :meth:`fetch` on the executor;
+    fetchers backed by genuinely asynchronous I/O can override it to return
+    an already-in-flight future.
+    """
 
     def fetch(self, url: str) -> Document:  # pragma: no cover - interface
         raise NotImplementedError
+
+    def fetch_async(self, url: str, executor: "Executor") -> "Future[Document]":
+        """Schedule ``fetch(url)`` on ``executor``; returns its future."""
+        return executor.submit(self.fetch, url)
+
+
+class PrefetchedFetcher(Fetcher):
+    """A fetcher view over already-started fetch futures.
+
+    Wraps a base fetcher plus a ``url -> Future[Document]`` mapping:
+    :meth:`fetch` resolves known URLs from their (possibly still in-flight)
+    futures and delegates everything else — crawling targets discovered
+    mid-extraction — to the base fetcher.  This is how the batch paths hand
+    an unchanged :class:`Extractor` documents whose acquisition started
+    before evaluation did; fetch errors surface on resolution exactly as
+    the synchronous path would raise them.
+    """
+
+    def __init__(
+        self,
+        base: Optional[Fetcher],
+        futures: "Mapping[str, Future[Document]]",
+    ) -> None:
+        self.base = base
+        self._futures = dict(futures)
+
+    def fetch(self, url: str) -> Document:
+        future = self._futures.get(url)
+        if future is not None:
+            return future.result()
+        if self.base is None:
+            raise KeyError(f"no prefetched document for {url!r}")
+        return self.base.fetch(url)
+
+    def fetch_async(self, url: str, executor: "Executor") -> "Future[Document]":
+        future = self._futures.get(url)
+        if future is not None:
+            return future
+        if self.base is not None:
+            return self.base.fetch_async(url, executor)
+        return executor.submit(self.fetch, url)
 
 
 class ExtractionError(RuntimeError):
@@ -103,6 +160,21 @@ class Extractor:
             if not changed:
                 break
         return base
+
+    def with_fetcher(self, fetcher: Optional[Fetcher]) -> "Extractor":
+        """A twin interpreter acquiring documents through ``fetcher``.
+
+        Shares the program, concepts and limits; only acquisition differs.
+        Used by the batch paths to substitute a :class:`PrefetchedFetcher`
+        without rebuilding (or re-memoising) the interpreter.
+        """
+        return Extractor(
+            self.program,
+            fetcher=fetcher,
+            concepts=self.concepts,
+            max_rounds=self.max_rounds,
+            max_documents=self.max_documents,
+        )
 
     def extract_to_xml(
         self,
@@ -414,6 +486,131 @@ def _match_member(path: ElementPath, node: Node) -> Optional[Dict[str, str]]:
             return None
         bindings.update(result)
     return bindings
+
+
+# ---------------------------------------------------------------------------
+# Interpreter sharing (content-keyed, id()-reuse proof)
+# ---------------------------------------------------------------------------
+
+#: Content identity of a wrapper for interpreter-sharing purposes: the full
+#: rule text plus the auxiliary-pattern set (which changes the XML output).
+WrapperFingerprint = Tuple[str, FrozenSet[str]]
+
+
+def wrapper_fingerprint(program: ElogProgram) -> WrapperFingerprint:
+    """The content identity of ``program`` (rules text + auxiliary set).
+
+    ``ElogProgram`` is a mutable AST, so — unlike the frozen datalog rules
+    of :func:`repro.datalog.registry.program_fingerprint` — the fingerprint
+    is recomputed per use, never frozen at construction: mutating a program
+    (``add_rule`` / ``mark_auxiliary``) moves its fingerprint, which is
+    exactly what lets content-keyed interpreter caches notice staleness.
+    """
+    return (str(program), frozenset(program.auxiliary_patterns))
+
+
+class ExtractorCache:
+    """A content-keyed, verified, single-flight memo of Elog interpreters.
+
+    Replaces the previous ``(id(program), id(fetcher))`` keying of the
+    interpreter memos in :mod:`repro.server.components` and
+    :class:`repro.api.Session`.  Identity keys are a trap for long-lived
+    caches: once the keyed object is garbage-collected CPython happily
+    hands its address to a *different* program or fetcher, so any entry
+    that outlives (or merely races with) its key objects can alias two
+    unrelated wrappers.  Content keys cannot alias — and as a bonus,
+    separately re-parsed copies of one wrapper text now share a single
+    interpreter instead of building duplicates.
+
+    * Programs are keyed by :func:`wrapper_fingerprint` and every hit is
+      **verified**: a cached interpreter whose program was mutated in place
+      after caching (its current fingerprint no longer matches the key it
+      sits under) is treated as a miss and replaced, never served stale.
+    * Fetchers have no content, so they are keyed by ``id`` — made safe by
+      the entry holding a strong reference (the interpreter pins its
+      fetcher, so the id cannot be recycled while the entry lives) and
+      re-verified by identity on every hit.
+    * Lookups and builds are coordinated through
+      :class:`repro.datalog.cache.SingleFlight`, so N threads requesting
+      one cold wrapper build exactly one interpreter.
+
+    Costs: every ``get`` pays one ``str(program)`` pass to compute the key
+    (inherent to content keying; wrapper programs are small).  Hit
+    verification is O(1) when the cached interpreter wraps the *same*
+    program object — the overwhelmingly common warm path — and only
+    re-serialises the stored program when a content-equal but distinct
+    object hit the entry.
+    """
+
+    def __init__(self, capacity: int = 64) -> None:
+        self._map: "LruMap[Tuple[WrapperFingerprint, int], Extractor]" = LruMap(
+            capacity
+        )
+        self._flight = SingleFlight()
+        # Exact accounting: a verification failure (mutated cached program,
+        # mismatched fetcher) is a *miss* — it constructs a fresh
+        # interpreter — so the inner LruMap's counters (which record such
+        # lookups as raw map hits) are not reused here.  Increments happen
+        # inside lookup() (already serialised by SingleFlight), but clear()
+        # runs outside it, so the counters get their own lock.
+        self._counter_lock = threading.Lock()
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self._map)
+
+    def get(
+        self,
+        program: ElogProgram,
+        fetcher: Optional[Fetcher] = None,
+    ) -> Extractor:
+        """The shared interpreter for ``(program content, fetcher)``."""
+        fingerprint = wrapper_fingerprint(program)
+        key = (fingerprint, id(fetcher))
+
+        def lookup() -> Optional[Extractor]:
+            extractor = self._map.get(key)
+            if (
+                extractor is not None
+                # Paranoia: an id collision can never serve a stranger.
+                and extractor.fetcher is fetcher
+                # Same object == same content (the key already matched);
+                # a distinct object must prove the stored program was not
+                # mutated in place since caching.
+                and (
+                    extractor.program is program
+                    or wrapper_fingerprint(extractor.program) == fingerprint
+                )
+            ):
+                with self._counter_lock:
+                    self.hits += 1
+                return extractor
+            with self._counter_lock:
+                self.misses += 1
+            return None
+
+        return self._flight.run(
+            key,
+            lookup,
+            lambda: Extractor(program, fetcher=fetcher),
+            lambda extractor: self._map.put(key, extractor),
+        )
+
+    def info(self):
+        """Exact hit/miss statistics (a verified hit counts as a hit; a
+        verification failure or cold key counts as a miss)."""
+        from ..datalog.cache import CacheInfo
+
+        with self._counter_lock:
+            hits, misses = self.hits, self.misses
+        return CacheInfo(hits, misses, len(self._map), self._map.capacity)
+
+    def clear(self) -> None:
+        self._map.clear()
+        with self._counter_lock:
+            self.hits = 0
+            self.misses = 0
 
 
 def _url_matches(literal: str, candidate: Optional[str]) -> bool:

@@ -18,12 +18,17 @@ from __future__ import annotations
 import html
 import warnings
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Callable, Dict, Iterable, List, Optional, Sequence
 
-from ..datalog.cache import LruMap
 from ..datalog.options import DEFAULT_OPTIONS, UNSET, EngineOptions, resolve_options
 from ..elog.ast import ElogProgram
-from ..elog.extractor import Extractor, Fetcher
+from ..elog.extractor import (
+    Extractor,
+    ExtractorCache,
+    Fetcher,
+    PrefetchedFetcher,
+    wrapper_fingerprint,
+)
 from ..xmlgen.document import XmlElement
 from ..xmlgen.serializer import to_compact_xml, to_xml
 
@@ -51,31 +56,27 @@ class Component:
 # ---------------------------------------------------------------------------
 
 
-#: Shared Elog interpreters, keyed by (program, fetcher) *object identity*:
-#: N wrapper components constructed over the same parsed program and fetcher
+#: Shared Elog interpreters, keyed by **program content** plus fetcher: N
+#: wrapper components constructed over the same wrapper text and fetcher
 #: reuse one Extractor — the same cross-component sharing the datalog side
 #: gets from the compiled-plan registry.  Extraction state lives in the
 #: per-run PatternInstanceBase, so one interpreter serves any number of
-#: components.  Identity (not content) is deliberate: ``ElogProgram`` is a
-#: mutable AST (``add_rule`` / ``mark_auxiliary``), so a content key frozen
-#: at construction could serve a stale interpreter after mutation, while
-#: identity keying lets mutations flow through the shared program object;
-#: the cost is that separately re-parsed copies of the same wrapper text get
-#: their own interpreter (which is merely the pre-sharing behaviour).
-#: Identity keys are safe because each cache entry holds a strong reference
-#: to the Extractor, which keeps the keyed program and fetcher objects
-#: alive — their ids cannot be recycled while the entry exists.
-_EXTRACTOR_CACHE: "LruMap[Tuple[int, int], Extractor]" = LruMap(128)
+#: components.  The pre-PR-5 cache keyed by ``(id(program), id(fetcher))``
+#: instead; :class:`repro.elog.extractor.ExtractorCache` documents why that
+#: id()-reuse hazard (and the in-place-mutation staleness that comes with
+#: mutable ``ElogProgram`` ASTs) demands content keys with verified hits.
+#: Components that mutate their program *after* construction keep working:
+#: ``WrapperComponent.process`` re-resolves its interpreter whenever its own
+#: program's content has diverged from the shared interpreter's (a component
+#: whose content-equal program object was aliased to a classmate's extractor
+#: gets its own the moment it mutates) — though such callers should prefer
+#: ``share_plans=False`` (a private interpreter) to content-keyed sharing.
+_EXTRACTOR_CACHE: ExtractorCache = ExtractorCache(128)
 
 
 def shared_extractor(program: ElogProgram, fetcher: Fetcher) -> Extractor:
-    """One Elog interpreter per (program, fetcher) object pair, process-wide."""
-    key = (id(program), id(fetcher))
-    extractor = _EXTRACTOR_CACHE.get(key)
-    if extractor is None:
-        extractor = Extractor(program, fetcher=fetcher)
-        _EXTRACTOR_CACHE.put(key, extractor)
-    return extractor
+    """One Elog interpreter per (program content, fetcher), process-wide."""
+    return _EXTRACTOR_CACHE.get(program, fetcher)
 
 
 class WrapperComponent(Component):
@@ -129,13 +130,81 @@ class WrapperComponent(Component):
         # both: sessions own their extractors.
         if extractor is not None:
             self._extractor = extractor
+            self._extractor_aliased = False
         elif options.share_plans:
             self._extractor = shared_extractor(self.program, self.fetcher)
+            # A cache hit may wrap a classmate's content-equal program
+            # object; only such aliased interpreters are ever re-resolved.
+            self._extractor_aliased = True
         else:
             self._extractor = Extractor(self.program, fetcher=self.fetcher)
+            self._extractor_aliased = False
+        self._pending_fetch = None
+
+    def prefetch(self, executor) -> None:
+        """Start acquiring this wrapper's page ahead of :meth:`process`.
+
+        Uses the async-capable fetcher protocol
+        (:meth:`repro.elog.extractor.Fetcher.fetch_async`): the page fetch
+        runs on ``executor`` while upstream components still compute, and
+        the next :meth:`process` call consumes the in-flight future instead
+        of fetching synchronously.  Idempotent until consumed.  The fetch
+        goes through the *active extractor's* fetcher — a caller-supplied
+        ``extractor=`` may carry its own — so prefetched and plain runs
+        always acquire from the same source.
+        """
+        if self._pending_fetch is None:
+            fetcher = self._current_extractor().fetcher
+            if fetcher is not None:
+                self._pending_fetch = fetcher.fetch_async(self.url, executor)
+
+    def _current_extractor(self) -> Extractor:
+        """This component's interpreter, tracking its own program's content.
+
+        Content-keyed sharing can hand a component an interpreter built
+        around a classmate's content-equal program object; if this
+        component's *own* program is later mutated, that shared interpreter
+        would silently ignore the edit (the identity-keyed pre-PR-5 cache
+        gave every program object its own interpreter instead).  Only
+        cache-aliased interpreters are ever re-resolved: a caller-supplied
+        ``extractor=`` (which may carry custom concepts/limits/fetcher)
+        and a private ``share_plans=False`` interpreter always win, per the
+        constructor contract.  The identity check is free for sharing via
+        one program object; the fingerprint comparison only runs for
+        aliased components whose contents diverged.  The per-activation
+        re-serialisation is deliberate: caching the fingerprints would miss
+        in-place rule edits (the AST carries no mutation counter), and two
+        small-string passes are noise next to the page fetch and Elog
+        fixpoint each activation already pays.
+        """
+        extractor = self._extractor
+        if (
+            self._extractor_aliased
+            and extractor.program is not self.program
+            and wrapper_fingerprint(self.program)
+            != wrapper_fingerprint(extractor.program)
+        ):
+            extractor = shared_extractor(self.program, self.fetcher)
+            self._extractor = extractor
+        return extractor
+
+    def discard_prefetch(self) -> None:
+        """Drop an unconsumed prefetch so no later activation extracts a
+        stale snapshot (called when the run that scheduled it aborts)."""
+        pending, self._pending_fetch = self._pending_fetch, None
+        if pending is not None:
+            pending.cancel()
 
     def process(self, inputs: List[XmlElement]) -> XmlElement:
-        result = self._extractor.extract_to_xml(url=self.url, root_name=self.root_name)
+        pending, self._pending_fetch = self._pending_fetch, None
+        extractor = self._current_extractor()
+        if pending is not None:
+            # Crawl targets beyond the start page fall through to the same
+            # fetcher the plain (un-prefetched) run would use.
+            extractor = extractor.with_fetcher(
+                PrefetchedFetcher(extractor.fetcher, {self.url: pending})
+            )
+        result = extractor.extract_to_xml(url=self.url, root_name=self.root_name)
         result.attributes["source"] = self.url
         return result
 

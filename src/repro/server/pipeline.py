@@ -122,18 +122,54 @@ class InformationPipe:
         self._order = order
         return order
 
-    def run(self) -> Dict[str, XmlElement]:
+    def run(self, *, executor=None) -> Dict[str, XmlElement]:
         """Activate the sources and push documents through the network.
 
         Returns the output document of every component (keyed by name).
+
+        When ``executor`` (a :class:`concurrent.futures.Executor`) is
+        given, every component exposing ``prefetch`` — the wrapper
+        components — starts acquiring its page on it before the push
+        begins, so the fetch I/O of later sources overlaps the extraction
+        and transformation of earlier ones (the async-capable fetcher
+        protocol of :mod:`repro.elog.extractor`).
         """
         results: Dict[str, XmlElement] = {}
-        for name in self._topological_order():
-            component = self._components[name]
-            inputs = [results[predecessor] for predecessor in self._inputs.get(name, [])]
-            results[name] = component.process(inputs)
+        try:
+            if executor is not None:
+                # Inside the guard: a prefetch that raises mid-way (pool
+                # already shut down, fetcher refusing) must discard the
+                # futures it did manage to start.
+                self.prefetch_sources(executor)
+            for name in self._topological_order():
+                component = self._components[name]
+                inputs = [
+                    results[predecessor] for predecessor in self._inputs.get(name, [])
+                ]
+                results[name] = component.process(inputs)
+        except BaseException:
+            # A failed run must not leave resolved futures behind: a later
+            # activation consuming a minutes-old snapshot (or replaying a
+            # transient fetch error) would defeat change detection.
+            self.discard_prefetches()
+            raise
         self.last_results = results
         return results
+
+    def prefetch_sources(self, executor) -> None:
+        """Start every prefetch-capable component's acquisition on
+        ``executor`` (idempotent until the fetch is consumed)."""
+        for component in self._components.values():
+            prefetch = getattr(component, "prefetch", None)
+            if prefetch is not None:
+                prefetch(executor)
+
+    def discard_prefetches(self) -> None:
+        """Drop every unconsumed prefetch (see :meth:`run`'s abort path)."""
+        for component in self._components.values():
+            discard = getattr(component, "discard_prefetch", None)
+            if discard is not None:
+                discard()
 
     def run_and_get(self, component_name: str) -> XmlElement:
         return self.run()[component_name]
@@ -189,19 +225,35 @@ class TransformationServer:
             self.clock += 1
         return ran
 
-    def run_all(self) -> Dict[str, Dict[str, XmlElement]]:
+    def run_all(self, *, executor=None) -> Dict[str, Dict[str, XmlElement]]:
         """Run every registered pipe once, immediately.
 
         The runs go through the scheduler bookkeeping: each counts as the
         pipe's activation at the current clock (logged in ``run_log``) and
         pushes ``next_activation`` a full period out, so a following
         :meth:`tick` does not immediately double-run every pipe.
+
+        With ``executor``, **every** pipe's wrapper components start their
+        page fetches before the *first* pipe runs (one
+        :meth:`InformationPipe.prefetch_sources` pass over all pipes), so
+        acquisition I/O overlaps across the whole server, not just within
+        one pipe.
         """
         results: Dict[str, Dict[str, XmlElement]] = {}
-        for name, scheduled in self._pipes.items():
-            results[name] = scheduled.pipe.run()
-            scheduled.next_activation = self.clock + scheduled.period
-            self.run_log.append((self.clock, name))
+        try:
+            if executor is not None:
+                for scheduled in self._pipes.values():
+                    scheduled.pipe.prefetch_sources(executor)
+            for name, scheduled in self._pipes.items():
+                results[name] = scheduled.pipe.run()
+                scheduled.next_activation = self.clock + scheduled.period
+                self.run_log.append((self.clock, name))
+        except BaseException:
+            # One failing pipe must not strand the later pipes' prefetched
+            # futures — a future tick would extract stale snapshots.
+            for scheduled in self._pipes.values():
+                scheduled.pipe.discard_prefetches()
+            raise
         return results
 
     # -- monitoring ----------------------------------------------------------

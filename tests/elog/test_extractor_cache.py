@@ -1,0 +1,179 @@
+"""Content keying of shared Elog interpreters (the id()-reuse fix).
+
+Before PR 5 the interpreter memos — :func:`repro.server.components.
+shared_extractor` and ``Session.wrapper`` — keyed entries by
+``(id(program), id(fetcher))``.  Entry ids are only meaningful while the
+keyed objects are alive; once CPython garbage-collects a program or fetcher
+it recycles the address for the next allocation, so any identity-keyed
+cache whose entry lifetime is decoupled from its key objects can serve an
+interpreter for a *different* wrapper.  :class:`repro.elog.extractor.
+ExtractorCache` keys by content (:func:`wrapper_fingerprint`) and verifies
+every hit, which also fixes the subtler in-place-mutation staleness the
+identity scheme could not even express.
+"""
+
+from __future__ import annotations
+
+import gc
+import platform
+import threading
+
+import pytest
+
+from repro.elog import (
+    ElogProgram,
+    ExtractorCache,
+    parse_elog,
+    wrapper_fingerprint,
+)
+from repro.tree import tree
+from repro.web import StaticDocumentFetcher
+
+TEXT_A = """
+title(S, X) <- document(_, S), subelem(S, ?.title, X)
+"""
+
+TEXT_B = """
+price(S, X) <- document(_, S), subelem(S, ?.price, X)
+"""
+
+
+def fresh_program(text: str) -> ElogProgram:
+    # A new ElogProgram object per call; rules are shared immutably enough
+    # for keying purposes (the fingerprint reads only their text).
+    return ElogProgram(rules=list(parse_elog(text).rules))
+
+
+# ---------------------------------------------------------------------------
+# The id()-reuse regression
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.skipif(
+    platform.python_implementation() != "CPython",
+    reason="id() address recycling is a CPython allocator behaviour",
+)
+def test_id_reuse_aliases_the_old_identity_key_but_not_the_content_key():
+    """Force GC + id reuse: the old ``(id(program), id(fetcher))`` key
+    collides for two *different* wrappers, the content key does not.
+
+    This is the regression test the old keying fails: under it the two
+    programs below are indistinguishable, so a memo entry surviving the
+    first program would be served for the second.
+    """
+    fetcher = StaticDocumentFetcher({})
+    rules_a = list(parse_elog(TEXT_A).rules)
+    rules_b = list(parse_elog(TEXT_B).rules)
+
+    # Many TEXT_A wrappers die; many same-shaped TEXT_B wrappers are then
+    # allocated and kept alive — the allocator's free lists virtually
+    # guarantee some TEXT_B program lands on a dead TEXT_A address.
+    programs_a = [ElogProgram(rules=list(rules_a)) for _ in range(2000)]
+    dead_addresses = {id(program) for program in programs_a}
+    fingerprint_a = wrapper_fingerprint(programs_a[0])
+    del programs_a
+    gc.collect()
+    candidates = [ElogProgram(rules=list(rules_b)) for _ in range(2000)]
+    program_b = next(
+        (candidate for candidate in candidates if id(candidate) in dead_addresses),
+        None,
+    )
+    if program_b is None:
+        pytest.skip("allocator recycled none of 2000 freed addresses")
+
+    # The old keying cannot tell a dead TEXT_A wrapper from this live
+    # TEXT_B wrapper: their (id(program), id(fetcher)) keys are equal...
+    assert (id(program_b), id(fetcher)) in {
+        (address, id(fetcher)) for address in dead_addresses
+    }
+    # ...while the content key distinguishes them unconditionally.
+    assert wrapper_fingerprint(program_b) != fingerprint_a
+
+
+def test_cache_never_serves_a_different_wrapper_after_gc_churn():
+    """End-to-end: evictions + GC + address recycling can never alias."""
+    cache = ExtractorCache(capacity=2)  # small: constant evictions
+    texts = [TEXT_A, TEXT_B, TEXT_A.replace("title", "author"), TEXT_B.replace("price", "bids")]
+    for round_ in range(50):
+        text = texts[round_ % len(texts)]
+        program = fresh_program(text)
+        extractor = cache.get(program)
+        assert wrapper_fingerprint(extractor.program) == wrapper_fingerprint(program)
+        del program, extractor
+        if round_ % 7 == 0:
+            gc.collect()
+
+
+# ---------------------------------------------------------------------------
+# Content keying semantics
+# ---------------------------------------------------------------------------
+
+
+def test_content_equal_programs_share_one_interpreter():
+    cache = ExtractorCache()
+    first = cache.get(fresh_program(TEXT_A))
+    second = cache.get(fresh_program(TEXT_A))
+    assert first is second
+    info = cache.info()
+    assert info.hits == 1 and info.misses == 1
+
+
+def test_different_fetchers_get_different_interpreters():
+    cache = ExtractorCache()
+    program = fresh_program(TEXT_A)
+    document = tree(("html", ("title",)))
+    fetcher_one = StaticDocumentFetcher({"http://a.test": document})
+    fetcher_two = StaticDocumentFetcher({"http://a.test": document})
+    assert cache.get(program, fetcher_one) is not cache.get(program, fetcher_two)
+    assert cache.get(program, fetcher_one).fetcher is fetcher_one
+
+
+def test_mutated_cached_program_is_never_served_stale():
+    """In-place mutation moves the fingerprint; a content-equal fresh parse
+    must get an interpreter matching *its* content, not the mutated one."""
+    cache = ExtractorCache()
+    original = fresh_program(TEXT_A)
+    cached = cache.get(original)
+    # Mutate the cached program in place: the entry under TEXT_A's
+    # fingerprint now holds an interpreter whose program says otherwise.
+    original.mark_auxiliary("title")
+    fresh = fresh_program(TEXT_A)
+    served = cache.get(fresh)
+    assert served is not cached
+    assert wrapper_fingerprint(served.program) == wrapper_fingerprint(fresh)
+    # The verification failure was an interpreter *construction*, so the
+    # counters classify it as a miss, never a hit.
+    info = cache.info()
+    assert info.hits == 0 and info.misses == 2
+    # The mutated program keys separately and keeps flowing through.
+    assert cache.get(original).program is original
+
+
+def test_auxiliary_patterns_are_part_of_the_content_key():
+    cache = ExtractorCache()
+    plain = fresh_program(TEXT_A)
+    marked = fresh_program(TEXT_A).mark_auxiliary("title")
+    assert cache.get(plain) is not cache.get(marked)
+
+
+def test_concurrent_cold_gets_build_one_interpreter():
+    cache = ExtractorCache()
+    program = fresh_program(TEXT_A)
+    results = []
+    lock = threading.Lock()
+    barrier = threading.Barrier(8)
+
+    def work() -> None:
+        barrier.wait(timeout=10)
+        extractor = cache.get(program)
+        with lock:
+            results.append(extractor)
+
+    threads = [threading.Thread(target=work, daemon=True) for _ in range(8)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join(timeout=30)
+    assert not any(thread.is_alive() for thread in threads)
+    assert len(results) == 8
+    assert len({id(extractor) for extractor in results}) == 1
