@@ -1,13 +1,28 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: check test bench-quick bench
+.PHONY: check test lint analyze bench-quick bench
 
-# Tier-1 gate plus the quick benchmark pass; CI runs exactly this.
-check: test bench-quick
+# Tier-1 gate plus lint, static analysis and the quick benchmark pass;
+# CI runs exactly this.
+check: lint analyze test bench-quick
 
 test:
 	$(PYTHON) -m pytest -x -q
+
+# Ruff is configured in pyproject.toml but is not part of the runtime
+# image; skip with a notice when it is unavailable (CI installs it).
+lint:
+	@if $(PYTHON) -m ruff --version >/dev/null 2>&1; then \
+		$(PYTHON) -m ruff check src tests; \
+	else \
+		echo "ruff not installed; skipping lint (CI runs it)"; \
+	fi
+
+# Static-analysis smoke gate: every example program must be free of
+# error-severity diagnostics (see docs/ANALYSIS.md for the rule catalog).
+analyze:
+	$(PYTHON) -m repro.analysis examples
 
 # Also writes BENCH_engine.json (workload -> median seconds) at the repo
 # root; CI uploads it as the engine perf-trajectory artifact.

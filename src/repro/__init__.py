@@ -28,12 +28,16 @@ for migration notes).
 """
 
 from .api import (
+    AnalysisError,
+    AnalysisReport,
+    Diagnostic,
     EngineOptions,
     ExtractionResult,
     Pipeline,
     PipelineBuilder,
     QueryResult,
     Session,
+    analyze,
     available_backends,
     register_backend,
 )
@@ -41,6 +45,9 @@ from .api import (
 __version__ = "1.0.0"
 
 __all__ = [
+    "AnalysisError",
+    "AnalysisReport",
+    "Diagnostic",
     "EngineOptions",
     "ExtractionResult",
     "Pipeline",
@@ -48,6 +55,7 @@ __all__ = [
     "QueryResult",
     "Session",
     "__version__",
+    "analyze",
     "available_backends",
     "register_backend",
 ]

@@ -1,0 +1,73 @@
+"""Compile-time static analysis for datalog programs and Elog wrappers.
+
+The analyzer turns the silent failure modes of logic programs — unsafe
+rules, unstratifiable negation, misspelled predicates, dead patterns —
+into structured :class:`Diagnostic` records with stable rule ids, a
+severity, a human explanation and (for parsed text) a source span.  It
+also classifies every datalog program into the paper's complexity
+fragments (monadic? TMNF? linear-time?) and explains the verdict.
+
+Three front doors:
+
+* :func:`analyze` — one call for any program shape (AST or text);
+* ``Session.analyze`` / ``EngineOptions(on_diagnostics=...)`` — the
+  :mod:`repro.api` integration, cached per program fingerprint;
+* ``python -m repro.analysis <file>`` — the CLI, with ``--json``.
+
+docs/ANALYSIS.md is the rule catalog with one example per rule id.
+"""
+
+from .analyzer import DATALOG, ELOG, Analyzable, analyze, sniff_kind
+from .datalog_checks import (
+    BUILTIN_PREDICATES,
+    TREE_EDB_PREDICATES,
+    TREE_SIGNATURE,
+    check_program,
+)
+from .diagnostics import (
+    ERROR,
+    INFO,
+    POLICIES,
+    RULE_CATALOG,
+    SEVERITIES,
+    WARNING,
+    AnalysisError,
+    AnalysisReport,
+    Diagnostic,
+    DiagnosticWarning,
+    apply_policy,
+)
+from .elog_checks import check_elog_program
+from .fragments import FragmentReport, classify
+from .scan import ScannedProgram, analyze_scanned, looks_like_program, scan_file, scan_source
+
+__all__ = [
+    "Analyzable",
+    "AnalysisError",
+    "AnalysisReport",
+    "BUILTIN_PREDICATES",
+    "DATALOG",
+    "Diagnostic",
+    "DiagnosticWarning",
+    "ELOG",
+    "ERROR",
+    "FragmentReport",
+    "INFO",
+    "POLICIES",
+    "RULE_CATALOG",
+    "SEVERITIES",
+    "ScannedProgram",
+    "TREE_EDB_PREDICATES",
+    "TREE_SIGNATURE",
+    "WARNING",
+    "analyze",
+    "analyze_scanned",
+    "apply_policy",
+    "check_elog_program",
+    "check_program",
+    "classify",
+    "looks_like_program",
+    "scan_file",
+    "scan_source",
+    "sniff_kind",
+]

@@ -1,0 +1,125 @@
+"""Command-line front end: ``python -m repro.analysis <file> [...]``.
+
+* A ``.dl``/``.elog``/text file is analyzed as one program (language
+  sniffed, or forced with ``--kind``).
+* A ``.py`` file is *scanned*: every embedded program-looking string
+  constant is analyzed (see :mod:`repro.analysis.scan`) — no code is
+  executed.
+* A directory is walked for ``*.py`` files and scanned likewise, which is
+  how CI gates ``examples/``::
+
+      python -m repro.analysis examples/
+
+Exit status is 1 when any error-severity diagnostic was reported (with
+``--strict``, warnings count too), 0 otherwise.  ``--json`` emits one JSON
+document with a report per program for tooling.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+from typing import List, Optional, Tuple
+
+from .analyzer import DATALOG, ELOG, analyze
+from .datalog_checks import TREE_SIGNATURE
+from .diagnostics import AnalysisReport
+from .scan import analyze_scanned, scan_file
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis",
+        description="Static analysis for datalog programs and Elog wrappers.",
+    )
+    parser.add_argument(
+        "paths",
+        nargs="+",
+        metavar="PATH",
+        help="program text file, Python file to scan, or directory of Python files",
+    )
+    parser.add_argument(
+        "--kind",
+        choices=(DATALOG, ELOG),
+        default=None,
+        help="force the program language for text files (default: sniff)",
+    )
+    parser.add_argument(
+        "--edb",
+        choices=("tree", "declared"),
+        default="tree",
+        help="EDB signature for datalog derivability checks: the tau_ur "
+        "tree relations (default) or the program's own declaration",
+    )
+    parser.add_argument(
+        "--json",
+        action="store_true",
+        dest="as_json",
+        help="emit one JSON document instead of human-readable lines",
+    )
+    parser.add_argument(
+        "--strict",
+        action="store_true",
+        help="exit nonzero on warnings as well as errors",
+    )
+    return parser
+
+
+def _python_files(path: str) -> List[str]:
+    files: List[str] = []
+    for root, _dirs, names in os.walk(path):
+        for name in sorted(names):
+            if name.endswith(".py"):
+                files.append(os.path.join(root, name))
+    return files
+
+
+def _collect(
+    paths: List[str], kind: Optional[str], edb: str
+) -> List[Tuple[str, AnalysisReport]]:
+    signature = TREE_SIGNATURE if edb == "tree" else None
+    reports: List[Tuple[str, AnalysisReport]] = []
+    for path in paths:
+        if os.path.isdir(path):
+            for python_file in _python_files(path):
+                for scanned, report in analyze_scanned(scan_file(python_file)):
+                    reports.append((scanned.label, report))
+        elif path.endswith(".py"):
+            for scanned, report in analyze_scanned(scan_file(path)):
+                reports.append((scanned.label, report))
+        else:
+            with open(path, "r", encoding="utf-8") as handle:
+                text = handle.read()
+            reports.append(
+                (path, analyze(text, kind=kind, edb=signature))
+            )
+    return reports
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    options = _build_parser().parse_args(argv)
+    reports = _collect(options.paths, options.kind, options.edb)
+
+    if options.as_json:
+        payload = [json.loads(report.to_json(name)) for name, report in reports]
+        print(json.dumps(payload, indent=2, sort_keys=True))
+    else:
+        for name, report in reports:
+            print(report.render(name))
+
+    errors = sum(len(report.errors()) for _, report in reports)
+    warnings = sum(len(report.warnings()) for _, report in reports)
+    if not options.as_json:
+        print(
+            f"-- {len(reports)} program(s): {errors} error(s), "
+            f"{warnings} warning(s)"
+        )
+    if errors or (options.strict and warnings):
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,139 @@
+"""The analyzer front door: one :func:`analyze` for every program shape.
+
+Accepts a datalog :class:`~repro.datalog.ast.Program`, a
+:class:`~repro.mdatalog.program.MonadicProgram`, an
+:class:`~repro.elog.ast.ElogProgram`, or raw source text (the language is
+sniffed, or forced with ``kind=``), and returns an
+:class:`~repro.analysis.diagnostics.AnalysisReport`.  Unparseable text is
+itself a report — a single ``D000``/``E000`` error carrying the parser's
+source position — so tooling never has to catch syntax errors separately.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Optional, Sequence, Union
+
+from ..datalog.ast import Program, Span
+from ..datalog.parser import DatalogSyntaxError, parse_program
+from ..elog.ast import ElogProgram
+from ..elog.concepts import ConceptRegistry
+from ..elog.parser import ElogSyntaxError, parse_elog
+from ..mdatalog.program import MonadicProgram
+from .datalog_checks import TREE_SIGNATURE, check_program
+from .diagnostics import ERROR, AnalysisReport, Diagnostic
+from .elog_checks import check_elog_program
+from .fragments import classify
+
+DATALOG = "datalog"
+ELOG = "elog"
+
+#: Atoms that exist only in Elog (extraction / crawling); text containing
+#: any of them at a call position is sniffed as an Elog wrapper.
+_ELOG_MARKER = re.compile(
+    r"\b(subelem|subtext|subatt|subsq|document)\s*\("
+)
+
+Analyzable = Union[Program, MonadicProgram, ElogProgram, str]
+
+
+def sniff_kind(text: str) -> str:
+    """Guess whether ``text`` is a datalog program or an Elog wrapper."""
+    return ELOG if _ELOG_MARKER.search(text) else DATALOG
+
+
+def analyze(
+    program: Analyzable,
+    *,
+    kind: Optional[str] = None,
+    edb: Optional[object] = None,
+    query_predicates: Optional[Sequence[str]] = None,
+    concepts: Optional[ConceptRegistry] = None,
+) -> AnalysisReport:
+    """Analyze ``program`` and return every diagnostic the checks produce.
+
+    ``kind`` forces the language for text input (``"datalog"`` or
+    ``"elog"``); AST input carries its own kind.  ``edb`` and
+    ``query_predicates`` feed the datalog D004/D010/D007 checks (see
+    :func:`repro.analysis.datalog_checks.check_program`); ``concepts`` the
+    Elog E005 check.  Monadic programs default to the tau_ur tree EDB
+    signature.
+    """
+    if isinstance(program, ElogProgram):
+        return _analyze_elog(program, concepts)
+    if isinstance(program, MonadicProgram):
+        datalog = program.to_datalog_program()
+        return _analyze_datalog(
+            datalog,
+            edb if edb is not None else TREE_SIGNATURE,
+            query_predicates,
+        )
+    if isinstance(program, Program):
+        return _analyze_datalog(program, edb, query_predicates)
+    if isinstance(program, str):
+        resolved = kind or sniff_kind(program)
+        if resolved == ELOG:
+            return _analyze_elog_text(program, concepts)
+        if resolved == DATALOG:
+            return _analyze_datalog_text(program, edb, query_predicates)
+        raise ValueError(f"unknown program kind {resolved!r}")
+    raise TypeError(
+        f"cannot analyze {type(program).__name__}; expected Program, "
+        "MonadicProgram, ElogProgram or source text"
+    )
+
+
+def _analyze_datalog(
+    program: Program,
+    edb: Optional[object],
+    query_predicates: Optional[Sequence[str]],
+) -> AnalysisReport:
+    diagnostics = check_program(
+        program, edb=edb, query_predicates=query_predicates
+    )
+    return AnalysisReport(
+        kind=DATALOG,
+        diagnostics=tuple(diagnostics),
+        fragment=classify(program),
+    )
+
+
+def _analyze_datalog_text(
+    text: str,
+    edb: Optional[object],
+    query_predicates: Optional[Sequence[str]],
+) -> AnalysisReport:
+    try:
+        program = parse_program(text)
+    except DatalogSyntaxError as error:
+        span = (
+            Span(error.line, error.column or 1, error.line, error.column or 1)
+            if error.line is not None
+            else None
+        )
+        diagnostic = Diagnostic("D000", ERROR, str(error), span=span)
+        return AnalysisReport(kind=DATALOG, diagnostics=(diagnostic,))
+    return _analyze_datalog(program, edb, query_predicates)
+
+
+def _analyze_elog(
+    program: ElogProgram, concepts: Optional[ConceptRegistry]
+) -> AnalysisReport:
+    diagnostics = check_elog_program(program, concepts=concepts)
+    return AnalysisReport(kind=ELOG, diagnostics=tuple(diagnostics))
+
+
+def _analyze_elog_text(
+    text: str, concepts: Optional[ConceptRegistry]
+) -> AnalysisReport:
+    try:
+        program = parse_elog(text)
+    except ElogSyntaxError as error:
+        span = (
+            Span(error.line, 1, error.line, 1)
+            if error.line is not None
+            else None
+        )
+        diagnostic = Diagnostic("E000", ERROR, str(error), span=span)
+        return AnalysisReport(kind=ELOG, diagnostics=(diagnostic,))
+    return _analyze_elog(program, concepts)

@@ -1,0 +1,445 @@
+"""Static checks over (monadic) datalog programs: the ``D0xx`` rules.
+
+Every check is grounded in machinery the engines already run — but where
+the engines raise a bare error at compile time (or, worse, silently compute
+an empty relation), these checks *explain*: which variable is unbound,
+which cycle carries the negation, which predicate can never be derived.
+See :data:`repro.analysis.diagnostics.RULE_CATALOG` for the id table and
+docs/ANALYSIS.md for one example per rule.
+"""
+
+from __future__ import annotations
+
+import difflib
+from collections import defaultdict
+from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
+
+from ..datalog.ast import Program, Rule, Span, get_span
+from ..datalog.stratify import dependency_graph, is_stratifiable
+from ..datalog.tree_edb import EXTENDED_BINARY, TAU_UR_BINARY, TAU_UR_UNARY
+from .diagnostics import ERROR, INFO, WARNING, Diagnostic
+from .fragments import classify
+
+#: Comparison builtins the generic engine evaluates natively — never EDB,
+#: never derivable, always "known" (mirrors ``SemiNaiveEngine.BUILTINS``).
+BUILTIN_PREDICATES = frozenset({"lt", "le", "gt", "ge", "eq", "neq"})
+
+#: The static tau_ur tree relations (label relations are ``label_<a>`` and
+#: matched by prefix, since the alphabet is document-dependent).
+TREE_EDB_PREDICATES = frozenset(TAU_UR_UNARY) | frozenset(TAU_UR_BINARY) | frozenset(
+    EXTENDED_BINARY
+)
+
+#: Sentinel for "the EDB signature is the tau_ur tree signature".
+TREE_SIGNATURE = "tree"
+
+
+def _rule_name(rule: Rule) -> str:
+    return f"the rule for {rule.head.predicate!r} ({rule})"
+
+
+def _span(rule: Rule) -> Optional[Span]:
+    return get_span(rule)
+
+
+def _in_signature(predicate: str, signature: FrozenSet[str], tree: bool) -> bool:
+    if predicate in signature:
+        return True
+    return tree and predicate.startswith("label_")
+
+
+def check_program(
+    program: Program,
+    *,
+    edb: "Optional[object]" = None,
+    query_predicates: Optional[Sequence[str]] = None,
+    fragment: bool = True,
+) -> List[Diagnostic]:
+    """All ``D0xx`` diagnostics for ``program``, in rule-id order.
+
+    ``edb`` fixes the extensional signature the D004/D010 derivability
+    checks trust: pass :data:`TREE_SIGNATURE` for the tau_ur tree relations
+    (``label_*`` admitted by prefix) or an iterable of predicate names for
+    a custom signature.  With ``edb=None`` both checks stay off — a
+    ``Program``'s own ``edb_predicates`` declaration is not trusted,
+    because the engines happily seed facts for *undeclared* predicates
+    from the database at evaluation time, so "not declared" does not imply
+    "never holds".  The tree signature is what catches the typos
+    (``labell_i``) the unknown-predicate contract would hide.
+
+    ``query_predicates`` enables the D007 reachability check (dead rules /
+    IDB predicates relative to the queried heads).
+    """
+    diagnostics: List[Diagnostic] = []
+    tree = edb == TREE_SIGNATURE
+    if edb is None:
+        signature = frozenset(program.edb_predicates)
+    elif tree:
+        signature = TREE_EDB_PREDICATES
+    else:
+        signature = frozenset(edb)  # type: ignore[arg-type]
+    idb = {rule.head.predicate for rule in program.rules}
+
+    diagnostics.extend(_check_safety(program))
+    diagnostics.extend(_check_stratification(program))
+    diagnostics.extend(_check_arities(program))
+    if edb is not None:
+        diagnostics.extend(_check_underived(program, idb, signature, tree))
+    diagnostics.extend(_check_singletons(program))
+    diagnostics.extend(_check_cartesian(program))
+    diagnostics.extend(_check_dead_rules(program, idb, query_predicates))
+    diagnostics.extend(_check_duplicates(program))
+    diagnostics.extend(_check_edb_heads(program, signature, tree, edb is not None))
+    if fragment:
+        report = classify(program)
+        diagnostics.append(
+            Diagnostic("D008", INFO, report.verdict(), subject="fragment")
+        )
+    diagnostics.sort(key=lambda d: (d.rule_id, d.span.line if d.span else 0))
+    return diagnostics
+
+
+# ---------------------------------------------------------------------------
+# Individual checks
+# ---------------------------------------------------------------------------
+
+
+def _check_safety(program: Program) -> List[Diagnostic]:
+    """D001: name exactly which variables the positive body fails to bind."""
+    diagnostics: List[Diagnostic] = []
+    for rule in program.rules:
+        if rule.is_safe():
+            continue
+        positive: Set = set()
+        for atom in rule.positive_body():
+            positive |= atom.variables()
+        unbound_head = sorted(
+            variable.name for variable in rule.head.variables() - positive
+        )
+        unbound_negative = sorted(
+            {
+                variable.name
+                for atom in rule.negative_body()
+                for variable in atom.variables() - positive
+            }
+            - set(unbound_head)
+        )
+        parts: List[str] = []
+        if unbound_head:
+            parts.append(f"head variable(s) {', '.join(unbound_head)}")
+        if unbound_negative:
+            parts.append(f"negated-body variable(s) {', '.join(unbound_negative)}")
+        diagnostics.append(
+            Diagnostic(
+                "D001",
+                ERROR,
+                f"unsafe rule: {' and '.join(parts)} never occur in a positive "
+                f"body atom in {_rule_name(rule)}",
+                span=_span(rule),
+                subject=rule.head.predicate,
+            )
+        )
+    return diagnostics
+
+
+def _negative_cycle(program: Program) -> Optional[List[Tuple[str, bool]]]:
+    """A dependency cycle through a negative edge, as ``(predicate,
+    edge-into-it-is-negated)`` pairs starting and ending at one predicate."""
+    graph = dependency_graph(program)
+    idb = program.idb_predicates()
+    edges: Dict[str, Set[Tuple[str, bool]]] = {
+        head: {(pred, neg) for pred, neg in deps if pred in idb}
+        for head, deps in graph.items()
+    }
+    for start, deps in edges.items():
+        for target, negated in deps:
+            if not negated:
+                continue
+            # A negative edge start -> target closes a negative cycle iff
+            # start is reachable from target.
+            path = _path(edges, target, start)
+            if path is not None:
+                cycle = [(target, True)]
+                cycle.extend(path)
+                return cycle
+    return None
+
+
+def _path(
+    edges: Dict[str, Set[Tuple[str, bool]]], source: str, goal: str
+) -> Optional[List[Tuple[str, bool]]]:
+    """A dependency path source ->* goal as (next predicate, negated) steps."""
+    if source == goal:
+        return []
+    parents: Dict[str, Tuple[str, bool]] = {}
+    frontier = [source]
+    seen = {source}
+    while frontier:
+        current = frontier.pop()
+        for neighbour, negated in edges.get(current, ()):
+            if neighbour in seen:
+                continue
+            seen.add(neighbour)
+            parents[neighbour] = (current, negated)
+            if neighbour == goal:
+                path: List[Tuple[str, bool]] = []
+                node = goal
+                while node != source:
+                    parent, edge_negated = parents[node]
+                    path.append((node, edge_negated))
+                    node = parent
+                path.reverse()
+                return path
+            frontier.append(neighbour)
+    return None
+
+
+def _check_stratification(program: Program) -> List[Diagnostic]:
+    """D002: report the precise negative cycle, not just "unstratifiable"."""
+    if is_stratifiable(program):
+        return []
+    cycle = _negative_cycle(program)
+    if cycle:
+        start = cycle[-1][0]
+        rendering = start
+        for predicate, negated in cycle:
+            arrow = "-[not]->" if negated else "->"
+            rendering += f" {arrow} {predicate}"
+        message = (
+            "program is not stratifiable: negation occurs on the dependency "
+            f"cycle {rendering}"
+        )
+        subject = start
+    else:  # pragma: no cover - stratify and cycle search disagree
+        message = "program is not stratifiable (negative cycle)"
+        subject = ""
+    return [Diagnostic("D002", ERROR, message, subject=subject)]
+
+
+def _check_arities(program: Program) -> List[Diagnostic]:
+    """D003: one predicate, one arity — heads and bodies together."""
+    arities: Dict[str, Dict[int, Rule]] = defaultdict(dict)
+    for rule in program.rules:
+        arities[rule.head.predicate].setdefault(rule.head.arity, rule)
+        for literal in rule.body:
+            arities[literal.atom.predicate].setdefault(literal.atom.arity, rule)
+    diagnostics: List[Diagnostic] = []
+    for predicate in sorted(arities):
+        seen = arities[predicate]
+        if len(seen) < 2:
+            continue
+        rendered = ", ".join(f"{predicate}/{arity}" for arity in sorted(seen))
+        witness = seen[sorted(seen)[-1]]
+        diagnostics.append(
+            Diagnostic(
+                "D003",
+                ERROR,
+                f"predicate {predicate!r} is used with inconsistent arities "
+                f"({rendered}); these denote disjoint relations and cannot "
+                "join",
+                span=_span(witness),
+                subject=predicate,
+            )
+        )
+    return diagnostics
+
+
+def _check_underived(
+    program: Program,
+    idb: Set[str],
+    signature: FrozenSet[str],
+    tree: bool,
+) -> List[Diagnostic]:
+    """D004: body atoms nothing can ever derive (the typo catcher)."""
+    diagnostics: List[Diagnostic] = []
+    known = sorted(idb | signature | BUILTIN_PREDICATES)
+    reported: Set[str] = set()
+    for rule in program.rules:
+        for literal in rule.body:
+            predicate = literal.atom.predicate
+            if (
+                predicate in idb
+                or predicate in BUILTIN_PREDICATES
+                or _in_signature(predicate, signature, tree)
+                or predicate in reported
+            ):
+                continue
+            reported.add(predicate)
+            suggestions = difflib.get_close_matches(predicate, known, n=1)
+            hint = f"; did you mean {suggestions[0]!r}?" if suggestions else ""
+            diagnostics.append(
+                Diagnostic(
+                    "D004",
+                    ERROR,
+                    f"body atom over {predicate!r} in {_rule_name(rule)} can "
+                    "never hold: no rule derives it and it is not in the EDB "
+                    f"signature{hint}",
+                    span=_span(rule),
+                    subject=predicate,
+                )
+            )
+    return diagnostics
+
+
+def _check_singletons(program: Program) -> List[Diagnostic]:
+    """D005: variables used exactly once (likely typos; ``_``-names opt out)."""
+    diagnostics: List[Diagnostic] = []
+    for rule in program.rules:
+        # Count every occurrence, head and body alike.
+        counts: Dict[str, int] = defaultdict(int)
+        for term in rule.head.terms:
+            if hasattr(term, "name"):
+                counts[term.name] += 1
+        for literal in rule.body:
+            for term in literal.atom.terms:
+                if hasattr(term, "name"):
+                    counts[term.name] += 1
+        singles = sorted(
+            name for name, count in counts.items() if count == 1 and not name.startswith("_")
+        )
+        if singles:
+            diagnostics.append(
+                Diagnostic(
+                    "D005",
+                    WARNING,
+                    f"variable(s) {', '.join(singles)} occur only once in "
+                    f"{_rule_name(rule)}; prefix with '_' if intentional",
+                    span=_span(rule),
+                    subject=rule.head.predicate,
+                )
+            )
+    return diagnostics
+
+
+def _check_cartesian(program: Program) -> List[Diagnostic]:
+    """D006: positive body atoms that share no variables multiply blindly.
+
+    Mirrors the join structure :mod:`repro.datalog.plan` orders over: two
+    variable-disjoint atom groups have no join key, so the plan enumerates
+    their full cross product.
+    """
+    diagnostics: List[Diagnostic] = []
+    for rule in program.rules:
+        atoms = [atom for atom in rule.positive_body() if atom.variables()]
+        if len(atoms) < 2:
+            continue
+        component = list(range(len(atoms)))
+
+        def find(index: int) -> int:
+            while component[index] != index:
+                component[index] = component[component[index]]
+                index = component[index]
+            return index
+
+        for i in range(len(atoms)):
+            for j in range(i + 1, len(atoms)):
+                if atoms[i].variables() & atoms[j].variables():
+                    component[find(i)] = find(j)
+        groups: Dict[int, List[str]] = defaultdict(list)
+        for index, atom in enumerate(atoms):
+            groups[find(index)].append(str(atom))
+        if len(groups) > 1:
+            rendered = " x ".join(
+                "{" + ", ".join(group) + "}" for group in groups.values()
+            )
+            diagnostics.append(
+                Diagnostic(
+                    "D006",
+                    WARNING,
+                    f"body of {_rule_name(rule)} is a cartesian product: the "
+                    f"atom groups {rendered} share no variables",
+                    span=_span(rule),
+                    subject=rule.head.predicate,
+                )
+            )
+    return diagnostics
+
+
+def _check_dead_rules(
+    program: Program,
+    idb: Set[str],
+    query_predicates: Optional[Sequence[str]],
+) -> List[Diagnostic]:
+    """D007: IDB predicates no queried head depends on (needs query preds)."""
+    if not query_predicates:
+        return []
+    reachable: Set[str] = set()
+    frontier = [
+        predicate for predicate in query_predicates if predicate in idb
+    ]
+    reachable.update(frontier)
+    by_head: Dict[str, List[Rule]] = defaultdict(list)
+    for rule in program.rules:
+        by_head[rule.head.predicate].append(rule)
+    while frontier:
+        predicate = frontier.pop()
+        for rule in by_head.get(predicate, ()):
+            for literal in rule.body:
+                body_predicate = literal.atom.predicate
+                if body_predicate in idb and body_predicate not in reachable:
+                    reachable.add(body_predicate)
+                    frontier.append(body_predicate)
+    diagnostics: List[Diagnostic] = []
+    for predicate in sorted(idb - reachable):
+        witness = by_head[predicate][0]
+        diagnostics.append(
+            Diagnostic(
+                "D007",
+                WARNING,
+                f"predicate {predicate!r} is never used: no query predicate "
+                f"({', '.join(sorted(query_predicates))}) depends on it",
+                span=_span(witness),
+                subject=predicate,
+            )
+        )
+    return diagnostics
+
+
+def _check_duplicates(program: Program) -> List[Diagnostic]:
+    """D009: textually identical rules (fixpoint-neutral, so likely a slip)."""
+    seen: Dict[Rule, int] = {}
+    diagnostics: List[Diagnostic] = []
+    for rule in program.rules:
+        if rule in seen:
+            diagnostics.append(
+                Diagnostic(
+                    "D009",
+                    WARNING,
+                    f"duplicate rule: {rule} appears more than once",
+                    span=_span(rule),
+                    subject=rule.head.predicate,
+                )
+            )
+        else:
+            seen[rule] = 1
+    return diagnostics
+
+
+def _check_edb_heads(
+    program: Program,
+    signature: FrozenSet[str],
+    tree: bool,
+    signature_declared: bool,
+) -> List[Diagnostic]:
+    """D010: a rule head over an extensional predicate redefines input data."""
+    if not signature_declared:
+        return []
+    diagnostics: List[Diagnostic] = []
+    reported: Set[str] = set()
+    for rule in program.rules:
+        predicate = rule.head.predicate
+        if predicate in reported or not _in_signature(predicate, signature, tree):
+            continue
+        reported.add(predicate)
+        diagnostics.append(
+            Diagnostic(
+                "D010",
+                ERROR,
+                f"{_rule_name(rule)} redefines the extensional predicate "
+                f"{predicate!r}; EDB relations are supplied by the database "
+                "and must not appear in rule heads",
+                span=_span(rule),
+                subject=predicate,
+            )
+        )
+    return diagnostics

@@ -1,0 +1,201 @@
+"""Diagnostic records: the uniform currency of the static analyzer.
+
+Every check in :mod:`repro.analysis` reports :class:`Diagnostic` records —
+a stable rule id (``D001`` … for datalog, ``E001`` … for Elog), a severity,
+a human message, and (when the program was parsed from text) the source
+:class:`~repro.datalog.ast.Span` of the offending rule.  A whole analysis
+run is an :class:`AnalysisReport`: an ordered, immutable collection with
+severity filters, a human rendering and a JSON view for tooling.
+
+Severity policy (shared by :class:`repro.api.Session` and the CLI):
+
+* ``error`` — the program cannot mean what its author wrote: it will be
+  rejected at compile time (unsafe rule, negative cycle, arity clash) or
+  silently compute nothing (a body atom no rule or EDB relation can ever
+  derive).
+* ``warning`` — legal but suspicious: singleton variables, cartesian
+  joins, dead rules/patterns.
+* ``info`` — explanations, chiefly the fragment classification ("this
+  program is monadic and TMNF-rewritable, hence linear-time over trees").
+
+``EngineOptions.on_diagnostics`` decides what evaluation does about
+error-severity findings: ``"warn"`` (default) emits a
+:class:`DiagnosticWarning`, ``"strict"`` raises :class:`AnalysisError`,
+``"ignore"`` skips analysis entirely.
+"""
+
+from __future__ import annotations
+
+import json
+import warnings
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, Optional, Tuple
+
+from ..datalog.ast import Span
+
+ERROR = "error"
+WARNING = "warning"
+INFO = "info"
+
+#: Rendering / sorting order of severities, most severe first.
+SEVERITIES = (ERROR, WARNING, INFO)
+
+#: The rule catalog: every diagnostic the analyzer can emit, one line each.
+#: docs/ANALYSIS.md documents each with a triggering example.
+RULE_CATALOG: Dict[str, str] = {
+    "D000": "datalog syntax error",
+    "D001": "unsafe rule (head or negated variable unbound by the positive body)",
+    "D002": "program is not stratifiable (negation on a dependency cycle)",
+    "D003": "predicate used with inconsistent arities",
+    "D004": "body atom over a predicate no rule or EDB relation can derive",
+    "D005": "singleton variable (occurs exactly once in its rule)",
+    "D006": "cartesian-product join (body atoms share no variables)",
+    "D007": "dead rule (predicate unreachable from any query predicate)",
+    "D008": "fragment classification (monadic / TMNF / linear-time verdict)",
+    "D009": "duplicate rule",
+    "D010": "rule head redefines an extensional (EDB) predicate",
+    "E000": "Elog syntax error",
+    "E001": "rule references an undefined parent pattern",
+    "E002": "dead pattern (no parent chain reaches the document root)",
+    "E003": "condition references an undefined pattern",
+    "E004": "condition over a variable the rule never binds",
+    "E005": "unknown concept predicate (not registered in the concept registry)",
+    "E006": "duplicate pattern rule",
+}
+
+
+class DiagnosticWarning(UserWarning):
+    """Emitted by ``on_diagnostics="warn"`` for error-severity findings."""
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One analyzer finding.
+
+    ``subject`` names the predicate / pattern / variable the finding is
+    about (machine-readable context for tooling; the message spells it out
+    for humans).
+    """
+
+    rule_id: str
+    severity: str
+    message: str
+    span: Optional[Span] = None
+    subject: str = ""
+
+    def __post_init__(self) -> None:
+        if self.severity not in SEVERITIES:
+            raise ValueError(f"unknown severity {self.severity!r}")
+        if self.rule_id not in RULE_CATALOG:
+            raise ValueError(f"unknown diagnostic rule id {self.rule_id!r}")
+
+    def __str__(self) -> str:
+        location = f"{self.span}: " if self.span is not None else ""
+        return f"{location}{self.severity}[{self.rule_id}]: {self.message}"
+
+    def to_dict(self) -> Dict[str, object]:
+        payload: Dict[str, object] = {
+            "rule_id": self.rule_id,
+            "severity": self.severity,
+            "message": self.message,
+        }
+        if self.subject:
+            payload["subject"] = self.subject
+        if self.span is not None:
+            payload["line"] = self.span.line
+            payload["column"] = self.span.column
+        return payload
+
+
+@dataclass(frozen=True)
+class AnalysisReport:
+    """The ordered result of analyzing one program."""
+
+    kind: str  # "datalog" | "elog"
+    diagnostics: Tuple[Diagnostic, ...] = ()
+    #: Free-form fragment facts (see :mod:`repro.analysis.fragments`);
+    #: ``None`` for Elog programs and unparseable texts.
+    fragment: Optional[object] = field(default=None, compare=False)
+
+    def __iter__(self) -> Iterator[Diagnostic]:
+        return iter(self.diagnostics)
+
+    def __len__(self) -> int:
+        return len(self.diagnostics)
+
+    # -- severity views ----------------------------------------------------
+    def with_severity(self, severity: str) -> Tuple[Diagnostic, ...]:
+        return tuple(d for d in self.diagnostics if d.severity == severity)
+
+    def errors(self) -> Tuple[Diagnostic, ...]:
+        return self.with_severity(ERROR)
+
+    def warnings(self) -> Tuple[Diagnostic, ...]:
+        return self.with_severity(WARNING)
+
+    def infos(self) -> Tuple[Diagnostic, ...]:
+        return self.with_severity(INFO)
+
+    @property
+    def has_errors(self) -> bool:
+        return any(d.severity == ERROR for d in self.diagnostics)
+
+    def by_rule(self, rule_id: str) -> Tuple[Diagnostic, ...]:
+        return tuple(d for d in self.diagnostics if d.rule_id == rule_id)
+
+    # -- rendering ---------------------------------------------------------
+    def render(self, name: str = "") -> str:
+        """Human-readable, one line per diagnostic, most severe first."""
+        prefix = f"{name}: " if name else ""
+        ordered = sorted(
+            self.diagnostics, key=lambda d: (SEVERITIES.index(d.severity), d.rule_id)
+        )
+        if not ordered:
+            return f"{prefix}clean ({self.kind} program, no diagnostics)"
+        return "\n".join(f"{prefix}{diagnostic}" for diagnostic in ordered)
+
+    def to_json(self, name: str = "") -> str:
+        payload: Dict[str, object] = {
+            "kind": self.kind,
+            "diagnostics": [d.to_dict() for d in self.diagnostics],
+            "errors": len(self.errors()),
+            "warnings": len(self.warnings()),
+        }
+        if name:
+            payload["name"] = name
+        if self.fragment is not None and hasattr(self.fragment, "to_dict"):
+            payload["fragment"] = self.fragment.to_dict()
+        return json.dumps(payload, indent=2, sort_keys=True)
+
+
+class AnalysisError(ValueError):
+    """Raised by ``on_diagnostics="strict"`` when a program has errors."""
+
+    def __init__(self, report: AnalysisReport, owner: str = "program") -> None:
+        self.report = report
+        errors = report.errors()
+        summary = "; ".join(str(diagnostic) for diagnostic in errors)
+        super().__init__(
+            f"{owner} failed static analysis with {len(errors)} error(s): {summary}"
+        )
+
+
+def apply_policy(report: AnalysisReport, policy: str, owner: str) -> None:
+    """Apply an ``on_diagnostics`` policy to ``report``.
+
+    ``"ignore"`` does nothing, ``"warn"`` emits one
+    :class:`DiagnosticWarning` per error-severity finding, ``"strict"``
+    raises :class:`AnalysisError` when any error-severity finding exists.
+    Warnings and infos never gate evaluation — they are surfaced through
+    :meth:`repro.api.Session.analyze` and the CLI.
+    """
+    if policy == "ignore" or not report.has_errors:
+        return
+    if policy == "strict":
+        raise AnalysisError(report, owner)
+    for diagnostic in report.errors():
+        warnings.warn(f"{owner}: {diagnostic}", DiagnosticWarning, stacklevel=3)
+
+
+#: Valid ``on_diagnostics`` policies (validated by ``EngineOptions``).
+POLICIES = ("ignore", "warn", "strict")

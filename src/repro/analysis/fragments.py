@@ -1,0 +1,183 @@
+"""Fragment classification: *which* complexity class a program falls into.
+
+The paper's central result is a dichotomy of cost by syntactic fragment:
+
+* **Monadic datalog over trees** (Section 2.3) is evaluable in time
+  O(|P| * |dom|) — Theorem 2.4 — via grounding + LTUR.
+* **TMNF** (Definition 2.6) is the normal form the Theorem 2.7 rewriting
+  targets; programs already in (or rewritable into) TMNF run through the
+  linear-time pipeline and correspond to tree-automata runs (Theorem 2.5 /
+  Section 4 translations).
+* Everything else falls back to the generic semi-naive engine —
+  polynomial, with stratified negation admitted and *unstratifiable*
+  negation rejected outright.
+
+:func:`classify` computes that verdict statically, with the *reasons* a
+program leaves the linear-time fragment spelled out, so tooling can explain
+"this costs what it costs because …" before anything runs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from ..datalog.ast import Program, Rule
+from ..datalog.stratify import is_stratifiable
+from ..mdatalog.program import ALLOWED_BINARY, MonadicityError, MonadicProgram
+from ..mdatalog.tmnf import TMNFRewriteError, is_tmnf, rule_tmnf_form, to_tmnf
+
+
+@dataclass(frozen=True)
+class FragmentReport:
+    """The static complexity verdict for one datalog program.
+
+    ``reasons`` lists, in source order, why the program leaves the
+    linear-time fragment; empty when ``linear_time`` is True.
+    """
+
+    monadic: bool
+    tmnf: bool
+    tmnf_rewritable: bool
+    automata_compilable: bool
+    stratifiable: bool
+    uses_negation: bool
+    reasons: Tuple[str, ...] = ()
+
+    @property
+    def linear_time(self) -> bool:
+        """True when the Theorem-2.4 ground+LTUR pipeline applies."""
+        return self.tmnf or self.tmnf_rewritable
+
+    def verdict(self) -> str:
+        """A one-sentence explanation of the classification."""
+        if self.tmnf:
+            return (
+                "program is monadic datalog in TMNF: linear-time over trees "
+                "(Theorem 2.4) and automata-compilable (Theorem 2.5)"
+            )
+        if self.tmnf_rewritable:
+            return (
+                "program is monadic datalog, rewritable into TMNF in O(|P|) "
+                "(Theorem 2.7): linear-time over trees"
+            )
+        detail = "; ".join(self.reasons) if self.reasons else "unknown reason"
+        if not self.stratifiable:
+            return f"program is rejected: {detail}"
+        return (
+            f"program leaves the linear-time fragment because {detail}; "
+            "it evaluates through the generic (polynomial) semi-naive engine"
+        )
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "monadic": self.monadic,
+            "tmnf": self.tmnf,
+            "tmnf_rewritable": self.tmnf_rewritable,
+            "automata_compilable": self.automata_compilable,
+            "linear_time": self.linear_time,
+            "stratifiable": self.stratifiable,
+            "uses_negation": self.uses_negation,
+            "reasons": list(self.reasons),
+            "verdict": self.verdict(),
+        }
+
+
+def _monadicity_reasons(rules: Sequence[Rule]) -> List[str]:
+    """Why these rules are not monadic datalog over the tree signature."""
+    reasons: List[str] = []
+    idb = {rule.head.predicate for rule in rules}
+    for rule in rules:
+        if rule.head.arity != 1:
+            reasons.append(
+                f"rule for {rule.head.predicate!r} has a non-unary head "
+                f"({rule.head.predicate}/{rule.head.arity})"
+            )
+            continue
+        for literal in rule.body:
+            atom = literal.atom
+            if atom.predicate in idb and atom.arity != 1:
+                reasons.append(
+                    f"intensional predicate {atom.predicate!r} is used with "
+                    f"arity {atom.arity} in the rule for {rule.head.predicate!r}"
+                )
+            elif atom.arity == 2 and atom.predicate not in ALLOWED_BINARY:
+                reasons.append(
+                    f"binary relation {atom.predicate!r} is not a tau_ur tree "
+                    f"relation (rule for {rule.head.predicate!r})"
+                )
+            elif atom.arity > 2:
+                reasons.append(
+                    f"atom {atom} has arity {atom.arity}; trees provide only "
+                    "unary and binary relations"
+                )
+    return reasons
+
+
+def _tmnf_reasons(program: MonadicProgram) -> List[str]:
+    """Why a monadic program is outside TMNF and not rewritable into it."""
+    reasons: List[str] = []
+    for rule in program.rules:
+        if rule_tmnf_form(rule) is not None:
+            continue
+        if any(literal.negated for literal in rule.body):
+            reasons.append(
+                f"the rule for {rule.head.predicate!r} uses negation, which "
+                "is outside TMNF"
+            )
+            continue
+        try:
+            to_tmnf(MonadicProgram([rule]))
+        except (TMNFRewriteError, MonadicityError) as error:
+            reasons.append(
+                f"the rule for {rule.head.predicate!r} cannot be rewritten "
+                f"into TMNF: {error}"
+            )
+    return reasons
+
+
+def classify(program: Union[Program, MonadicProgram]) -> FragmentReport:
+    """Classify ``program`` into the paper's complexity fragments."""
+    rules = list(program.rules)
+    uses_negation = any(literal.negated for rule in rules for literal in rule.body)
+    if isinstance(program, MonadicProgram):
+        stratifiable = is_stratifiable(program.to_datalog_program())
+    else:
+        stratifiable = is_stratifiable(program)
+
+    monadic_reasons = _monadicity_reasons(rules)
+    monadic_program: Optional[MonadicProgram] = None
+    if not monadic_reasons:
+        if isinstance(program, MonadicProgram):
+            monadic_program = program
+        else:
+            try:
+                monadic_program = MonadicProgram(rules)
+            except MonadicityError as error:  # pragma: no cover - reasons above
+                monadic_reasons.append(str(error))
+
+    reasons: List[str] = []
+    tmnf = False
+    rewritable = False
+    if monadic_program is None:
+        reasons.extend(monadic_reasons)
+    else:
+        tmnf = is_tmnf(monadic_program)
+        if not tmnf:
+            try:
+                to_tmnf(monadic_program)
+                rewritable = True
+            except (TMNFRewriteError, MonadicityError):
+                reasons.extend(_tmnf_reasons(monadic_program))
+    if not stratifiable:
+        reasons.append("its negation is not stratifiable (negative cycle)")
+
+    return FragmentReport(
+        monadic=monadic_program is not None,
+        tmnf=tmnf,
+        tmnf_rewritable=rewritable,
+        automata_compilable=(tmnf or rewritable) and not uses_negation,
+        stratifiable=stratifiable,
+        uses_negation=uses_negation,
+        reasons=tuple(reasons),
+    )

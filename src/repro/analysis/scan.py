@@ -1,0 +1,125 @@
+"""Static extraction of program texts embedded in Python source.
+
+The repository's ``examples/`` scripts embed their datalog programs and
+Elog wrappers as string constants.  :func:`scan_file` pulls those
+constants out *without executing the file* — it walks the ``ast`` of the
+source — so CI can run the analyzer over every example as a smoke gate
+with no network, no browsers, no side effects.
+
+A string constant is considered a program when it contains a rule
+separator (``:-`` or ``<-``) and at least one line that starts like a rule
+head (``name(...)``).  Docstrings are excluded.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass
+from typing import Iterable, List, Optional, Tuple
+
+from .analyzer import analyze, sniff_kind
+from .diagnostics import AnalysisReport
+
+#: A line that opens a rule: ``name(`` ... ``)`` followed by ``:-``/``<-``
+#: on the same or a later line (the head may close before the separator).
+_HEAD_LINE = re.compile(r"^\s*[A-Za-z_][A-Za-z0-9_]*\s*\([^)]*\)\s*(:-|<-)")
+_SEPARATOR = re.compile(r":-|<-")
+
+
+@dataclass(frozen=True)
+class ScannedProgram:
+    """One program text found inside a Python source file."""
+
+    path: str
+    name: str  # the assigned variable name, or ``<line N>``
+    line: int  # 1-based line of the string constant in the file
+    kind: str  # "datalog" | "elog" (sniffed)
+    text: str
+
+    @property
+    def label(self) -> str:
+        return f"{self.path}:{self.name}"
+
+
+def looks_like_program(text: str) -> bool:
+    """True when ``text`` plausibly is a datalog/Elog program."""
+    if not _SEPARATOR.search(text):
+        return False
+    return any(_HEAD_LINE.match(line) for line in text.splitlines())
+
+
+def _docstring_nodes(tree: ast.Module) -> set:
+    """The ids of Constant nodes serving as docstrings."""
+    nodes = set()
+    for node in ast.walk(tree):
+        if isinstance(
+            node, (ast.Module, ast.ClassDef, ast.FunctionDef, ast.AsyncFunctionDef)
+        ):
+            body = getattr(node, "body", [])
+            if (
+                body
+                and isinstance(body[0], ast.Expr)
+                and isinstance(body[0].value, ast.Constant)
+                and isinstance(body[0].value.value, str)
+            ):
+                nodes.add(id(body[0].value))
+    return nodes
+
+
+def _constant_name(tree: ast.Module, constant: ast.Constant) -> Optional[str]:
+    """The variable name a top-level-ish assignment binds ``constant`` to."""
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Assign) and node.value is constant:
+            targets = node.targets
+            if len(targets) == 1 and isinstance(targets[0], ast.Name):
+                return targets[0].id
+        if isinstance(node, ast.AnnAssign) and node.value is constant:
+            if isinstance(node.target, ast.Name):
+                return node.target.id
+    return None
+
+
+def scan_source(source: str, path: str = "<string>") -> List[ScannedProgram]:
+    """All program-looking string constants in Python ``source``."""
+    tree = ast.parse(source, filename=path)
+    docstrings = _docstring_nodes(tree)
+    found: List[ScannedProgram] = []
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.Constant) or not isinstance(node.value, str):
+            continue
+        if id(node) in docstrings or not looks_like_program(node.value):
+            continue
+        name = _constant_name(tree, node) or f"<line {node.lineno}>"
+        found.append(
+            ScannedProgram(
+                path=path,
+                name=name,
+                line=node.lineno,
+                kind=sniff_kind(node.value),
+                text=node.value,
+            )
+        )
+    return found
+
+
+def scan_file(path: str) -> List[ScannedProgram]:
+    """All program-looking string constants in the Python file at ``path``."""
+    with open(path, "r", encoding="utf-8") as handle:
+        return scan_source(handle.read(), path)
+
+
+def analyze_scanned(
+    programs: Iterable[ScannedProgram],
+) -> List[Tuple[ScannedProgram, AnalysisReport]]:
+    """Analyze every scanned program (datalog ones against the tree EDB)."""
+    from .datalog_checks import TREE_SIGNATURE
+
+    results: List[Tuple[ScannedProgram, AnalysisReport]] = []
+    for scanned in programs:
+        if scanned.kind == "datalog":
+            report = analyze(scanned.text, kind="datalog", edb=TREE_SIGNATURE)
+        else:
+            report = analyze(scanned.text, kind="elog")
+        results.append((scanned, report))
+    return results

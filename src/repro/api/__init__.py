@@ -21,7 +21,13 @@ package gives the reproduction the matching single surface:
 * :class:`~repro.api.pipeline.Pipeline` and its
   :meth:`~repro.api.pipeline.Pipeline.builder` — declarative, build-time
   validated construction of Transformation Server pipelines, replacing
-  imperative ``InformationPipe`` wiring.
+  imperative ``InformationPipe`` wiring;
+* :mod:`repro.analysis` — compile-time diagnostics: ``Session.analyze``
+  returns a cached :class:`~repro.analysis.diagnostics.AnalysisReport`,
+  ``EngineOptions(on_diagnostics="warn" | "strict" | "ignore")`` decides
+  what evaluation does about error-severity findings, and
+  ``Pipeline.builder().build(on_diagnostics=...)`` vets every
+  wrapper/query program in a pipeline.
 
 The deliverer/monitoring component classes and the
 :class:`TransformationServer` are re-exported so a pipeline definition
@@ -29,6 +35,13 @@ needs no imports below the façade.  See docs/API.md for the full tour and
 the migration notes from the pre-façade constructors.
 """
 
+from ..analysis import (
+    AnalysisError,
+    AnalysisReport,
+    Diagnostic,
+    DiagnosticWarning,
+    analyze,
+)
 from ..datalog.options import DEFAULT_OPTIONS, EngineOptions
 from ..datalog.registry import PlanRegistry
 from ..elog.parser import parse_elog
@@ -56,12 +69,16 @@ from .results import ExtractionResult, QueryResult
 from .session import Session
 
 __all__ = [
+    "AnalysisError",
+    "AnalysisReport",
     "BackendError",
     "ChangeDetector",
     "ChangeGatedDeliverer",
     "ChangeReport",
     "Component",
     "DEFAULT_OPTIONS",
+    "Diagnostic",
+    "DiagnosticWarning",
     "DelivererComponent",
     "Delivery",
     "EmailDeliverer",
@@ -78,6 +95,7 @@ __all__ = [
     "SmsDeliverer",
     "TransformationServer",
     "XmlDeliverer",
+    "analyze",
     "available_backends",
     "backend_named",
     "infer_backend",

@@ -33,8 +33,8 @@ from typing import Dict, Hashable, Optional, Tuple
 from ..automata.ranked import TreeAutomaton
 from ..automata.to_datalog import _automaton_signature, compile_automaton
 from ..datalog.ast import Program
-from ..datalog.options import EngineOptions
 from ..datalog.engine import SemiNaiveEngine
+from ..datalog.options import EngineOptions
 from ..datalog.parser import parse_program
 from ..datalog.registry import PlanRegistry, program_snapshot
 from ..datalog.tree_edb import tree_database

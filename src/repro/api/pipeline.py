@@ -39,17 +39,10 @@ The old imperative wiring keeps working as a deprecation shim
 
 from __future__ import annotations
 
-from typing import (
-    TYPE_CHECKING,
-    Callable,
-    Dict,
-    Iterable,
-    List,
-    Mapping,
-    Optional,
-    Sequence,
-)
+from typing import TYPE_CHECKING, Callable, Dict, List, Mapping, Optional, Sequence
 
+from ..analysis.analyzer import analyze as _analyze_program
+from ..analysis.diagnostics import POLICIES, apply_policy
 from ..datalog.cache import LruMap
 from ..elog.ast import ElogProgram
 from ..elog.extractor import Fetcher
@@ -163,6 +156,9 @@ class PipelineBuilder:
         self._session = session
         self._previous: Optional[str] = None
         self._sources: List[str] = []
+        # (stage name, program) for every wrapper/query stage, analyzed at
+        # build() time under the on_diagnostics policy.
+        self._programs: List[tuple] = []
 
     # ------------------------------------------------------------------
     # Internal plumbing
@@ -254,6 +250,7 @@ class PipelineBuilder:
             root_name=root_name,
             extractor=extractor,
         )
+        self._programs.append((name, program))
         return self._add_stage(component, None, is_source=True)
 
     def query(
@@ -271,6 +268,7 @@ class PipelineBuilder:
             root_name=root_name,
             **self._engine_kwargs(),
         )
+        self._programs.append((name, program))
         return self._add_stage(component, None, is_source=True)
 
     # ------------------------------------------------------------------
@@ -424,8 +422,18 @@ class PipelineBuilder:
         self._pipe._connect(source, target)
         return self
 
-    def build(self) -> Pipeline:
-        """Validate the whole network and seal it into a :class:`Pipeline`."""
+    def build(self, *, on_diagnostics: Optional[str] = None) -> Pipeline:
+        """Validate the whole network and seal it into a :class:`Pipeline`.
+
+        Besides the structural checks (stages exist, sources exist, the
+        DAG is acyclic), every wrapper/query program added to the builder
+        runs through :mod:`repro.analysis` under ``on_diagnostics`` —
+        ``"warn"`` (default) emits a ``DiagnosticWarning`` per
+        error-severity finding, ``"strict"`` raises
+        :class:`~repro.analysis.diagnostics.AnalysisError`, ``"ignore"``
+        skips analysis.  Session-bound builders default to the session's
+        ``options.on_diagnostics`` and reuse its cached reports.
+        """
         components = self._pipe.components()
         if not components:
             raise PipelineError(f"pipeline {self._pipe.name!r} has no stages")
@@ -434,6 +442,24 @@ class PipelineBuilder:
                 f"pipeline {self._pipe.name!r} has no source stage "
                 "(wrapper/query/source)"
             )
+        policy = on_diagnostics
+        if policy is None:
+            policy = (
+                self._session.options.on_diagnostics
+                if self._session is not None
+                else "warn"
+            )
+        if policy not in POLICIES:
+            raise PipelineError(
+                f"build(on_diagnostics={policy!r}): expected one of {POLICIES}"
+            )
+        if policy != "ignore":
+            for stage_name, program in self._programs:
+                if self._session is not None:
+                    report = self._session.analyze(program)
+                else:
+                    report = _analyze_program(program)
+                apply_policy(report, policy, f"pipeline stage {stage_name!r}")
         # Raises on cycles; unreachable stages are impossible by
         # construction (every non-source stage was connected when added).
         self._pipe._topological_order()

@@ -43,12 +43,24 @@ from __future__ import annotations
 from concurrent.futures import ThreadPoolExecutor
 from typing import Dict, Hashable, Iterable, List, Optional, Sequence, Tuple
 
+from ..analysis.analyzer import ELOG, analyze as _analyze_program, sniff_kind
+from ..analysis.datalog_checks import TREE_SIGNATURE
+from ..analysis.diagnostics import AnalysisReport, apply_policy
+from ..datalog.ast import Program
 from ..datalog.cache import CacheInfo, LruMap, SingleFlight
 from ..datalog.options import DEFAULT_OPTIONS, EngineOptions
+from ..datalog.parser import DatalogSyntaxError
 from ..datalog.registry import PlanRegistry
 from ..elog.ast import ElogProgram
-from ..elog.extractor import Extractor, ExtractorCache, Fetcher, PrefetchedFetcher
-from ..elog.parser import parse_elog
+from ..elog.extractor import (
+    Extractor,
+    ExtractorCache,
+    Fetcher,
+    PrefetchedFetcher,
+    wrapper_fingerprint,
+)
+from ..elog.parser import ElogSyntaxError, parse_elog
+from ..mdatalog.program import MonadicProgram
 from ..tree.document import Document
 from ..tree.node import Node
 from .backends import EvaluatorBackend, backend_named, infer_backend
@@ -79,6 +91,7 @@ class Session:
     #: registry on next use.
     MAX_EVALUATORS = 64
     MAX_EXTRACTORS = 64
+    MAX_ANALYSES = 64
 
     def __init__(
         self,
@@ -99,6 +112,12 @@ class Session:
             self.MAX_EVALUATORS
         )
         self._backends_used: set = set()
+        # Elog analysis reports, keyed by wrapper content fingerprint (the
+        # datalog side caches in the registry's analysis store instead, so
+        # content-equal programs across engines share one report).
+        self._elog_analyses: LruMap[Hashable, AnalysisReport] = LruMap(
+            self.MAX_ANALYSES
+        )
         # Per-key build coordination for every memo above: the caches lock
         # their own structure, the flight guarantees at most one evaluator /
         # parsed program is ever *constructed* per key under concurrency.
@@ -124,6 +143,7 @@ class Session:
         derive it from the queried document).
         """
         resolved, native, label_key = self._resolve(program, backend, labels)
+        self._enforce_diagnostics(resolved, native)
         return self._memoised(resolved, native, label_key)
 
     def _memoised(
@@ -190,6 +210,7 @@ class Session:
         take documents).
         """
         resolved, native, label_key = self._resolve(program, backend, labels, source)
+        self._enforce_diagnostics(resolved, native)
         return resolved.run(self._memoised(resolved, native, label_key), source)
 
     def query_many(
@@ -226,6 +247,7 @@ class Session:
         # query() calls would re-parse text programs and recompute the
         # content cache key N times just to hit the same memo entry.
         resolved, native, label_key = self._resolve(program, backend, labels)
+        self._enforce_diagnostics(resolved, native)
         evaluator = self._memoised(resolved, native, label_key)
         if max_workers is not None and max_workers > 1 and len(sources) > 1:
             with ThreadPoolExecutor(
@@ -272,14 +294,22 @@ class Session:
         :class:`~repro.elog.instance_base.PatternInstanceBase`.
         """
         if isinstance(program, str):
-            text = program
-            program = self._flight.run(
-                ("elog-parse", text),
-                lambda: self._parsed_wrappers.get(text),
-                lambda: parse_elog(text),
-                lambda parsed: self._parsed_wrappers.put(text, parsed),
+            program = self._parsed_wrapper(program)
+        if self.options.on_diagnostics != "ignore":
+            apply_policy(
+                self._elog_report(program),
+                self.options.on_diagnostics,
+                "elog wrapper",
             )
         return self._extractors.get(program, fetcher)
+
+    def _parsed_wrapper(self, text: str) -> ElogProgram:
+        return self._flight.run(
+            ("elog-parse", text),
+            lambda: self._parsed_wrappers.get(text),
+            lambda: parse_elog(text),
+            lambda parsed: self._parsed_wrappers.put(text, parsed),
+        )
 
     def extract(
         self,
@@ -410,6 +440,127 @@ class Session:
         from .pipeline import PipelineBuilder
 
         return PipelineBuilder(name, session=self)
+
+    # ------------------------------------------------------------------
+    # Static analysis
+    # ------------------------------------------------------------------
+    def analyze(
+        self,
+        program: object,
+        *,
+        kind: Optional[str] = None,
+        edb: Optional[object] = None,
+        query_predicates: Optional[Sequence[str]] = None,
+    ) -> AnalysisReport:
+        """The static-analysis report for ``program``, cached per content.
+
+        Accepts everything :func:`repro.analysis.analyze` accepts: a
+        datalog :class:`Program`, a :class:`MonadicProgram` (analyzed
+        against the tau_ur tree EDB signature), an :class:`ElogProgram`,
+        or source text (language sniffed, or forced via ``kind=``).
+        Reports are cached by program *content* — datalog reports in the
+        session registry's analysis store, Elog reports per wrapper
+        fingerprint — so a second call on a content-equal program does no
+        re-analysis (see :meth:`analysis_info`).
+
+        ``edb`` and ``query_predicates`` refine the datalog checks (see
+        :func:`repro.analysis.check_program`); pass
+        ``edb=repro.analysis.TREE_SIGNATURE`` to validate against the tree
+        relations.
+        """
+        if isinstance(program, ElogProgram):
+            return self._elog_report(program)
+        if isinstance(program, MonadicProgram):
+            return self._datalog_report(
+                program.to_datalog_program(),
+                edb if edb is not None else TREE_SIGNATURE,
+                query_predicates,
+            )
+        if isinstance(program, Program):
+            return self._datalog_report(program, edb, query_predicates)
+        if isinstance(program, str):
+            resolved = kind or sniff_kind(program)
+            # Parse through the session memos so analyze/query over the
+            # same text share one parse and one content-keyed report;
+            # unparseable text falls back to the analyzer, whose report is
+            # a single D000/E000 syntax diagnostic.
+            if resolved == ELOG:
+                try:
+                    parsed: object = self._parsed_wrapper(program)
+                except ElogSyntaxError:
+                    return _analyze_program(program, kind=ELOG)
+                return self._elog_report(parsed)
+            try:
+                parsed = self._resolve(program, "semi-naive", None)[1]
+            except DatalogSyntaxError:
+                return _analyze_program(program, kind=resolved)
+            return self._datalog_report(parsed, edb, query_predicates)
+        raise TypeError(
+            f"cannot analyze {type(program).__name__}; expected Program, "
+            "MonadicProgram, ElogProgram or source text"
+        )
+
+    def _datalog_report(
+        self,
+        program: Program,
+        edb: Optional[object],
+        query_predicates: Optional[Sequence[str]],
+    ) -> AnalysisReport:
+        if edb is None or isinstance(edb, str):
+            edb_key: object = edb
+        else:
+            edb = frozenset(edb)
+            edb_key = edb
+        key = (
+            "analysis",
+            edb_key,
+            tuple(query_predicates) if query_predicates else None,
+        )
+        return self.registry.analysis_cached(
+            program,
+            lambda: _analyze_program(
+                program, edb=edb, query_predicates=query_predicates
+            ),
+            key=key,
+        )
+
+    def _elog_report(self, program: ElogProgram) -> AnalysisReport:
+        fingerprint = wrapper_fingerprint(program)
+        return self._flight.run(
+            ("analysis", fingerprint),
+            lambda: self._elog_analyses.get(fingerprint),
+            lambda: _analyze_program(program),
+            lambda report: self._elog_analyses.put(fingerprint, report),
+        )
+
+    def _enforce_diagnostics(
+        self, resolved: EvaluatorBackend, native: object
+    ) -> None:
+        """Apply ``options.on_diagnostics`` before building an evaluator.
+
+        Datalog and monadic programs are analyzed (once per content — the
+        report cache makes every later call a lookup); the automata backend
+        is exempt (a :class:`TreeAutomaton` is not a logic program).
+        """
+        policy = self.options.on_diagnostics
+        if policy == "ignore":
+            return
+        if isinstance(native, MonadicProgram):
+            report = self._datalog_report(
+                native.to_datalog_program(), TREE_SIGNATURE, None
+            )
+        elif isinstance(native, Program):
+            report = self._datalog_report(native, None, None)
+        else:
+            return
+        apply_policy(report, policy, f"{resolved.name} program")
+
+    def analysis_info(self) -> Dict[str, CacheInfo]:
+        """Hit/miss statistics of the analysis-report caches, by kind."""
+        return {
+            "datalog": self.registry.analysis_info(),
+            "elog": self._elog_analyses.info(),
+        }
 
     # ------------------------------------------------------------------
     # Introspection

@@ -18,10 +18,10 @@ Missing children are fed the distinguished :data:`BOTTOM` state.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, Hashable, Iterable, List, Mapping, Optional, Set, Tuple
+from typing import Dict, FrozenSet, Hashable, Iterable, List, Optional, Set, Tuple
 
 from ..tree.document import Document
-from ..tree.encoding import BinaryNode, encode
+from ..tree.encoding import encode
 from ..tree.node import Node
 
 State = Hashable

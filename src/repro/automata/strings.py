@@ -15,7 +15,7 @@ Thompson construction / subset construction are implemented directly.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, Hashable, Iterable, List, Optional, Sequence, Set, Tuple
+from typing import Dict, FrozenSet, Hashable, Iterable, List, Sequence, Set, Tuple
 
 Symbol = Hashable
 

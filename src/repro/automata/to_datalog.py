@@ -13,7 +13,7 @@ automaton selects — an executable witness of the theorem.
 from __future__ import annotations
 
 import weakref
-from typing import Dict, Iterable, List, Optional, Tuple
+from typing import Iterable, List, Optional, Tuple
 
 from ..datalog.ast import Atom, Literal, Rule, Variable
 from ..datalog.cache import LruMap

@@ -10,9 +10,9 @@ polynomial combined complexity, no exponential search.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence, Set, Tuple
+from typing import Dict, List, Optional, Set, Tuple
 
-from ..tree.axes import AxisIndex, holds
+from ..tree.axes import holds
 from ..tree.document import Document
 from ..tree.node import Node
 from .ast import AxisAtom, ConjunctiveQuery
@@ -98,7 +98,6 @@ def evaluate_acyclic(
             child_values = candidate_sets[child_variable]
             surviving = []
             for value in candidate_sets[variable]:
-                source = value if atom.source == variable else None
                 ok = False
                 for child_value in child_values:
                     s = value if atom.source == variable else child_value

@@ -23,7 +23,7 @@ This module defines the query representation; evaluation lives in
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
+from typing import Dict, FrozenSet, List, Sequence, Set, Tuple
 
 # The axis relations of the CQ setting (see repro.tree.axes.holds).
 CQ_AXES = (

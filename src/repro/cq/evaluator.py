@@ -18,7 +18,7 @@ Three evaluation strategies are provided:
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+from typing import Dict, List, Optional, Set, Tuple
 
 from ..tree.axes import holds
 from ..tree.document import Document

@@ -15,9 +15,9 @@ and are rejected with :class:`CQToXPathError`.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Set, Tuple
+from typing import List, Optional
 
-from ..xpath.ast import And, Condition, LocationPath, NodeTest, PathExists, Step
+from ..xpath.ast import Condition, LocationPath, NodeTest, PathExists, Step
 from .ast import AxisAtom, ConjunctiveQuery
 
 # Axis atom -> (forward XPath axis, inverse XPath axis)

@@ -24,7 +24,9 @@ from .engine import (
     query_program,
 )
 from .index import IndexedDatabase, RelationIndex
+from .ltur import GroundHornSolver, solve_ground_program
 from .options import DEFAULT_OPTIONS, EngineOptions, resolve_options
+from .parser import DatalogSyntaxError, parse_atom_text, parse_program, parse_rules
 from .plan import RulePlan, compile_stratum
 from .registry import (
     CompiledProgram,
@@ -35,8 +37,6 @@ from .registry import (
     shared_compiled_program,
     shared_registry,
 )
-from .ltur import GroundHornSolver, solve_ground_program
-from .parser import DatalogSyntaxError, parse_atom_text, parse_program, parse_rules
 from .stratify import StratificationError, is_stratifiable, stratify
 from .tree_edb import (
     label_predicate,

@@ -36,6 +36,36 @@ class Constant:
 Term = Union[Variable, Constant]
 
 
+@dataclass(frozen=True)
+class Span:
+    """A source location (1-based line/column range) of a parsed construct.
+
+    Spans are carried *outside* dataclass equality: parsers attach them to
+    frozen AST nodes via :func:`set_span` (a plain ``__dict__`` attribute,
+    never a field), so two content-equal rules parsed from different places
+    still compare, hash and fingerprint identically — plan-registry sharing
+    and analysis caching stay keyed by content alone.
+    """
+
+    line: int
+    column: int
+    end_line: int = 0
+    end_column: int = 0
+
+    def __str__(self) -> str:
+        return f"line {self.line}, col {self.column}"
+
+
+def set_span(node: object, span: Span) -> None:
+    """Attach a source span to an AST node (frozen dataclasses included)."""
+    object.__setattr__(node, "_span", span)
+
+
+def get_span(node: object) -> Optional[Span]:
+    """The source span attached to ``node`` by its parser, if any."""
+    return getattr(node, "_span", None)
+
+
 def is_variable(term: Term) -> bool:
     return isinstance(term, Variable)
 

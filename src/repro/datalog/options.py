@@ -70,6 +70,14 @@ class EngineOptions:
         Monadic layer only: skip the Theorem-2.4 ground+LTUR pipeline and
         evaluate through the generic semi-naive engine even for programs in
         the TMNF fragment.
+    on_diagnostics:
+        What :class:`repro.api.Session` entry points do about error-severity
+        static-analysis findings (:mod:`repro.analysis`): ``"warn"``
+        (default) emits a :class:`~repro.analysis.diagnostics.
+        DiagnosticWarning` per error, ``"strict"`` raises
+        :class:`~repro.analysis.diagnostics.AnalysisError`, ``"ignore"``
+        skips analysis entirely.  Reports are cached per program content
+        fingerprint, so the policy costs one analysis per distinct program.
     """
 
     use_index: bool = True
@@ -77,11 +85,17 @@ class EngineOptions:
     share_plans: bool = True
     cache_size: int = 8
     force_generic: bool = False
+    on_diagnostics: str = "warn"
 
     def __post_init__(self) -> None:
         if self.cache_size < 1:
             raise ValueError(
                 f"EngineOptions.cache_size must be >= 1, got {self.cache_size}"
+            )
+        if self.on_diagnostics not in ("ignore", "warn", "strict"):
+            raise ValueError(
+                "EngineOptions.on_diagnostics must be 'ignore', 'warn' or "
+                f"'strict', got {self.on_diagnostics!r}"
             )
 
     # ------------------------------------------------------------------

@@ -16,13 +16,30 @@ Supported syntax (a superset of the examples in the paper, e.g. Example 2.1)::
 from __future__ import annotations
 
 import re
-from typing import FrozenSet, Iterable, List, Optional, Tuple
+from typing import FrozenSet, Iterable, List, NamedTuple, Optional
 
-from .ast import Atom, Constant, Literal, Program, Rule, Term, Variable
+from .ast import Atom, Constant, Literal, Program, Rule, Span, Term, Variable, set_span
 
 
 class DatalogSyntaxError(ValueError):
-    """Raised when a program text cannot be parsed."""
+    """Raised when a program text cannot be parsed.
+
+    Carries the 1-based source position (``line``, ``column``) when the
+    failure can be localised, so tooling (:mod:`repro.analysis`) can point
+    at the offending rule text.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        line: Optional[int] = None,
+        column: Optional[int] = None,
+    ) -> None:
+        if line is not None:
+            message = f"{message} (line {line}, col {column})"
+        super().__init__(message)
+        self.line = line
+        self.column = column
 
 
 _TOKEN_PATTERN = re.compile(
@@ -43,53 +60,82 @@ _TOKEN_PATTERN = re.compile(
 )
 
 
-def _tokenize(text: str) -> List[Tuple[str, str]]:
-    tokens: List[Tuple[str, str]] = []
+class Token(NamedTuple):
+    kind: str
+    value: str
+    line: int  # 1-based
+    column: int  # 1-based
+
+
+def _tokenize(text: str) -> List[Token]:
+    tokens: List[Token] = []
     position = 0
+    line = 1
+    line_start = 0
     while position < len(text):
         match = _TOKEN_PATTERN.match(text, position)
         if match is None:
             raise DatalogSyntaxError(
-                f"unexpected character {text[position]!r} at offset {position}"
+                f"unexpected character {text[position]!r}",
+                line,
+                position - line_start + 1,
             )
         kind = match.lastgroup or ""
         value = match.group()
+        token_line, token_column = line, position - line_start + 1
+        newlines = value.count("\n")
+        if newlines:
+            line += newlines
+            line_start = position + value.rindex("\n") + 1
         position = match.end()
         if kind in ("WS", "COMMENT"):
             continue
-        tokens.append((kind, value))
+        tokens.append(Token(kind, value, token_line, token_column))
     return tokens
 
 
 class _TokenStream:
-    def __init__(self, tokens: List[Tuple[str, str]]) -> None:
+    def __init__(self, tokens: List[Token]) -> None:
         self._tokens = tokens
         self._position = 0
 
-    def peek(self) -> Optional[Tuple[str, str]]:
+    def peek(self) -> Optional[Token]:
         if self._position < len(self._tokens):
             return self._tokens[self._position]
         return None
 
-    def next(self) -> Tuple[str, str]:
+    def last(self) -> Optional[Token]:
+        if self._position:
+            return self._tokens[self._position - 1]
+        return None
+
+    def next(self) -> Token:
         token = self.peek()
         if token is None:
-            raise DatalogSyntaxError("unexpected end of input")
+            last = self.last()
+            raise DatalogSyntaxError(
+                "unexpected end of input",
+                last.line if last else None,
+                last.column if last else None,
+            )
         self._position += 1
         return token
 
     def expect(self, kind: str) -> str:
-        token_kind, value = self.next()
-        if token_kind != kind:
-            raise DatalogSyntaxError(f"expected {kind}, found {value!r}")
-        return value
+        token = self.next()
+        if token.kind != kind:
+            raise DatalogSyntaxError(
+                f"expected {kind}, found {token.value!r}", token.line, token.column
+            )
+        return token.value
 
     def at_end(self) -> bool:
         return self._position >= len(self._tokens)
 
 
 def _parse_term(stream: _TokenStream) -> Term:
-    kind, value = stream.next()
+    token = stream.next()
+    kind, value = token.kind, token.value
     if kind == "STRING":
         return Constant(value[1:-1])
     if kind == "NUMBER":
@@ -101,7 +147,9 @@ def _parse_term(stream: _TokenStream) -> Term:
         if value[0].isupper() or value[0] == "_":
             return Variable(value)
         return Constant(value)
-    raise DatalogSyntaxError(f"expected a term, found {value!r}")
+    raise DatalogSyntaxError(
+        f"expected a term, found {value!r}", token.line, token.column
+    )
 
 
 def _parse_atom(stream: _TokenStream) -> Atom:
@@ -130,6 +178,7 @@ def _parse_literal(stream: _TokenStream) -> Literal:
 
 
 def _parse_rule(stream: _TokenStream) -> Rule:
+    start = stream.peek()
     head = _parse_atom(stream)
     token = stream.peek()
     body: List[Literal] = []
@@ -140,7 +189,11 @@ def _parse_rule(stream: _TokenStream) -> Rule:
             stream.next()
             body.append(_parse_literal(stream))
     stream.expect("DOT")
-    return Rule(head, tuple(body))
+    rule = Rule(head, tuple(body))
+    end = stream.last()
+    if start is not None and end is not None:
+        set_span(rule, Span(start.line, start.column, end.line, end.column))
+    return rule
 
 
 def parse_rules(text: str) -> List[Rule]:

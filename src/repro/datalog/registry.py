@@ -117,6 +117,15 @@ class _Entry:
         self.compiled = compiled
 
 
+class _AnalysisEntry:
+    __slots__ = ("snapshot", "key", "value")
+
+    def __init__(self, snapshot: ProgramSnapshot, key: object, value: object) -> None:
+        self.snapshot = snapshot
+        self.key = key
+        self.value = value
+
+
 class PlanRegistry:
     """An LRU of compiled programs keyed by content fingerprints.
 
@@ -134,16 +143,34 @@ class PlanRegistry:
     # __weakref__ lets per-registry companion caches (e.g. the automata
     # layer's evaluator caches) key weakly on the registry without pinning
     # it alive.
-    __slots__ = ("hits", "misses", "_entries", "_lock", "__weakref__")
+    __slots__ = (
+        "hits",
+        "misses",
+        "analysis_hits",
+        "analysis_misses",
+        "_entries",
+        "_analysis",
+        "_lock",
+        "__weakref__",
+    )
 
     def __init__(self, capacity: int = 256) -> None:
         self.hits = 0
         self.misses = 0
+        self.analysis_hits = 0
+        self.analysis_misses = 0
         # One lock serves both the counters and the bucket core (re-entrant,
         # so the buckets' own internal locking nests under the compound
         # find-or-insert sections below without deadlocking).
         self._lock = threading.RLock()
         self._entries: VerifiedLruBuckets[_Entry] = VerifiedLruBuckets(
+            capacity, lock=self._lock
+        )
+        # Companion store for per-program derived artifacts (static-analysis
+        # reports).  Kept generic — the registry stays analysis-agnostic;
+        # callers supply the compute closure and an extra key for variants
+        # (e.g. which EDB signature the analysis assumed).
+        self._analysis: VerifiedLruBuckets[_AnalysisEntry] = VerifiedLruBuckets(
             capacity, lock=self._lock
         )
 
@@ -180,15 +207,65 @@ class PlanRegistry:
             self._entries.insert(fingerprint, _Entry(snapshot, builtins, compiled))
         return compiled
 
+    def analysis_cached(
+        self,
+        program: Program,
+        compute: Callable[[], object],
+        key: object = None,
+    ) -> object:
+        """A per-program derived artifact, computed once per content.
+
+        Keyed by the same content fingerprint/snapshot discipline as
+        :meth:`compiled` — two content-equal programs (regardless of rule
+        order or duplication) share one ``compute()`` result.  ``key``
+        distinguishes variants of the artifact for the same program (the
+        analysis layer passes the assumed EDB signature).  ``compute`` runs
+        outside the lock; on a race the first inserted value wins.
+        """
+        fingerprint = hash((program_fingerprint(program), key))
+        snapshot = program_snapshot(program)
+
+        def matches(entry: _AnalysisEntry) -> bool:
+            return entry.key == key and entry.snapshot == snapshot
+
+        with self._lock:
+            entry = self._analysis.find(fingerprint, matches)
+            if entry is not None:
+                self.analysis_hits += 1
+                return entry.value
+            self.analysis_misses += 1
+        value = compute()
+        with self._lock:
+            entry = self._analysis.find(fingerprint, matches)
+            if entry is not None:
+                return entry.value
+            self._analysis.insert(
+                fingerprint, _AnalysisEntry(snapshot, key, value)
+            )
+        return value
+
     def clear(self) -> None:
         with self._lock:
             self._entries.clear()
+            self._analysis.clear()
             self.hits = 0
             self.misses = 0
+            self.analysis_hits = 0
+            self.analysis_misses = 0
 
     def info(self) -> CacheInfo:
         with self._lock:
             return CacheInfo(self.hits, self.misses, len(self._entries), self.capacity)
+
+    def analysis_info(self) -> CacheInfo:
+        """Hit/miss statistics of the analysis-artifact store."""
+        with self._lock:
+            return CacheInfo(
+                self.analysis_hits,
+                self.analysis_misses,
+                len(self._analysis),
+                self._analysis.capacity,
+            )
 
 
 #: Process-wide singleton: every engine with ``share_plans=True`` (the

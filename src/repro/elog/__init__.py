@@ -1,6 +1,7 @@
 """Elog: the internal wrapper language of Lixto, and its interpreter."""
 
 from .ast import (
+    ROOT_PATTERN,
     AfterCondition,
     BeforeCondition,
     ComparisonCondition,
@@ -11,13 +12,12 @@ from .ast import (
     ElogRule,
     FirstSubtreeCondition,
     PatternReference,
-    ROOT_PATTERN,
     SubAtt,
     SubElem,
     SubSequence,
     SubText,
 )
-from .concepts import ConceptRegistry, DEFAULT_CONCEPTS, parse_date, parse_number
+from .concepts import DEFAULT_CONCEPTS, ConceptRegistry, parse_date, parse_number
 from .conditions import ConditionContext, evaluate_condition
 from .epath import AttributeCondition, ElementPath, EPathSyntaxError
 from .extractor import (

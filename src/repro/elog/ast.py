@@ -18,7 +18,7 @@ pattern instance base that the XML Designer turns into XML (Section 3.1).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Set, Tuple, Union
+from typing import List, Optional, Set, Tuple, Union
 
 from .epath import ElementPath
 from .textpath import AttributePath, TextPath

@@ -37,7 +37,7 @@ from .ast import (
     FirstSubtreeCondition,
     PatternReference,
 )
-from .concepts import ConceptRegistry, DEFAULT_CONCEPTS, parse_date, parse_number
+from .concepts import DEFAULT_CONCEPTS, ConceptRegistry, parse_date, parse_number
 from .epath import ElementPath
 from .instance_base import PatternInstanceBase
 

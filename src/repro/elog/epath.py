@@ -35,7 +35,7 @@ Attribute conditions are triples ``(attribute, value, mode)``:
 from __future__ import annotations
 
 import re
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..tree.node import Node

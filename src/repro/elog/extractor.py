@@ -23,17 +23,16 @@ from ..tree.document import Document
 from ..tree.node import Node
 from ..xmlgen.document import XmlElement
 from .ast import (
-    DocumentSource,
+    ROOT_PATTERN,
     ElogProgram,
     ElogRule,
     FirstSubtreeCondition,
-    ROOT_PATTERN,
     SubAtt,
     SubElem,
     SubSequence,
     SubText,
 )
-from .concepts import ConceptRegistry, DEFAULT_CONCEPTS
+from .concepts import DEFAULT_CONCEPTS, ConceptRegistry
 from .conditions import ConditionContext, evaluate_condition
 from .epath import ElementPath
 from .instance_base import PatternInstance, PatternInstanceBase

@@ -13,7 +13,7 @@ predicates; the synthetic *document* instances are the roots.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, Iterable, Iterator, List, Optional, Set, Tuple, Union
+from typing import Callable, Dict, Iterable, Iterator, List, Optional, Set, Tuple
 
 from ..tree.document import Document
 from ..tree.node import Node

@@ -28,6 +28,7 @@ from __future__ import annotations
 import re
 from typing import List, Optional, Tuple
 
+from ..datalog.ast import Span, set_span
 from .ast import (
     AfterCondition,
     BeforeCondition,
@@ -62,14 +63,36 @@ _HEAD_PATTERN = re.compile(
 
 
 class ElogSyntaxError(ValueError):
-    """Raised when an Elog program text cannot be parsed."""
+    """Raised when an Elog program text cannot be parsed.
+
+    ``line`` (1-based, when known) localises the failing rule in the
+    program text for tooling such as :mod:`repro.analysis`.
+    """
+
+    def __init__(self, message: str, line: Optional[int] = None) -> None:
+        if line is not None:
+            message = f"{message} (line {line})"
+        super().__init__(message)
+        self.line = line
 
 
 def parse_elog(text: str) -> ElogProgram:
-    """Parse an Elog program from text."""
+    """Parse an Elog program from text.
+
+    Every parsed rule carries a source :class:`~repro.datalog.ast.Span`
+    (the line its head starts on), retrievable through
+    :func:`repro.datalog.ast.get_span`.
+    """
     program = ElogProgram()
-    for rule_text in _split_rules(text):
-        program.add_rule(parse_rule(rule_text))
+    for line, rule_text in _split_rules_with_lines(text):
+        try:
+            rule = parse_rule(rule_text)
+        except ElogSyntaxError as error:
+            if error.line is None:
+                raise ElogSyntaxError(str(error), line) from None
+            raise
+        set_span(rule, Span(line, 1, line, max(1, len(rule_text))))
+        program.add_rule(rule)
     return program
 
 
@@ -289,23 +312,40 @@ def _split_top_level_commas(text: str) -> List[str]:
     return parts
 
 
-def _split_rules(text: str) -> List[str]:
-    """Split program text into rule chunks.
+_RULE_HEAD_PATTERN = re.compile(r"^\s*[A-Za-z_][A-Za-z0-9_]*\s*\([^)]*\)\s*(<-|:-)")
+
+
+def _split_rules_with_lines(text: str) -> List[Tuple[int, str]]:
+    """Split program text into ``(start line, rule chunk)`` pairs.
 
     A rule starts with ``name(S, X) <-`` and extends until the next rule head
     or the end of the text; this allows multi-line rules as in Figure 5
-    without requiring terminating dots.
+    without requiring terminating dots.  Line numbers are 1-based positions
+    in the original text (blank and comment lines are skipped, not
+    renumbered).
     """
-    lines = [line for line in text.splitlines() if line.strip() and not line.strip().startswith("%")]
-    rules: List[str] = []
+    numbered = [
+        (number, line)
+        for number, line in enumerate(text.splitlines(), start=1)
+        if line.strip() and not line.strip().startswith("%")
+    ]
+    rules: List[Tuple[int, str]] = []
     current: List[str] = []
-    head_pattern = re.compile(r"^\s*[A-Za-z_][A-Za-z0-9_]*\s*\([^)]*\)\s*(<-|:-)")
-    for line in lines:
-        if head_pattern.match(line) and current:
-            rules.append(" ".join(current))
+    current_line = 0
+    for number, line in numbered:
+        if _RULE_HEAD_PATTERN.match(line) and current:
+            rules.append((current_line, " ".join(current)))
             current = [line]
+            current_line = number
         else:
+            if not current:
+                current_line = number
             current.append(line)
     if current:
-        rules.append(" ".join(current))
-    return [rule for rule in rules if rule.strip()]
+        rules.append((current_line, " ".join(current)))
+    return [(line, rule) for line, rule in rules if rule.strip()]
+
+
+def _split_rules(text: str) -> List[str]:
+    """Rule chunks of ``text`` (see :func:`_split_rules_with_lines`)."""
+    return [rule for _, rule in _split_rules_with_lines(text)]

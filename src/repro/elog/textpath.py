@@ -10,7 +10,6 @@ Elog variables usable in concept or comparison conditions (see the
 
 from __future__ import annotations
 
-import re
 from dataclasses import dataclass
 from typing import Dict, List, Tuple
 

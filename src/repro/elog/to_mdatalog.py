@@ -22,7 +22,7 @@ from typing import List
 from ..datalog.ast import Atom, Literal, Rule, Variable
 from ..datalog.tree_edb import label_predicate
 from ..mdatalog.program import MonadicProgram
-from .ast import ElogProgram, ElogRule, ROOT_PATTERN, SubElem
+from .ast import ROOT_PATTERN, ElogProgram, ElogRule, SubElem
 
 X = Variable("X")
 X0 = Variable("X0")

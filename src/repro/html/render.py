@@ -86,8 +86,7 @@ def render_text_with_spans(
     root = node_or_document.root if isinstance(node_or_document, Document) else node_or_document
     parts: List[str] = []
     spans: Dict[int, Tuple[int, int]] = {}
-    length = _render_node(root, parts, spans, 0)
-    del length
+    _render_node(root, parts, spans, 0)
     return "".join(parts), spans
 
 

@@ -20,9 +20,9 @@ database, preserving semantics at the price of the general-case complexity.
 
 from __future__ import annotations
 
-from typing import Dict, FrozenSet, Iterable, List, Optional, Set, Tuple
+from typing import Dict, FrozenSet, Iterable, List, Optional, Tuple
 
-from ..datalog.ast import Atom, Rule, Variable
+from ..datalog.ast import Rule, Variable
 from ..datalog.cache import CacheInfo, LruMap
 from ..datalog.engine import SemiNaiveEngine
 from ..datalog.ltur import GroundHornSolver

@@ -18,7 +18,7 @@ from __future__ import annotations
 import html
 import warnings
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Callable, Dict, Iterable, List, Optional, Sequence
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Sequence
 
 from ..datalog.options import DEFAULT_OPTIONS, UNSET, EngineOptions, resolve_options
 from ..elog.ast import ElogProgram
@@ -30,7 +30,7 @@ from ..elog.extractor import (
     wrapper_fingerprint,
 )
 from ..xmlgen.document import XmlElement
-from ..xmlgen.serializer import to_compact_xml, to_xml
+from ..xmlgen.serializer import to_xml
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..datalog.registry import PlanRegistry

@@ -18,13 +18,12 @@ from __future__ import annotations
 
 import warnings
 from collections import defaultdict
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Set, Tuple
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
 
 from ..datalog.cache import CacheInfo
 from ..datalog.registry import plan_registry_info
 from ..xmlgen.document import XmlElement
-from ..xmlgen.serializer import to_compact_xml
 from .components import Component, DelivererComponent
 
 

@@ -9,10 +9,10 @@ keep only the target's tag.
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence
+from typing import List, Optional
 
-from ..tree.node import Node
 from ..elog.epath import AttributeCondition, ElementPath
+from ..tree.node import Node
 
 
 def path_between(parent: Node, target: Node) -> Optional[List[str]]:

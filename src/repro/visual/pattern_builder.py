@@ -19,19 +19,10 @@ user never has to write Elog by hand, exactly as the paper stipulates.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Dict, List, Optional
 
-from ..elog.ast import (
-    BeforeCondition,
-    ConceptCondition,
-    Condition,
-    ContainsCondition,
-    ElogProgram,
-    ElogRule,
-    ROOT_PATTERN,
-    SubElem,
-)
+from ..elog.ast import ROOT_PATTERN, Condition, ElogProgram, ElogRule, SubElem
 from ..elog.epath import AttributeCondition, ElementPath
 from ..elog.extractor import Extractor
 from ..elog.instance_base import PatternInstanceBase

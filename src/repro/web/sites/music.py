@@ -10,7 +10,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, List, Tuple
 
 SONGS: Tuple[Tuple[str, str], ...] = (
     ("Vienna Calling", "The Falcons"),

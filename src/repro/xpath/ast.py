@@ -9,8 +9,8 @@ positional predicates (a slice of the paper's "pXPath").
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import List, Optional, Sequence, Tuple, Union
+from dataclasses import dataclass
+from typing import Optional, Tuple, Union
 
 # Axes supported by the evaluators (XPath names).
 AXES = (

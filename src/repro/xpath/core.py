@@ -19,15 +19,15 @@ the two.
 
 from __future__ import annotations
 
-from typing import Dict, FrozenSet, List, Set
+from typing import Dict, List, Set
 
 from ..tree.document import Document
 from ..tree.node import Node
 from .ast import (
+    INVERSE_AXIS,
     And,
     AttributeTest,
     Condition,
-    INVERSE_AXIS,
     LocationPath,
     NodeTest,
     Not,

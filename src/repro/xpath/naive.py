@@ -17,9 +17,9 @@ from __future__ import annotations
 
 from typing import Iterator, List
 
+from ..tree.axes import axis_iterator
 from ..tree.document import Document
 from ..tree.node import Node
-from ..tree.axes import axis_iterator
 from .ast import (
     And,
     AttributeTest,

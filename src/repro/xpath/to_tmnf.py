@@ -31,10 +31,10 @@ from ..datalog.tree_edb import label_predicate
 from ..mdatalog.program import MonadicProgram
 from ..mdatalog.tmnf import to_tmnf
 from .ast import (
+    INVERSE_AXIS,
     And,
     AttributeTest,
     Condition,
-    INVERSE_AXIS,
     LocationPath,
     NodeTest,
     Not,

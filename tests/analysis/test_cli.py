@@ -1,0 +1,84 @@
+"""The ``python -m repro.analysis`` front end (in-process via ``main``)."""
+
+from __future__ import annotations
+
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.__main__ import main
+
+REPO = Path(__file__).resolve().parents[2]
+EXAMPLES = REPO / "examples"
+
+
+@pytest.fixture
+def bad_program(tmp_path):
+    path = tmp_path / "bad.dl"
+    path.write_text("p(X, Y) :- root(X).\n")  # D001 unsafe head variable
+    return path
+
+
+@pytest.fixture
+def warn_program(tmp_path):
+    path = tmp_path / "warn.dl"
+    path.write_text("p(X) :- root(X), firstchild(X, Y).\n")  # D005 singleton
+    return path
+
+
+def test_examples_directory_analyzes_clean(capsys):
+    assert main([str(EXAMPLES)]) == 0
+    out = capsys.readouterr().out
+    assert "0 error(s)" in out
+    assert "program(s)" in out
+
+
+def test_error_findings_set_the_exit_status(bad_program, capsys):
+    assert main([str(bad_program)]) == 1
+    out = capsys.readouterr().out
+    assert "D001" in out
+    assert "1 error(s)" in out
+
+
+def test_warnings_pass_unless_strict(warn_program):
+    assert main([str(warn_program)]) == 0
+    assert main(["--strict", str(warn_program)]) == 1
+
+
+def test_json_output_is_machine_readable(bad_program, capsys):
+    assert main(["--json", str(bad_program)]) == 1
+    payload = json.loads(capsys.readouterr().out)
+    assert isinstance(payload, list) and len(payload) == 1
+    [report] = payload
+    rule_ids = {d["rule_id"] for d in report["diagnostics"]}
+    assert "D001" in rule_ids
+
+
+def test_kind_flag_forces_the_language(tmp_path, capsys):
+    # This parses as datalog but is meant as Elog; forcing the kind
+    # surfaces the Elog syntax error instead of datalog diagnostics.
+    path = tmp_path / "ambiguous.txt"
+    path.write_text("p(X) :- root(X).\n")
+    assert main(["--kind", "datalog", str(path)]) == 0
+    assert main(["--kind", "elog", str(path)]) == 1
+    assert "E000" in capsys.readouterr().out
+
+
+def test_scans_a_single_python_file(capsys):
+    assert main([str(EXAMPLES / "quickstart.py")]) == 0
+    out = capsys.readouterr().out
+    assert "quickstart.py" in out
+
+
+def test_module_entry_point_runs(bad_program):
+    completed = subprocess.run(
+        [sys.executable, "-m", "repro.analysis", str(bad_program)],
+        capture_output=True,
+        text=True,
+        env={"PYTHONPATH": str(REPO / "src"), "PATH": "/usr/bin:/bin"},
+    )
+    assert completed.returncode == 1
+    assert "D001" in completed.stdout

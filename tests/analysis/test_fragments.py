@@ -1,0 +1,80 @@
+"""Fragment classification: monadic / TMNF / linear-time verdicts (D008).
+
+The classifier maps the paper's hierarchy onto concrete programs: TMNF
+(Def 2.6) runs in linear time (Theorem 2.4), every monadic datalog
+program over trees rewrites into TMNF (Theorem 2.7), and TMNF programs
+compile to tree automata (Theorem 2.5).
+"""
+
+from __future__ import annotations
+
+from repro.analysis import classify
+from repro.analysis.fragments import FragmentReport
+from repro.datalog.parser import parse_program
+
+TMNF_TEXT = """
+Italic(X) :- label_i(X).
+Italic(X) :- Italic(X0), firstchild(X0, X).
+Italic(X) :- Italic(X0), nextsibling(X0, X).
+"""
+
+
+def test_tmnf_program_is_linear_time_and_automata_compilable():
+    report = classify(parse_program(TMNF_TEXT))
+    assert report.monadic
+    assert report.tmnf
+    assert report.linear_time
+    assert report.automata_compilable
+    assert "linear-time" in report.verdict()
+    assert "Theorem 2.4" in report.verdict()
+
+
+def test_monadic_but_not_tmnf_is_rewritable():
+    # Two tree atoms in one body: monadic, outside TMNF, Theorem 2.7
+    # rewrites it.
+    text = """
+    Gap(X) :- label_i(X0), firstchild(X0, X1), nextsibling(X1, X).
+    """
+    report = classify(parse_program(text))
+    assert report.monadic
+    assert not report.tmnf
+    assert report.tmnf_rewritable
+    assert report.linear_time
+    # Rewritability keeps it inside the linear-time fragment, so no
+    # "leaves the fragment because..." reasons accumulate.
+    assert report.reasons == ()
+
+
+def test_non_monadic_program_leaves_the_fragment():
+    report = classify(parse_program("pair(X, Y) :- e(X), e(Y)."))
+    assert not report.monadic
+    assert not report.tmnf
+    assert not report.linear_time
+    verdict = report.verdict()
+    assert "leaves the linear-time fragment" in verdict
+    assert any("pair" in reason for reason in report.reasons)
+
+
+def test_stratified_negation_is_flagged_but_not_fatal_to_stratifiability():
+    text = """
+    q(X) :- label_i(X).
+    p(X) :- label_b(X), not q(X).
+    """
+    report = classify(parse_program(text))
+    assert report.uses_negation
+    assert report.stratifiable
+
+
+def test_unstratifiable_program_is_reported():
+    report = classify(parse_program("win(X) :- move(X, Y), not win(Y)."))
+    assert report.uses_negation
+    assert not report.stratifiable
+    assert not report.linear_time
+
+
+def test_report_round_trips_to_dict():
+    report = classify(parse_program(TMNF_TEXT))
+    data = report.to_dict()
+    assert data["tmnf"] is True
+    assert data["verdict"] == report.verdict()
+    assert isinstance(report, FragmentReport)

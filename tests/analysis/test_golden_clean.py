@@ -1,0 +1,90 @@
+"""Golden diagnostics: every shipped program analyzes without errors.
+
+Two sweeps: (1) the scanner walks every ``examples/*.py`` file and
+analyzes each embedded program constant; (2) the wrapper constants that
+target the six synthetic sites in ``repro.web.sites`` are analyzed
+explicitly, so a site wrapper cannot rot even if the scanner's
+heuristics change.  Warnings are allowed (they are advice); errors are
+not.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import analyze, analyze_scanned, scan_file
+from repro.elog.figure5 import FIGURE5_TEXT
+
+EXAMPLES = Path(__file__).resolve().parents[2] / "examples"
+
+EXAMPLE_FILES = sorted(EXAMPLES.glob("*.py"))
+
+
+def _load_example(name):
+    """Import an examples/ module by file name without executing main()."""
+    path = EXAMPLES / name
+    spec = importlib.util.spec_from_file_location(f"_golden_{path.stem}", path)
+    module = importlib.util.module_from_spec(spec)
+    sys.modules[spec.name] = module
+    try:
+        spec.loader.exec_module(module)
+    finally:
+        sys.modules.pop(spec.name, None)
+    return module
+
+
+def test_the_scanner_finds_programs_to_check():
+    scanned = [p for path in EXAMPLE_FILES for p in scan_file(path)]
+    assert len(scanned) >= 9, "example scan shrank; did constants get renamed?"
+
+
+@pytest.mark.parametrize("path", EXAMPLE_FILES, ids=lambda p: p.name)
+def test_example_file_programs_analyze_without_errors(path):
+    for scanned, report in analyze_scanned(scan_file(path)):
+        assert not report.has_errors, f"{scanned.label}:\n{report.render()}"
+
+
+# The six synthetic sites and the wrapper constants written against them.
+# ebay's wrapper is the Figure 5 program itself (examples/ebay_auctions.py
+# imports it rather than embedding a copy).
+SITE_WRAPPERS = {
+    "bookstore": [("books_pipeline.py", name) for name in ("SHOP_A", "SHOP_B", "SHOP_C")],
+    "ebay": [(None, "FIGURE5_TEXT")],
+    "flights": [("flight_monitor.py", "BOARD_WRAPPER")],
+    "markets": [("price_monitoring.py", "PRICE_WRAPPER")],
+    "music": [("now_playing.py", name) for name in ("RADIO_WRAPPER", "CHART_WRAPPER")],
+    "news": [
+        ("press_clipping.py", name)
+        for name in ("DAILY_WRAPPER", "WIRE_WRAPPER", "QUOTES_WRAPPER")
+    ],
+}
+
+
+def test_the_mapping_covers_every_site():
+    import repro.web.sites as sites
+
+    site_dir = Path(sites.__file__).parent
+    on_disk = {p.stem for p in site_dir.glob("*.py") if p.stem != "__init__"}
+    assert on_disk == set(SITE_WRAPPERS)
+
+
+@pytest.mark.parametrize(
+    "site,source,constant",
+    [
+        (site, source, constant)
+        for site, targets in sorted(SITE_WRAPPERS.items())
+        for source, constant in targets
+    ],
+    ids=lambda value: str(value),
+)
+def test_site_wrapper_analyzes_without_errors(site, source, constant):
+    if source is None:
+        text = FIGURE5_TEXT
+    else:
+        text = getattr(_load_example(source), constant)
+    report = analyze(text, kind="elog")
+    assert not report.has_errors, f"{site}/{constant}:\n{report.render()}"

@@ -15,6 +15,9 @@ import pytest
 
 PUBLIC_SURFACE = {
     "repro": [
+        "AnalysisError",
+        "AnalysisReport",
+        "Diagnostic",
         "EngineOptions",
         "ExtractionResult",
         "Pipeline",
@@ -22,10 +25,13 @@ PUBLIC_SURFACE = {
         "QueryResult",
         "Session",
         "__version__",
+        "analyze",
         "available_backends",
         "register_backend",
     ],
     "repro.api": [
+        "AnalysisError",
+        "AnalysisReport",
         "BackendError",
         "ChangeDetector",
         "ChangeGatedDeliverer",
@@ -34,6 +40,8 @@ PUBLIC_SURFACE = {
         "DEFAULT_OPTIONS",
         "DelivererComponent",
         "Delivery",
+        "Diagnostic",
+        "DiagnosticWarning",
         "EmailDeliverer",
         "EngineOptions",
         "EvaluatorBackend",
@@ -48,6 +56,7 @@ PUBLIC_SURFACE = {
         "SmsDeliverer",
         "TransformationServer",
         "XmlDeliverer",
+        "analyze",
         "available_backends",
         "backend_named",
         "infer_backend",

@@ -5,7 +5,7 @@ from __future__ import annotations
 import pytest
 
 from repro import EngineOptions, Session, available_backends
-from repro.api import ExtractionResult, QueryResult
+from repro.api import ExtractionResult
 from repro.api.backends import BackendError
 from repro.automata import leaf_selector_automaton
 from repro.datalog import parse_program, shared_registry

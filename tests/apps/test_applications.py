@@ -2,9 +2,9 @@
 
 from __future__ import annotations
 
-import pytest
 
-from repro.elog import Extractor, parse_elog
+from repro.elog import parse_elog
+from repro.elog.concepts import parse_number
 from repro.server import (
     ChangeDetector,
     ChangeGatedDeliverer,
@@ -24,7 +24,6 @@ from repro.web.sites.flights import advance_statuses, departures_page, generate_
 from repro.web.sites.markets import competitor_sites
 from repro.web.sites.music import now_playing_site, stations
 from repro.web.sites.news import press_clipping_site
-from repro.elog.concepts import parse_number
 
 
 RADIO_WRAPPER = parse_elog(
@@ -132,7 +131,6 @@ def test_press_clipping_produces_nitf_output():
     results = pipe.run()
     nitf = results["nitf"]
     assert nitf.name == "nitf"
-    blocks = nitf.find_all("news")[0].find_all("block") if nitf.find_all("news") else list(nitf.iter("block"))
     assert len(list(nitf.iter("block"))) == 5
     assert len(list(nitf.iter("hl1"))) == 5
     assert len(list(nitf.iter("quote"))) == 5

@@ -7,17 +7,13 @@ import pytest
 from repro.datalog import (
     Atom,
     DatalogSyntaxError,
-    Program,
-    Rule,
     atom,
-    const,
     fact,
     neg,
     parse_atom_text,
     parse_program,
     parse_rules,
     rule,
-    var,
 )
 from repro.datalog.ast import Constant, Variable
 

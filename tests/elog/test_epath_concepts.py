@@ -5,9 +5,9 @@ from __future__ import annotations
 import pytest
 
 from repro.elog import (
+    DEFAULT_CONCEPTS,
     AttributeCondition,
     ConceptRegistry,
-    DEFAULT_CONCEPTS,
     ElementPath,
     EPathSyntaxError,
     TextPath,

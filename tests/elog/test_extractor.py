@@ -6,14 +6,12 @@ import pytest
 
 from repro.elog import (
     AttributePath,
+    ElementPath,
     ElogProgram,
     ElogRule,
-    ElementPath,
     Extractor,
     SubAtt,
     SubElem,
-    SubText,
-    TextPath,
     parse_elog,
 )
 from repro.html import parse_html

@@ -1,0 +1,148 @@
+"""Repo hygiene gates.
+
+Two classes of slip have already cost a PR each:
+
+* ``id()`` used as a cache key over objects the cache does not keep
+  alive — CPython recycles addresses, so a dead object's key can serve a
+  stranger's cached value (the pre-PR-5 extractor cache bug).  Every
+  ``id(...)`` call in ``src/`` must appear in the allowlist below with a
+  written justification of why *that* use cannot dangle.
+* compiled artifacts committed to the index (``.pyc`` files rode along
+  with the seed until PR 6).
+"""
+
+from __future__ import annotations
+
+import ast
+import subprocess
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parents[2]
+SRC = REPO / "src"
+
+#: Files allowed to call ``id(...)``, each with the reason the use is
+#: sound.  The common shape: the dict/set keyed by ``id(node)`` lives
+#: strictly shorter than the structure holding the nodes, so no key can
+#: outlive its object.  Adding a new ``id(`` call to any other file must
+#: come with an entry here explaining why it cannot dangle.
+ALLOWED_ID_USES = {
+    "repro/analysis/scan.py": (
+        "docstring-node set used within a single AST walk of one source "
+        "file; the parsed tree is alive for the whole scan"
+    ),
+    "repro/automata/ranked.py": (
+        "per-run state tables over one binary tree; the tree outlives "
+        "the run() call that builds and drops the table"
+    ),
+    "repro/cq/acyclic.py": (
+        "visited-edge marker inside one GYO traversal; atoms are held "
+        "by the query being traversed"
+    ),
+    "repro/datalog/engine.py": (
+        "per-plan join memos; the plans are owned by the engine for its "
+        "whole lifetime, so their ids are stable"
+    ),
+    "repro/elog/conditions.py": (
+        "target-node set local to one condition evaluation over a live "
+        "document"
+    ),
+    "repro/elog/extractor.py": (
+        "(fingerprint, id(fetcher)) extractor-cache key: the cache entry "
+        "holds a strong reference to the fetcher, so its id cannot be "
+        "recycled while the entry exists"
+    ),
+    "repro/elog/instance_base.py": (
+        "instance dedup key over member nodes the instance itself holds "
+        "strong references to"
+    ),
+    "repro/html/render.py": (
+        "node->text-span table for one rendered document; the document "
+        "holds the nodes while the spans are in use"
+    ),
+    "repro/tree/document.py": (
+        "ancestor set local to one range computation over a live "
+        "document"
+    ),
+    "repro/tree/encoding.py": (
+        "source->binary mapping built and consumed inside one encoding "
+        "pass; it strongly references both trees"
+    ),
+    "repro/visual/region.py": (
+        "span lookup over the region's own document; region and "
+        "document share a lifetime"
+    ),
+    "repro/xpath/full.py": (
+        "(step, node-index) memo; steps are owned by the compiled "
+        "expression for its whole lifetime"
+    ),
+}
+
+
+def _id_call_lines(path: Path):
+    tree = ast.parse(path.read_text(encoding="utf-8"))
+    return [
+        node.lineno
+        for node in ast.walk(tree)
+        if isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Name)
+        and node.func.id == "id"
+    ]
+
+
+def _files_calling_id():
+    return {
+        str(path.relative_to(SRC)): lines
+        for path in sorted(SRC.rglob("*.py"))
+        if (lines := _id_call_lines(path))
+    }
+
+
+def test_every_id_call_is_allowlisted_with_a_reason():
+    offenders = {
+        file: lines
+        for file, lines in _files_calling_id().items()
+        if file not in ALLOWED_ID_USES
+    }
+    assert not offenders, (
+        "id(...) used outside the allowlist (id-reuse hazard when used "
+        f"as a cache key): {offenders}; if the use is sound, document "
+        "why in ALLOWED_ID_USES"
+    )
+
+
+def test_the_allowlist_carries_no_stale_entries():
+    calling = set(_files_calling_id())
+    stale = set(ALLOWED_ID_USES) - calling
+    assert not stale, f"allowlist entries for files that no longer call id(): {stale}"
+
+
+def test_every_allowlist_reason_is_substantive():
+    for file, reason in ALLOWED_ID_USES.items():
+        assert len(reason.split()) >= 5, f"{file}: justification too thin"
+
+
+def _tracked_files():
+    completed = subprocess.run(
+        ["git", "ls-files"],
+        cwd=REPO,
+        capture_output=True,
+        text=True,
+        check=True,
+    )
+    return completed.stdout.splitlines()
+
+
+def test_no_compiled_artifacts_are_tracked():
+    tracked = _tracked_files()
+    offenders = [
+        name
+        for name in tracked
+        if name.endswith((".pyc", ".pyo")) or "__pycache__" in name
+    ]
+    assert not offenders, f"compiled artifacts tracked by git: {offenders}"
+
+
+def test_the_gitignore_keeps_them_out():
+    ignored = (REPO / ".gitignore").read_text(encoding="utf-8")
+    assert "__pycache__" in ignored
+    assert "*.pyc" in ignored or "*.py[cod]" in ignored

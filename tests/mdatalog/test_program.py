@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import pytest
 
-from repro.mdatalog import MonadicProgram, MonadicityError, italic_program
+from repro.mdatalog import MonadicityError, MonadicProgram, italic_program
 
 
 def test_parse_and_query_predicates():

@@ -6,7 +6,7 @@ from hypothesis import given, settings, strategies as st
 
 from repro.cq import evaluate_acyclic, evaluate_backtracking, evaluate_filtered, query
 from repro.elog import ElementPath
-from repro.tree import Node, Document
+from repro.tree import Document, Node
 
 LABELS = ("a", "b", "c")
 

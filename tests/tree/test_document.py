@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import pytest
 
-from repro.tree import Document, Node, common_ancestor, nodes_between, tree
+from repro.tree import Document, Node, common_ancestor, nodes_between
 from repro.tree.document import assert_same_document
 
 

@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import pytest
 
-from repro.tree import Node, element, text_node
+from repro.tree import element, text_node
 
 
 def build_small_tree():

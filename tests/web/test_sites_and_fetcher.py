@@ -6,8 +6,8 @@ import pytest
 
 from repro.html import parse_html
 from repro.web import SimulatedWeb, StaticDocumentFetcher
-from repro.web.sites.bookstore import bookstore_site, generate_books, table_shop_page
-from repro.web.sites.ebay import ebay_page, ebay_site, generate_items, perturb_layout
+from repro.web.sites.bookstore import bookstore_site
+from repro.web.sites.ebay import ebay_page, ebay_site, perturb_layout
 from repro.web.sites.flights import advance_statuses, departures_page, generate_flights
 from repro.web.sites.markets import competitor_sites, power_trading_site, viticulture_page
 from repro.web.sites.music import now_playing_site, retune_station, stations
@@ -56,12 +56,12 @@ def test_ebay_generator_is_deterministic_and_structured():
 
 
 def test_perturb_layout_keeps_listings_intact():
-    items = generate_items(6, seed=4)
     original = parse_html(ebay_page(count=6, seed=4))
     perturbed = parse_html(perturb_layout(ebay_page(count=6, seed=4), seed=9))
-    count = lambda doc: len(
-        [t for t in doc.find_all("table") if t.get_attribute("class") == "listing"]
-    )
+    def count(doc):
+        return len(
+            [t for t in doc.find_all("table") if t.get_attribute("class") == "listing"]
+        )
     assert count(original) == count(perturbed) == 6
     assert len(perturbed) > len(original)
 

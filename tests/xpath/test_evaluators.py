@@ -7,8 +7,6 @@ import pytest
 from repro.html import parse_html
 from repro.xpath import (
     CoreXPathEvaluator,
-    FullXPathEvaluator,
-    NaiveXPathEvaluator,
     UnsupportedFeatureError,
     evaluate_full,
     evaluate_naive,

@@ -5,14 +5,13 @@ from __future__ import annotations
 import pytest
 
 from repro.mdatalog import MonadicTreeEvaluator, is_tmnf
+from repro.tree import random_tree
 from repro.xpath import (
     UnsupportedFeatureError,
     evaluate_xpath,
-    parse_xpath,
     translate_to_mdatalog,
     translate_to_tmnf,
 )
-from repro.tree import random_tree
 
 
 QUERIES = [
