@@ -32,10 +32,14 @@ from .api import (
     AnalysisReport,
     Diagnostic,
     EngineOptions,
+    ErrorResult,
     ExtractionResult,
+    FetchError,
     Pipeline,
     PipelineBuilder,
     QueryResult,
+    ResiliencePolicy,
+    RetryPolicy,
     Session,
     analyze,
     available_backends,
@@ -49,10 +53,14 @@ __all__ = [
     "AnalysisReport",
     "Diagnostic",
     "EngineOptions",
+    "ErrorResult",
     "ExtractionResult",
+    "FetchError",
     "Pipeline",
     "PipelineBuilder",
     "QueryResult",
+    "ResiliencePolicy",
+    "RetryPolicy",
     "Session",
     "__version__",
     "analyze",

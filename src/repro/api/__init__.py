@@ -54,7 +54,22 @@ from ..server.components import (
     SmsDeliverer,
     XmlDeliverer,
 )
-from ..server.monitoring import ChangeDetector, ChangeGatedDeliverer, ChangeReport
+from ..resilience import (
+    DEFAULT_RESILIENCE,
+    ErrorResult,
+    FaultPlan,
+    FaultyFetcher,
+    FetchError,
+    ResilienceInfo,
+    ResiliencePolicy,
+    RetryPolicy,
+)
+from ..server.monitoring import (
+    ChangeDetector,
+    ChangeGatedDeliverer,
+    ChangeReport,
+    resilience_report,
+)
 from ..server.pipeline import PipelineError, TransformationServer
 from .backends import (
     BackendError,
@@ -77,20 +92,28 @@ __all__ = [
     "ChangeReport",
     "Component",
     "DEFAULT_OPTIONS",
+    "DEFAULT_RESILIENCE",
     "Diagnostic",
     "DiagnosticWarning",
     "DelivererComponent",
     "Delivery",
     "EmailDeliverer",
     "EngineOptions",
+    "ErrorResult",
     "EvaluatorBackend",
     "ExtractionResult",
+    "FaultPlan",
+    "FaultyFetcher",
+    "FetchError",
     "HtmlPortalDeliverer",
     "Pipeline",
     "PipelineBuilder",
     "PipelineError",
     "PlanRegistry",
     "QueryResult",
+    "ResilienceInfo",
+    "ResiliencePolicy",
+    "RetryPolicy",
     "Session",
     "SmsDeliverer",
     "TransformationServer",
@@ -101,4 +124,5 @@ __all__ = [
     "infer_backend",
     "parse_elog",
     "register_backend",
+    "resilience_report",
 ]

@@ -66,6 +66,7 @@ from ..xmlgen.document import XmlElement
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..mdatalog.program import MonadicProgram
+    from ..resilience.policy import ResilienceInfo, ResiliencePolicy
     from ..tree.document import Document
     from .session import Session
 
@@ -83,9 +84,18 @@ class Pipeline:
         self._session = session
 
     @staticmethod
-    def builder(name: str = "pipeline", session: "Optional[Session]" = None) -> "PipelineBuilder":
-        """Start a declarative pipeline definition."""
-        return PipelineBuilder(name, session=session)
+    def builder(
+        name: str = "pipeline",
+        session: "Optional[Session]" = None,
+        resilience: "Optional[ResiliencePolicy]" = None,
+    ) -> "PipelineBuilder":
+        """Start a declarative pipeline definition.
+
+        ``resilience`` becomes the default policy of every wrapper/query
+        stage (each stage may override with its own ``resilience=``); a
+        session-bound builder defaults to the session's policy.
+        """
+        return PipelineBuilder(name, session=session, resilience=resilience)
 
     # -- execution ---------------------------------------------------------
     @property
@@ -110,6 +120,16 @@ class Pipeline:
 
     def component(self, name: str) -> Component:
         return self._pipe.component(name)
+
+    def components(self) -> List[Component]:
+        return self._pipe.components()
+
+    def resilience_report(self) -> "Dict[str, ResilienceInfo]":
+        """Per-component failure accounting (components without a
+        resilience policy are omitted)."""
+        from ..server.monitoring import resilience_report
+
+        return resilience_report(self._pipe)
 
     def deliverers(self) -> List[DelivererComponent]:
         """Every configured deliverer, including those behind change gates
@@ -151,9 +171,19 @@ class PipelineBuilder:
     boundaries) before returning a :class:`Pipeline`.
     """
 
-    def __init__(self, name: str = "pipeline", session: "Optional[Session]" = None) -> None:
+    def __init__(
+        self,
+        name: str = "pipeline",
+        session: "Optional[Session]" = None,
+        resilience: "Optional[ResiliencePolicy]" = None,
+    ) -> None:
         self._pipe = InformationPipe(name)
         self._session = session
+        # The default policy of every wrapper/query stage: an explicit
+        # builder policy wins, else a bound session's policy applies.
+        self._resilience = resilience
+        if resilience is None and session is not None:
+            self._resilience = session.resilience
         self._previous: Optional[str] = None
         self._sources: List[str] = []
         # (stage name, program) for every wrapper/query stage, analyzed at
@@ -220,12 +250,14 @@ class PipelineBuilder:
         fetcher: Fetcher,
         url: str,
         root_name: Optional[str] = None,
+        resilience: "Optional[ResiliencePolicy]" = None,
     ) -> "PipelineBuilder":
         """An Elog wrapper source (program text is parsed on the spot).
 
         Session-bound builders reuse the session's interpreter for the
         (program, fetcher) pair; unbound builders share through the
-        process-wide interpreter cache.
+        process-wide interpreter cache.  ``resilience`` overrides the
+        builder's default policy for this stage.
         """
         extractor = None
         if self._session is not None:
@@ -249,6 +281,7 @@ class PipelineBuilder:
             url,
             root_name=root_name,
             extractor=extractor,
+            resilience=resilience if resilience is not None else self._resilience,
         )
         self._programs.append((name, program))
         return self._add_stage(component, None, is_source=True)
@@ -259,13 +292,19 @@ class PipelineBuilder:
         program: "MonadicProgram",
         supplier: "Callable[[], Document]",
         root_name: Optional[str] = None,
+        resilience: "Optional[ResiliencePolicy]" = None,
     ) -> "PipelineBuilder":
-        """A monadic-datalog wrapper source over a document supplier."""
+        """A monadic-datalog wrapper source over a document supplier.
+
+        ``resilience`` overrides the builder's default policy for this
+        stage (the supplier call is retried; failures can serve stale).
+        """
         component = DatalogQueryComponent(
             name,
             program,
             supplier,
             root_name=root_name,
+            resilience=resilience if resilience is not None else self._resilience,
             **self._engine_kwargs(),
         )
         self._programs.append((name, program))

@@ -69,6 +69,15 @@ class QueryResult:
         self._memo: Dict[Tuple[str, str], object] = {}
 
     # -- the uniform interface --------------------------------------------
+    @property
+    def ok(self) -> bool:
+        """``True``: this slot evaluated successfully.  The batch paths'
+        ``on_error="collect"`` mode mixes in
+        :class:`~repro.resilience.policy.ErrorResult` slots whose ``ok`` is
+        ``False``, so mixed lists filter uniformly
+        (``[r for r in results if r.ok]``)."""
+        return True
+
     def predicates(self) -> FrozenSet[str]:
         """The result's *primary* names with at least one match: derived
         relations (datalog), declared query predicates (selections),

@@ -61,6 +61,14 @@ from ..elog.extractor import (
 )
 from ..elog.parser import ElogSyntaxError, parse_elog
 from ..mdatalog.program import MonadicProgram
+from ..resilience.policy import (
+    ON_ERROR_POLICIES,
+    ErrorResult,
+    ResilienceInfo,
+    ResiliencePolicy,
+    ResilienceStats,
+)
+from ..resilience.retry import ResilientFetcher
 from ..tree.document import Document
 from ..tree.node import Node
 from .backends import EvaluatorBackend, backend_named, infer_backend
@@ -81,6 +89,15 @@ class Session:
         :func:`repro.datalog.shared_registry` to join the process-wide
         registry instead (several sessions amortising one compilation), or
         any other registry to share between chosen sessions.
+    resilience:
+        An optional :class:`~repro.resilience.policy.ResiliencePolicy`.
+        When set, every fetch the session performs on a caller's behalf
+        (``extract``/``extract_many``) goes through a
+        :class:`~repro.resilience.retry.ResilientFetcher` (retry, backoff,
+        deadline, per-host circuit breaking), the policy's ``on_error``
+        becomes the default batch error policy, and all failure accounting
+        aggregates into :meth:`resilience_info`.  Without a policy the
+        session behaves exactly as before.
     """
 
     #: Capacities of the session-level memos.  Bounded like every other
@@ -98,9 +115,14 @@ class Session:
         options: Optional[EngineOptions] = None,
         *,
         registry: Optional[PlanRegistry] = None,
+        resilience: Optional[ResiliencePolicy] = None,
     ) -> None:
         self.options = options if options is not None else DEFAULT_OPTIONS
         self.registry = registry if registry is not None else PlanRegistry()
+        self.resilience = resilience
+        # One stats sink for the whole session: every resilient fetcher the
+        # session wraps, and every isolated batch error, reports here.
+        self._resilience_stats = ResilienceStats()
         self._evaluators: LruMap[Tuple[str, Hashable], object] = LruMap(
             self.MAX_EVALUATORS
         )
@@ -122,6 +144,42 @@ class Session:
         # their own structure, the flight guarantees at most one evaluator /
         # parsed program is ever *constructed* per key under concurrency.
         self._flight = SingleFlight()
+
+    # ------------------------------------------------------------------
+    # Resilience plumbing
+    # ------------------------------------------------------------------
+    def _resolve_on_error(self, on_error: Optional[str]) -> str:
+        """An explicit ``on_error=`` wins; otherwise the session policy's
+        default applies (``"raise"`` without a policy)."""
+        if on_error is None:
+            return self.resilience.on_error if self.resilience is not None else "raise"
+        if on_error not in ON_ERROR_POLICIES:
+            raise ValueError(
+                f"on_error={on_error!r}: expected one of {ON_ERROR_POLICIES}"
+            )
+        return on_error
+
+    def _resilient(self, fetcher: Optional[Fetcher]) -> Optional[Fetcher]:
+        """``fetcher`` hardened under the session policy (pass-through when
+        no policy or no fetcher).  A fresh wrapper per call: retry state is
+        call-local, while the accounting aggregates into the session-wide
+        stats sink."""
+        if fetcher is None or self.resilience is None:
+            return fetcher
+        return ResilientFetcher(
+            fetcher, self.resilience, stats=self._resilience_stats
+        )
+
+    def _isolated(
+        self,
+        error: BaseException,
+        *,
+        index: int,
+        url: Optional[str] = None,
+        backend: str = "error",
+    ) -> ErrorResult:
+        self._resilience_stats.bump("errors_isolated")
+        return ErrorResult.from_exception(error, index=index, url=url, backend=backend)
 
     # ------------------------------------------------------------------
     # Evaluator construction (memoised per backend + program content)
@@ -221,6 +279,7 @@ class Session:
         *,
         labels: Optional[Iterable[str]] = None,
         max_workers: Optional[int] = None,
+        on_error: Optional[str] = None,
     ) -> List[QueryResult]:
         """The batch path: one compiled evaluator over a source stream.
 
@@ -236,7 +295,15 @@ class Session:
         CPU-bound Python, so threads pay the GIL; the pool buys the most
         when sources hit the fixpoint LRU unevenly or the caller's fetcher
         / supplier does I/O.
+
+        ``on_error`` isolates per-source failures: ``"raise"`` (default)
+        aborts the batch on the first failure, ``"skip"`` drops failed
+        slots, ``"collect"`` yields an
+        :class:`~repro.resilience.policy.ErrorResult` in the failed slot
+        (result order still matches ``sources``).  A session constructed
+        with ``resilience=`` defaults to its policy's ``on_error``.
         """
+        on_error = self._resolve_on_error(on_error)
         if labels is None:
             union: set = set()
             for source in sources:
@@ -249,14 +316,38 @@ class Session:
         resolved, native, label_key = self._resolve(program, backend, labels)
         self._enforce_diagnostics(resolved, native)
         evaluator = self._memoised(resolved, native, label_key)
-        if max_workers is not None and max_workers > 1 and len(sources) > 1:
+        parallel = max_workers is not None and max_workers > 1 and len(sources) > 1
+        if on_error == "raise":
+            # The pre-resilience fast path, byte-for-byte.
+            if parallel:
+                with ThreadPoolExecutor(
+                    max_workers=max_workers, thread_name_prefix="repro-query"
+                ) as pool:
+                    return list(
+                        pool.map(
+                            lambda source: resolved.run(evaluator, source), sources
+                        )
+                    )
+            return [resolved.run(evaluator, source) for source in sources]
+
+        def guarded(index: int, source: object) -> QueryResult:
+            try:
+                return resolved.run(evaluator, source)
+            except Exception as error:
+                return self._isolated(error, index=index, backend=resolved.name)
+
+        if parallel:
             with ThreadPoolExecutor(
                 max_workers=max_workers, thread_name_prefix="repro-query"
             ) as pool:
-                return list(
-                    pool.map(lambda source: resolved.run(evaluator, source), sources)
+                slots = list(
+                    pool.map(lambda pair: guarded(*pair), enumerate(sources))
                 )
-        return [resolved.run(evaluator, source) for source in sources]
+        else:
+            slots = [guarded(index, source) for index, source in enumerate(sources)]
+        if on_error == "skip":
+            return [slot for slot in slots if not isinstance(slot, ErrorResult)]
+        return slots
 
     def select(
         self,
@@ -329,6 +420,10 @@ class Session:
         the program's auxiliary patterns.
         """
         extractor = self.wrapper(program, fetcher)
+        if self.resilience is not None and fetcher is not None:
+            # Cheap twin around the resilient wrapper — the memoised
+            # interpreter stays keyed by the caller's own fetcher.
+            extractor = extractor.with_fetcher(self._resilient(fetcher))
         base = extractor.extract(document=document, documents=documents, url=url)
         return ExtractionResult(base, auxiliary=extractor.program.auxiliary_patterns)
 
@@ -340,6 +435,7 @@ class Session:
         urls: Sequence[str] = (),
         fetcher: Optional[Fetcher] = None,
         max_workers: Optional[int] = None,
+        on_error: Optional[str] = None,
     ) -> List[ExtractionResult]:
         """The batch extraction path for server-style document streams.
 
@@ -358,8 +454,23 @@ class Session:
         max(total fetch / workers, total evaluation).  Result order always
         matches ``documents`` + ``urls``; fetch errors surface on the
         result exactly as the sequential path raises them.
+
+        ``on_error`` isolates per-document failures — ``"raise"``
+        (default) / ``"skip"`` / ``"collect"``, exactly as in
+        :meth:`query_many`; a collected failure's
+        :class:`~repro.resilience.policy.ErrorResult` carries the slot's
+        URL (when it has one) plus the attempt/elapsed metadata the retry
+        layer annotated.  A session constructed with ``resilience=``
+        additionally routes every fetch through a
+        :class:`~repro.resilience.retry.ResilientFetcher` and defaults
+        ``on_error`` to its policy's.
         """
+        on_error = self._resolve_on_error(on_error)
         extractor = self.wrapper(program, fetcher)
+        run_fetcher = fetcher
+        if self.resilience is not None and fetcher is not None:
+            run_fetcher = self._resilient(fetcher)
+            extractor = extractor.with_fetcher(run_fetcher)
         auxiliary = extractor.program.auxiliary_patterns
         if (
             max_workers is not None
@@ -367,17 +478,47 @@ class Session:
             and len(documents) + len(urls) > 1
         ):
             return self._extract_many_parallel(
-                extractor, auxiliary, documents, urls, fetcher, max_workers
+                extractor, auxiliary, documents, urls, run_fetcher, max_workers,
+                on_error,
             )
-        results = [
-            ExtractionResult(extractor.extract(document=doc), auxiliary=auxiliary)
-            for doc in documents
-        ]
-        results.extend(
-            ExtractionResult(extractor.extract(url=url), auxiliary=auxiliary)
-            for url in urls
-        )
-        return results
+        if on_error == "raise":
+            # The pre-resilience fast path, byte-for-byte.
+            results = [
+                ExtractionResult(extractor.extract(document=doc), auxiliary=auxiliary)
+                for doc in documents
+            ]
+            results.extend(
+                ExtractionResult(extractor.extract(url=url), auxiliary=auxiliary)
+                for url in urls
+            )
+            return results
+        slots: List[ExtractionResult] = []
+        for index, doc in enumerate(documents):
+            try:
+                slots.append(
+                    ExtractionResult(extractor.extract(document=doc), auxiliary=auxiliary)
+                )
+            except Exception as error:
+                slots.append(
+                    self._isolated(
+                        error, index=index, url=getattr(doc, "url", None),
+                        backend="elog",
+                    )
+                )
+        for offset, url in enumerate(urls):
+            try:
+                slots.append(
+                    ExtractionResult(extractor.extract(url=url), auxiliary=auxiliary)
+                )
+            except Exception as error:
+                slots.append(
+                    self._isolated(
+                        error, index=len(documents) + offset, url=url, backend="elog"
+                    )
+                )
+        if on_error == "skip":
+            return [slot for slot in slots if not isinstance(slot, ErrorResult)]
+        return slots
 
     def _extract_many_parallel(
         self,
@@ -387,6 +528,7 @@ class Session:
         urls: Sequence[str],
         fetcher: Optional[Fetcher],
         max_workers: int,
+        on_error: str = "raise",
     ) -> List[ExtractionResult]:
         # Two pools, never one: extraction tasks block on fetch futures, so
         # sharing a pool could park every worker on a fetch that has no
@@ -423,9 +565,30 @@ class Session:
                     pool.submit(url_extractor.extract, url=url)
                     for url, url_extractor in zip(urls, url_extractors)
                 )
-                return [
-                    ExtractionResult(job.result(), auxiliary=auxiliary) for job in jobs
-                ]
+                if on_error == "raise":
+                    return [
+                        ExtractionResult(job.result(), auxiliary=auxiliary)
+                        for job in jobs
+                    ]
+                slot_urls = [getattr(doc, "url", None) for doc in documents]
+                slot_urls.extend(urls)
+                slots: List[ExtractionResult] = []
+                for index, (job, url) in enumerate(zip(jobs, slot_urls)):
+                    try:
+                        slots.append(
+                            ExtractionResult(job.result(), auxiliary=auxiliary)
+                        )
+                    except Exception as error:
+                        slots.append(
+                            self._isolated(
+                                error, index=index, url=url, backend="elog"
+                            )
+                        )
+                if on_error == "skip":
+                    return [
+                        slot for slot in slots if not isinstance(slot, ErrorResult)
+                    ]
+                return slots
         finally:
             if fetch_pool is not None:
                 fetch_pool.shutdown()
@@ -569,6 +732,14 @@ class Session:
         """Hit/miss statistics of the session-owned compiled-plan registry."""
         return self.registry.info()
 
+    def resilience_info(self) -> ResilienceInfo:
+        """The session-wide failure accounting: attempts/retries/failures of
+        every resilient fetch made on the session's behalf, circuit-breaker
+        trips and rejections, and the batch slots isolated under
+        ``on_error="skip"|"collect"``.  All zeros until a policy (or an
+        isolating ``on_error=``) is used."""
+        return self._resilience_stats.snapshot()
+
     def info(self) -> Dict[str, object]:
         """A monitoring snapshot of everything the session owns."""
         return {
@@ -577,6 +748,7 @@ class Session:
             "evaluators": len(self._evaluators),
             "extractors": len(self._extractors),
             "plan_registry": self.registry.info(),
+            "resilience": self._resilience_stats.snapshot(),
         }
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

@@ -92,7 +92,9 @@ class PrefetchedFetcher(Fetcher):
         if future is not None:
             return future.result()
         if self.base is None:
-            raise KeyError(f"no prefetched document for {url!r}")
+            from ..resilience.errors import PermanentFetchError
+
+            raise PermanentFetchError(f"no prefetched document for {url!r}", url=url)
         return self.base.fetch(url)
 
     def fetch_async(self, url: str, executor: "Executor") -> "Future[Document]":
@@ -147,7 +149,12 @@ class Extractor:
             if given.url:
                 fetched_urls[given.url] = instance
         if url is not None:
-            instance = self._fetch_document(url, base, fetched_urls, parent=None)
+            # The start URL is load-bearing: its fetch errors propagate (the
+            # batch paths turn them into per-slot ErrorResults), unlike
+            # crawling targets discovered mid-extraction, which stay lenient.
+            instance = self._fetch_document(
+                url, base, fetched_urls, parent=None, propagate=True
+            )
             if instance is None:
                 raise ExtractionError(f"cannot fetch start url {url!r} without a fetcher")
 
@@ -256,6 +263,7 @@ class Extractor:
         base: PatternInstanceBase,
         fetched_urls: Dict[str, PatternInstance],
         parent: Optional[PatternInstance],
+        propagate: bool = False,
     ) -> Optional[PatternInstance]:
         if url in fetched_urls:
             return fetched_urls[url]
@@ -263,7 +271,12 @@ class Extractor:
             return None
         try:
             document = self.fetcher.fetch(url)
-        except KeyError:
+        # ConnectionError/TimeoutError join KeyError in the lenient set: a
+        # crawl target whose retries were exhausted by a resilient fetcher
+        # is skipped exactly like a missing page (FetchError is a KeyError).
+        except (KeyError, ConnectionError, TimeoutError):
+            if propagate:
+                raise
             return None
         instance = PatternInstance(
             pattern=ROOT_PATTERN,

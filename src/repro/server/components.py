@@ -29,6 +29,8 @@ from ..elog.extractor import (
     PrefetchedFetcher,
     wrapper_fingerprint,
 )
+from ..resilience.policy import ResilienceInfo, ResiliencePolicy, ResilienceStats
+from ..resilience.retry import ResilientFetcher, call_with_retry
 from ..xmlgen.document import XmlElement
 from ..xmlgen.serializer import to_xml
 
@@ -98,6 +100,7 @@ class WrapperComponent(Component):
         *,
         options: Optional[EngineOptions] = None,
         extractor: Optional[Extractor] = None,
+        resilience: Optional[ResiliencePolicy] = None,
     ) -> None:
         super().__init__(name)
         if share_interpreter is not UNSET:
@@ -119,6 +122,19 @@ class WrapperComponent(Component):
         self.fetcher = fetcher
         self.url = url
         self.root_name = root_name or name
+        # Resilience (optional): the fetch boundary is wrapped in a
+        # ResilientFetcher (retry/backoff/deadline + per-host breaker), and
+        # process() keeps the last successful output so a failing source
+        # can be served stale instead of failing the pipe.  Without a
+        # policy the component behaves exactly as before — no wrapper, no
+        # stale copy, no accounting.
+        self.resilience = resilience
+        self._stats = ResilienceStats() if resilience is not None else None
+        self._last_good: Optional[XmlElement] = None
+        acquire: Optional[Fetcher] = fetcher
+        if resilience is not None and fetcher is not None:
+            acquire = ResilientFetcher(fetcher, resilience, stats=self._stats)
+        self._acquire = acquire
         # One interpreter per (program, fetcher) pair for the server's
         # lifetime: periodic activations — and, with ``share_plans`` (the
         # default; the pre-façade spelling ``share_interpreter`` is a
@@ -129,15 +145,20 @@ class WrapperComponent(Component):
         # (``extractor=``, the :class:`repro.api.Session` path) wins over
         # both: sessions own their extractors.
         if extractor is not None:
+            if resilience is not None and extractor.fetcher is not self._acquire:
+                # A session-supplied interpreter carries the bare fetcher;
+                # re-twin it (cheap, shares program/concepts/limits) so its
+                # acquisition goes through the resilient wrapper too.
+                extractor = extractor.with_fetcher(self._acquire)
             self._extractor = extractor
             self._extractor_aliased = False
         elif options.share_plans:
-            self._extractor = shared_extractor(self.program, self.fetcher)
+            self._extractor = shared_extractor(self.program, self._acquire)
             # A cache hit may wrap a classmate's content-equal program
             # object; only such aliased interpreters are ever re-resolved.
             self._extractor_aliased = True
         else:
-            self._extractor = Extractor(self.program, fetcher=self.fetcher)
+            self._extractor = Extractor(self.program, fetcher=self._acquire)
             self._extractor_aliased = False
         self._pending_fetch = None
 
@@ -184,7 +205,7 @@ class WrapperComponent(Component):
             and wrapper_fingerprint(self.program)
             != wrapper_fingerprint(extractor.program)
         ):
-            extractor = shared_extractor(self.program, self.fetcher)
+            extractor = shared_extractor(self.program, self._acquire)
             self._extractor = extractor
         return extractor
 
@@ -204,9 +225,35 @@ class WrapperComponent(Component):
             extractor = extractor.with_fetcher(
                 PrefetchedFetcher(extractor.fetcher, {self.url: pending})
             )
-        result = extractor.extract_to_xml(url=self.url, root_name=self.root_name)
+        try:
+            result = extractor.extract_to_xml(url=self.url, root_name=self.root_name)
+        except Exception:
+            stale = self._stale_copy()
+            if stale is not None:
+                return stale
+            raise
         result.attributes["source"] = self.url
+        if self.resilience is not None and self.resilience.serve_stale:
+            self._last_good = result.copy()
         return result
+
+    def _stale_copy(self) -> Optional[XmlElement]:
+        """The last-good output marked stale, or ``None`` if degradation is
+        off (no policy, ``serve_stale=False``) or nothing good was seen."""
+        if (
+            self.resilience is None
+            or not self.resilience.serve_stale
+            or self._last_good is None
+        ):
+            return None
+        self._stats.bump("stale_served")
+        stale = self._last_good.copy()
+        stale.attributes["stale"] = "true"
+        return stale
+
+    def resilience_info(self) -> Optional[ResilienceInfo]:
+        """Failure accounting (``None`` when no policy is configured)."""
+        return self._stats.snapshot() if self._stats is not None else None
 
 
 class XmlSourceComponent(Component):
@@ -243,6 +290,7 @@ class DatalogQueryComponent(Component):
         *,
         options: Optional[EngineOptions] = None,
         registry: Optional["PlanRegistry"] = None,
+        resilience: Optional[ResiliencePolicy] = None,
     ) -> None:
         super().__init__(name)
         from ..mdatalog.evaluator import MonadicTreeEvaluator
@@ -258,13 +306,39 @@ class DatalogQueryComponent(Component):
         )
         self.supplier = supplier
         self.root_name = root_name or name
+        # The supplier is this component's acquisition boundary: with a
+        # policy its call is retried, and the last good output can be
+        # served stale when acquisition or evaluation fails.
+        self.resilience = resilience
+        self._stats = ResilienceStats() if resilience is not None else None
+        self._last_good: Optional[XmlElement] = None
         self._evaluator = MonadicTreeEvaluator(
             program, options=options, registry=registry
         )
 
     def process(self, inputs: List[XmlElement]) -> XmlElement:
-        document = self.supplier()
-        matches = self._evaluator.evaluate(document)
+        try:
+            if self.resilience is not None:
+                document = call_with_retry(
+                    self.supplier,
+                    self.resilience.retry,
+                    label=f"supplier:{self.name}",
+                    stats=self._stats,
+                )
+            else:
+                document = self.supplier()
+            matches = self._evaluator.evaluate(document)
+        except Exception:
+            if (
+                self.resilience is not None
+                and self.resilience.serve_stale
+                and self._last_good is not None
+            ):
+                self._stats.bump("stale_served")
+                stale = self._last_good.copy()
+                stale.attributes["stale"] = "true"
+                return stale
+            raise
         result = XmlElement(self.root_name)
         for predicate in sorted(matches):
             # Document order is this component's output contract: downstream
@@ -277,7 +351,13 @@ class DatalogQueryComponent(Component):
                 record = result.add(predicate)
                 record.attributes["node"] = str(node.preorder_index)
                 record.attributes["label"] = node.label
+        if self.resilience is not None and self.resilience.serve_stale:
+            self._last_good = result.copy()
         return result
+
+    def resilience_info(self) -> Optional[ResilienceInfo]:
+        """Failure accounting (``None`` when no policy is configured)."""
+        return self._stats.snapshot() if self._stats is not None else None
 
     def cache_info(self):
         """Fixpoint-cache statistics of the underlying evaluator."""

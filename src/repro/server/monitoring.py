@@ -9,16 +9,60 @@ message, but only if the status changed between consecutive requests."
 and reports added / removed / changed records between consecutive snapshots;
 :class:`ChangeGatedDeliverer` wraps a deliverer so that it only fires when a
 change was detected.
+
+Degraded documents — outputs a resilient component served from its
+last-good copy, marked ``stale="true"`` (see
+:class:`repro.server.components.WrapperComponent`) — are *not* observed:
+a stale snapshot carries no new information, so it must neither fire a
+delivery nor perturb the detector's baseline.  :func:`resilience_report`
+collects every component's failure accounting from a pipe or a whole
+server.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Tuple
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Tuple
 
 from ..xmlgen.document import XmlElement
 from ..xmlgen.serializer import to_compact_xml
 from .components import Component, DelivererComponent, Delivery
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..resilience.policy import ResilienceInfo
+
+
+def is_stale(document: XmlElement) -> bool:
+    """Whether ``document`` is a degraded (served-stale) output."""
+    return document.attributes.get("stale") == "true"
+
+
+def resilience_report(target: object) -> "Dict[str, ResilienceInfo]":
+    """Per-component failure accounting of a pipe or a whole server.
+
+    ``target`` is anything with ``components()`` (an
+    :class:`~repro.server.pipeline.InformationPipe`, a
+    :class:`~repro.api.pipeline.Pipeline`) or with ``pipes()``/``pipe()``
+    (a :class:`~repro.server.pipeline.TransformationServer`; keys are then
+    ``"pipe/component"``).  Components without a resilience policy are
+    omitted.
+    """
+    report: "Dict[str, ResilienceInfo]" = {}
+
+    def collect(prefix: str, components) -> None:
+        for component in components:
+            info_of = getattr(component, "resilience_info", None)
+            info = info_of() if info_of is not None else None
+            if info is not None:
+                report[prefix + component.name] = info
+
+    pipes = getattr(target, "pipes", None)
+    if pipes is not None and not hasattr(target, "components"):
+        for name in pipes():
+            collect(f"{name}/", target.pipe(name).components())
+    else:
+        collect("", target.components())
+    return report
 
 
 @dataclass
@@ -89,6 +133,8 @@ class ChangeGatedDeliverer(Component):
         self.deliver_initial = deliver_initial
         self.message = message
         self._seen_initial = False
+        #: Activations skipped because the input was a served-stale copy.
+        self.stale_skips = 0
 
     @property
     def deliveries(self) -> List[Delivery]:
@@ -96,6 +142,14 @@ class ChangeGatedDeliverer(Component):
 
     def process(self, inputs: List[XmlElement]) -> XmlElement:
         document = inputs[0] if inputs else XmlElement(self.name)
+        if is_stale(document):
+            # Degraded output: the upstream source is down and this is its
+            # last-good copy.  There is nothing new to deliver, and
+            # observing it would churn the baseline (the root attribute is
+            # invisible to record-level fingerprints, but record sets may
+            # differ while the source flaps).  Pass it through untouched.
+            self.stale_skips += 1
+            return document
         report = self.detector.observe(document)
         is_initial = not self._seen_initial
         self._seen_initial = True

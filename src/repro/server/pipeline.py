@@ -23,6 +23,7 @@ from typing import Dict, List, Optional, Tuple
 
 from ..datalog.cache import CacheInfo
 from ..datalog.registry import plan_registry_info
+from ..resilience.policy import ON_ERROR_POLICIES, ErrorResult
 from ..xmlgen.document import XmlElement
 from .components import Component, DelivererComponent
 
@@ -224,7 +225,9 @@ class TransformationServer:
             self.clock += 1
         return ran
 
-    def run_all(self, *, executor=None) -> Dict[str, Dict[str, XmlElement]]:
+    def run_all(
+        self, *, executor=None, on_error: str = "raise"
+    ) -> Dict[str, object]:
         """Run every registered pipe once, immediately.
 
         The runs go through the scheduler bookkeeping: each counts as the
@@ -237,14 +240,35 @@ class TransformationServer:
         :meth:`InformationPipe.prefetch_sources` pass over all pipes), so
         acquisition I/O overlaps across the whole server, not just within
         one pipe.
+
+        ``on_error`` isolates pipe failures from each other: ``"raise"``
+        (the default, and the pre-resilience behaviour) aborts on the first
+        failing pipe; ``"skip"`` drops the failed pipe from the results and
+        runs the rest; ``"collect"`` puts an
+        :class:`~repro.resilience.policy.ErrorResult` in the failed pipe's
+        slot.  A failed pipe discards its own prefetched futures either way
+        (see :meth:`InformationPipe.run`), so isolation never strands a
+        minutes-old snapshot for a later activation.
         """
-        results: Dict[str, Dict[str, XmlElement]] = {}
+        if on_error not in ON_ERROR_POLICIES:
+            raise ValueError(
+                f"run_all(on_error={on_error!r}): expected one of {ON_ERROR_POLICIES}"
+            )
+        results: Dict[str, object] = {}
         try:
             if executor is not None:
                 for scheduled in self._pipes.values():
                     scheduled.pipe.prefetch_sources(executor)
             for name, scheduled in self._pipes.items():
-                results[name] = scheduled.pipe.run()
+                try:
+                    results[name] = scheduled.pipe.run()
+                except Exception as error:
+                    if on_error == "raise":
+                        raise
+                    if on_error == "collect":
+                        results[name] = ErrorResult.from_exception(
+                            error, url=f"pipe:{name}", backend="pipe"
+                        )
                 scheduled.next_activation = self.clock + scheduled.period
                 self.run_log.append((self.clock, name))
         except BaseException:
@@ -256,6 +280,14 @@ class TransformationServer:
         return results
 
     # -- monitoring ----------------------------------------------------------
+    def resilience_report(self):
+        """Per-component failure accounting across every hosted pipe
+        (``"pipe/component"`` keys; see
+        :func:`repro.server.monitoring.resilience_report`)."""
+        from .monitoring import resilience_report
+
+        return resilience_report(self)
+
     def plan_registry_info(self) -> CacheInfo:
         """Statistics of the process-wide compiled-program registry.
 

@@ -19,10 +19,14 @@ PUBLIC_SURFACE = {
         "AnalysisReport",
         "Diagnostic",
         "EngineOptions",
+        "ErrorResult",
         "ExtractionResult",
+        "FetchError",
         "Pipeline",
         "PipelineBuilder",
         "QueryResult",
+        "ResiliencePolicy",
+        "RetryPolicy",
         "Session",
         "__version__",
         "analyze",
@@ -38,20 +42,28 @@ PUBLIC_SURFACE = {
         "ChangeReport",
         "Component",
         "DEFAULT_OPTIONS",
+        "DEFAULT_RESILIENCE",
         "DelivererComponent",
         "Delivery",
         "Diagnostic",
         "DiagnosticWarning",
         "EmailDeliverer",
         "EngineOptions",
+        "ErrorResult",
         "EvaluatorBackend",
         "ExtractionResult",
+        "FaultPlan",
+        "FaultyFetcher",
+        "FetchError",
         "HtmlPortalDeliverer",
         "Pipeline",
         "PipelineBuilder",
         "PipelineError",
         "PlanRegistry",
         "QueryResult",
+        "ResilienceInfo",
+        "ResiliencePolicy",
+        "RetryPolicy",
         "Session",
         "SmsDeliverer",
         "TransformationServer",
@@ -62,6 +74,7 @@ PUBLIC_SURFACE = {
         "infer_backend",
         "parse_elog",
         "register_backend",
+        "resilience_report",
     ],
 }
 

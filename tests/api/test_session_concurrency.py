@@ -163,14 +163,16 @@ def test_extract_many_parallel_matches_sequential_byte_for_byte(web, documents):
 
 
 def test_extract_many_parallel_propagates_fetch_errors_like_sequential(web):
-    from repro.elog import ExtractionError
+    # A missing start URL surfaces the fetch error itself (a FetchError,
+    # which is still a KeyError) on both the sequential and parallel paths.
+    from repro.resilience import FetchError
 
     urls = [BOOKS_URL, "http://no-such-site.test/404"]
     sequential = Session()
-    with pytest.raises(ExtractionError):
+    with pytest.raises(FetchError):
         sequential.extract_many(WRAPPER, urls=urls, fetcher=web)
     parallel = Session()
-    with pytest.raises(ExtractionError):
+    with pytest.raises(FetchError):
         parallel.extract_many(WRAPPER, urls=urls, fetcher=web, max_workers=4)
 
 

@@ -109,3 +109,82 @@ def test_news_markets_and_viticulture_generators():
     assert {"exaa.test/spot", "weather.test/vienna"} <= set(power)
     advisory = parse_html(viticulture_page(seed=1))
     assert len(advisory.find_all("tr")) == 4
+
+
+# ---------------------------------------------------------------------------
+# Resolution determinism, typed fetch errors and failure logging
+# ---------------------------------------------------------------------------
+
+
+def test_lenient_resolution_picks_the_longest_match_deterministically():
+    from repro.web.fetcher import _resolve_key
+
+    web = SimulatedWeb()
+    # Several pages share the "shop.test" prefix; a wrapper naming the
+    # bare site must resolve to the *most specific* page, not whichever
+    # dict order happens to visit first.
+    web.publish("shop.test/a", "<body><p>a</p></body>")
+    web.publish("shop.test/a/deep", "<body><p>deep</p></body>")
+    web.publish("shop.test/b", "<body><p>b</p></body>")
+    assert web.fetch_html("shop.test") == "<body><p>deep</p></body>"
+    # An exact match always wins over any longer prefix sibling.
+    assert web.fetch_html("shop.test/a") == "<body><p>a</p></body>"
+    # Equal-length candidates break ties lexicographically (a pure
+    # function of the published set, whatever the insertion order).
+    assert _resolve_key("shop.test", {"shop.test/b": 1, "shop.test/a": 2}) == (
+        "shop.test/b"
+    )
+    assert _resolve_key("shop.test", {"shop.test/a": 2, "shop.test/b": 1}) == (
+        "shop.test/b"
+    )
+
+
+def test_missing_pages_raise_typed_fetch_errors():
+    from repro.resilience import FetchError, PermanentFetchError
+
+    web = SimulatedWeb()
+    with pytest.raises(PermanentFetchError) as caught:
+        web.fetch("gone.test/page")
+    assert caught.value.url == "gone.test/page"
+    assert isinstance(caught.value, FetchError)
+    assert isinstance(caught.value, KeyError)  # the pre-resilience contract
+    assert "no page published" in str(caught.value)
+
+    static = StaticDocumentFetcher({})
+    with pytest.raises(PermanentFetchError):
+        static.fetch("gone.test")
+
+
+def test_fetch_log_records_every_attempt_and_error_log_the_failures():
+    web = SimulatedWeb()
+    web.publish("a.test", "<body><p>hi</p></body>")
+    web.fetch("a.test")
+    web.fetch_html("a.test")  # fetch_html is an attempt too (was unlogged)
+    with pytest.raises(KeyError):
+        web.fetch("missing.test")
+    assert web.fetch_log == ["a.test", "a.test", "missing.test"]
+    assert len(web.error_log) == 1
+    url, message = web.error_log[0]
+    assert url == "missing.test" and "no page published" in message
+
+
+def test_install_faults_adjudicates_fetches_through_the_plan():
+    from repro.resilience import FaultPlan, TransientFetchError
+
+    web = SimulatedWeb()
+    web.publish("a.test", "<body><p>hi</p></body>")
+    naps = []
+    web.install_faults(
+        FaultPlan().fail_transient("a.test", times=1).add_latency("a.test", 0.2),
+        sleep=naps.append,
+    )
+    with pytest.raises(TransientFetchError):
+        web.fetch("a.test")
+    assert web.fetch("a.test").find_first("p").normalized_text() == "hi"
+    assert naps == [0.2, 0.2]
+    # Injected failures are logged like real ones.
+    assert web.fetch_log == ["a.test", "a.test"]
+    assert len(web.error_log) == 1
+    web.install_faults(None)  # disarm
+    web.fetch("a.test")
+    assert len(web.error_log) == 1
