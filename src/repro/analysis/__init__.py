@@ -12,12 +12,29 @@ Three front doors:
 * :func:`analyze` — one call for any program shape (AST or text);
 * ``Session.analyze`` / ``EngineOptions(on_diagnostics=...)`` — the
   :mod:`repro.api` integration, cached per program fingerprint;
-* ``python -m repro.analysis <file>`` — the CLI, with ``--json``.
+* ``python -m repro.analysis <file>`` — the CLI, with ``--json``,
+  ``--perf`` (adornment/cost P-series checks) and ``--explain`` (plans).
+
+Beyond diagnostics, the package carries the optimizer-grade layer:
+:func:`adorn` (binding-pattern dataflow, :mod:`repro.analysis.dataflow`),
+:func:`relation_estimates` / :func:`check_performance`
+(:mod:`repro.analysis.cost`) and :func:`explain`
+(:mod:`repro.analysis.explain`) — the same machinery the engine uses to
+seed join plans and pre-build advised indexes at compile time.
 
 docs/ANALYSIS.md is the rule catalog with one example per rule id.
 """
 
 from .analyzer import DATALOG, ELOG, Analyzable, analyze, sniff_kind
+from .cost import (
+    DEFAULT_DOMAIN_SIZE,
+    RuleCost,
+    check_performance,
+    relation_estimates,
+    rule_costs,
+)
+from .dataflow import AdornedLiteral, AdornedProgram, AdornedRule, adorn
+from .explain import ExplainPlan, ExplainReport, ExplainRule, ExplainStep, explain
 from .datalog_checks import (
     BUILTIN_PREDICATES,
     TREE_EDB_PREDICATES,
@@ -42,31 +59,45 @@ from .fragments import FragmentReport, classify
 from .scan import ScannedProgram, analyze_scanned, looks_like_program, scan_file, scan_source
 
 __all__ = [
+    "AdornedLiteral",
+    "AdornedProgram",
+    "AdornedRule",
     "Analyzable",
     "AnalysisError",
     "AnalysisReport",
     "BUILTIN_PREDICATES",
     "DATALOG",
+    "DEFAULT_DOMAIN_SIZE",
     "Diagnostic",
     "DiagnosticWarning",
     "ELOG",
     "ERROR",
+    "ExplainPlan",
+    "ExplainReport",
+    "ExplainRule",
+    "ExplainStep",
     "FragmentReport",
     "INFO",
     "POLICIES",
     "RULE_CATALOG",
+    "RuleCost",
     "SEVERITIES",
     "ScannedProgram",
     "TREE_EDB_PREDICATES",
     "TREE_SIGNATURE",
     "WARNING",
+    "adorn",
     "analyze",
     "analyze_scanned",
     "apply_policy",
     "check_elog_program",
+    "check_performance",
     "check_program",
     "classify",
+    "explain",
     "looks_like_program",
+    "relation_estimates",
+    "rule_costs",
     "scan_file",
     "scan_source",
     "sniff_kind",

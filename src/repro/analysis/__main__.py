@@ -12,7 +12,11 @@
 
 Exit status is 1 when any error-severity diagnostic was reported (with
 ``--strict``, warnings count too), 0 otherwise.  ``--json`` emits one JSON
-document with a report per program for tooling.
+document with a report per program for tooling.  ``--perf`` adds the
+P-series adornment/cost checks; ``--explain`` switches to explain plans
+(join orders, index advice, cardinality estimates) — there the exit
+status is 1 only for unparseable programs (an Elog wrapper outside the
+translatable core fragment is reported, not failed).
 """
 
 from __future__ import annotations
@@ -64,6 +68,18 @@ def _build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="exit nonzero on warnings as well as errors",
     )
+    parser.add_argument(
+        "--perf",
+        action="store_true",
+        help="also run the P-series adornment/cost performance checks",
+    )
+    parser.add_argument(
+        "--explain",
+        action="store_true",
+        dest="explain",
+        help="print explain plans (join orders, index advice, cardinality "
+        "estimates) instead of diagnostics",
+    )
     return parser
 
 
@@ -77,30 +93,96 @@ def _python_files(path: str) -> List[str]:
 
 
 def _collect(
-    paths: List[str], kind: Optional[str], edb: str
+    paths: List[str], kind: Optional[str], edb: str, performance: bool = False
 ) -> List[Tuple[str, AnalysisReport]]:
     signature = TREE_SIGNATURE if edb == "tree" else None
     reports: List[Tuple[str, AnalysisReport]] = []
     for path in paths:
         if os.path.isdir(path):
             for python_file in _python_files(path):
-                for scanned, report in analyze_scanned(scan_file(python_file)):
+                for scanned, report in analyze_scanned(
+                    scan_file(python_file), performance=performance
+                ):
                     reports.append((scanned.label, report))
         elif path.endswith(".py"):
-            for scanned, report in analyze_scanned(scan_file(path)):
+            for scanned, report in analyze_scanned(
+                scan_file(path), performance=performance
+            ):
                 reports.append((scanned.label, report))
         else:
             with open(path, "r", encoding="utf-8") as handle:
                 text = handle.read()
             reports.append(
-                (path, analyze(text, kind=kind, edb=signature))
+                (
+                    path,
+                    analyze(
+                        text, kind=kind, edb=signature, performance=performance
+                    ),
+                )
             )
     return reports
 
 
+def _program_texts(paths: List[str]) -> List[Tuple[str, str]]:
+    """(label, program text) for every program named by ``paths``."""
+    texts: List[Tuple[str, str]] = []
+    for path in paths:
+        if os.path.isdir(path):
+            for python_file in _python_files(path):
+                for scanned in scan_file(python_file):
+                    texts.append((scanned.label, scanned.text))
+        elif path.endswith(".py"):
+            for scanned in scan_file(path):
+                texts.append((scanned.label, scanned.text))
+        else:
+            with open(path, "r", encoding="utf-8") as handle:
+                texts.append((path, handle.read()))
+    return texts
+
+
+def _explain_main(options: "argparse.Namespace") -> int:
+    """The ``--explain`` mode: plans instead of diagnostics."""
+    from ..elog.to_mdatalog import ElogTranslationError
+    from .explain import explain
+
+    failures = 0
+    payload: List[object] = []
+    for label, text in _program_texts(options.paths):
+        try:
+            report = explain(text)
+        except ElogTranslationError as error:
+            # An Elog wrapper outside the translatable core fragment has no
+            # datalog plan to show; that is a property of the program, not
+            # a failure of this invocation.
+            if options.as_json:
+                payload.append({"name": label, "untranslatable": str(error)})
+            else:
+                print(f"explain {label}\nnot explainable: {error}\n")
+            continue
+        except Exception as error:  # unparseable / uncompilable program
+            failures += 1
+            if options.as_json:
+                payload.append({"name": label, "error": str(error)})
+            else:
+                print(f"explain {label}\nerror: {error}\n")
+            continue
+        if options.as_json:
+            entry = report.to_dict()
+            entry["name"] = label
+            payload.append(entry)
+        else:
+            print(report.render(label))
+            print()
+    if options.as_json:
+        print(json.dumps(payload, indent=2, sort_keys=True))
+    return 1 if failures else 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     options = _build_parser().parse_args(argv)
-    reports = _collect(options.paths, options.kind, options.edb)
+    if options.explain:
+        return _explain_main(options)
+    reports = _collect(options.paths, options.kind, options.edb, options.perf)
 
     if options.as_json:
         payload = [json.loads(report.to_json(name)) for name, report in reports]

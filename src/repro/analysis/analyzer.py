@@ -49,6 +49,7 @@ def analyze(
     edb: Optional[object] = None,
     query_predicates: Optional[Sequence[str]] = None,
     concepts: Optional[ConceptRegistry] = None,
+    performance: bool = False,
 ) -> AnalysisReport:
     """Analyze ``program`` and return every diagnostic the checks produce.
 
@@ -57,7 +58,10 @@ def analyze(
     ``query_predicates`` feed the datalog D004/D010/D007 checks (see
     :func:`repro.analysis.datalog_checks.check_program`); ``concepts`` the
     Elog E005 check.  Monadic programs default to the tau_ur tree EDB
-    signature.
+    signature.  ``performance=True`` additionally runs the opt-in ``P00x``
+    adornment/cost diagnostics (:func:`repro.analysis.cost.
+    check_performance`) for datalog-shaped input; Elog wrappers ignore the
+    flag (their performance story lives in ``explain()`` after translation).
     """
     if isinstance(program, ElogProgram):
         return _analyze_elog(program, concepts)
@@ -67,15 +71,16 @@ def analyze(
             datalog,
             edb if edb is not None else TREE_SIGNATURE,
             query_predicates,
+            performance,
         )
     if isinstance(program, Program):
-        return _analyze_datalog(program, edb, query_predicates)
+        return _analyze_datalog(program, edb, query_predicates, performance)
     if isinstance(program, str):
         resolved = kind or sniff_kind(program)
         if resolved == ELOG:
             return _analyze_elog_text(program, concepts)
         if resolved == DATALOG:
-            return _analyze_datalog_text(program, edb, query_predicates)
+            return _analyze_datalog_text(program, edb, query_predicates, performance)
         raise ValueError(f"unknown program kind {resolved!r}")
     raise TypeError(
         f"cannot analyze {type(program).__name__}; expected Program, "
@@ -87,10 +92,18 @@ def _analyze_datalog(
     program: Program,
     edb: Optional[object],
     query_predicates: Optional[Sequence[str]],
+    performance: bool = False,
 ) -> AnalysisReport:
     diagnostics = check_program(
         program, edb=edb, query_predicates=query_predicates
     )
+    if performance:
+        from .cost import check_performance
+
+        # D/E ids sort before P ids, so appending keeps rule-id order.
+        diagnostics.extend(
+            check_performance(program, edb=edb, query_predicates=query_predicates)
+        )
     return AnalysisReport(
         kind=DATALOG,
         diagnostics=tuple(diagnostics),
@@ -102,6 +115,7 @@ def _analyze_datalog_text(
     text: str,
     edb: Optional[object],
     query_predicates: Optional[Sequence[str]],
+    performance: bool = False,
 ) -> AnalysisReport:
     try:
         program = parse_program(text)
@@ -113,7 +127,7 @@ def _analyze_datalog_text(
         )
         diagnostic = Diagnostic("D000", ERROR, str(error), span=span)
         return AnalysisReport(kind=DATALOG, diagnostics=(diagnostic,))
-    return _analyze_datalog(program, edb, query_predicates)
+    return _analyze_datalog(program, edb, query_predicates, performance)
 
 
 def _analyze_elog(

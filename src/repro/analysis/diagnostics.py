@@ -61,6 +61,14 @@ RULE_CATALOG: Dict[str, str] = {
     "E004": "condition over a variable the rule never binds",
     "E005": "unknown concept predicate (not registered in the concept registry)",
     "E006": "duplicate pattern rule",
+    # P-series: performance findings from the adornment/cost analysis
+    # (repro/analysis/dataflow.py + cost.py).  Never error severity: they
+    # predict latency, not wrongness, so error-only gates stay green.
+    "P001": "estimated cartesian blowup (join cost estimate exceeds budget)",
+    "P002": "non-linear recursion a linear Theorem-2.4 style rewrite could serve",
+    "P003": "index advice (bound-position keys the compiled plans will probe)",
+    "P004": "query-unreachable IDB computation (derivable but never demanded)",
+    "P005": "join step left completely unbound by the rule's adornment",
 }
 
 

@@ -15,9 +15,10 @@ from __future__ import annotations
 
 import ast
 import re
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import Iterable, List, Optional, Tuple
 
+from ..datalog.ast import Span
 from .analyzer import analyze, sniff_kind
 from .diagnostics import AnalysisReport
 
@@ -40,6 +41,19 @@ class ScannedProgram:
     @property
     def label(self) -> str:
         return f"{self.path}:{self.name}"
+
+    def map_span(self, span: Span) -> Span:
+        """Map a snippet-relative span onto this file's coordinates.
+
+        Line 1 of the embedded text is the line of the string literal's
+        opening quote (triple-quoted program constants start with a
+        newline, so their first rule line lands on ``self.line + 1``,
+        exactly where an editor would jump to).  Columns are left alone:
+        program constants are conventionally unindented.
+        """
+        shift = self.line - 1
+        end_line = span.end_line + shift if span.end_line else span.end_line
+        return Span(span.line + shift, span.column, end_line, span.end_column)
 
 
 def looks_like_program(text: str) -> bool:
@@ -109,17 +123,44 @@ def scan_file(path: str) -> List[ScannedProgram]:
         return scan_source(handle.read(), path)
 
 
+def _shift_into_file(
+    scanned: ScannedProgram, report: AnalysisReport
+) -> AnalysisReport:
+    """Rebase a report's snippet-relative spans onto file coordinates."""
+    if all(d.span is None for d in report.diagnostics):
+        return report
+    shifted = tuple(
+        replace(d, span=scanned.map_span(d.span)) if d.span is not None else d
+        for d in report.diagnostics
+    )
+    return replace(report, diagnostics=shifted)
+
+
 def analyze_scanned(
     programs: Iterable[ScannedProgram],
+    *,
+    performance: bool = False,
 ) -> List[Tuple[ScannedProgram, AnalysisReport]]:
-    """Analyze every scanned program (datalog ones against the tree EDB)."""
+    """Analyze every scanned program (datalog ones against the tree EDB).
+
+    Diagnostic spans are reported in the coordinates of the *enclosing
+    Python file* — the snippet's line numbers are shifted by the string
+    literal's position — so ``path:line`` output is clickable.
+    ``performance=True`` adds the P-series adornment/cost findings for
+    datalog snippets.
+    """
     from .datalog_checks import TREE_SIGNATURE
 
     results: List[Tuple[ScannedProgram, AnalysisReport]] = []
     for scanned in programs:
         if scanned.kind == "datalog":
-            report = analyze(scanned.text, kind="datalog", edb=TREE_SIGNATURE)
+            report = analyze(
+                scanned.text,
+                kind="datalog",
+                edb=TREE_SIGNATURE,
+                performance=performance,
+            )
         else:
             report = analyze(scanned.text, kind="elog")
-        results.append((scanned, report))
+        results.append((scanned, _shift_into_file(scanned, report)))
     return results

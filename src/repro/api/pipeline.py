@@ -79,9 +79,17 @@ _PARSED_WRAPPER_TEXTS: "LruMap[str, ElogProgram]" = LruMap(64)
 class Pipeline:
     """A built, validated pipeline — the façade over an information pipe."""
 
-    def __init__(self, pipe: InformationPipe, session: "Optional[Session]" = None) -> None:
+    def __init__(
+        self,
+        pipe: InformationPipe,
+        session: "Optional[Session]" = None,
+        programs: Sequence[tuple] = (),
+    ) -> None:
         self._pipe = pipe
         self._session = session
+        # (stage name, program) pairs of the wrapper/query stages, kept for
+        # the explain() surface.
+        self._programs = tuple(programs)
 
     @staticmethod
     def builder(
@@ -130,6 +138,26 @@ class Pipeline:
         from ..server.monitoring import resilience_report
 
         return resilience_report(self._pipe)
+
+    def explain(self) -> "Dict[str, object]":
+        """Explain plans for every wrapper/query stage of this pipeline.
+
+        Returns ``{stage name: ExplainReport}`` in stage-definition order
+        (see :func:`repro.analysis.explain.explain`).  Session-bound
+        pipelines answer from the session's analysis cache; unbound ones
+        compute each report directly.  Elog wrappers are explained through
+        their monadic-datalog translation, so the report shows the plans
+        the engine would actually run.
+        """
+        reports: Dict[str, object] = {}
+        for stage_name, program in self._programs:
+            if self._session is not None:
+                reports[stage_name] = self._session.explain(program)
+            else:
+                from ..analysis.explain import explain as _explain
+
+                reports[stage_name] = _explain(program)
+        return reports
 
     def deliverers(self) -> List[DelivererComponent]:
         """Every configured deliverer, including those behind change gates
@@ -502,4 +530,4 @@ class PipelineBuilder:
         # Raises on cycles; unreachable stages are impossible by
         # construction (every non-source stage was connected when added).
         self._pipe._topological_order()
-        return Pipeline(self._pipe, session=self._session)
+        return Pipeline(self._pipe, session=self._session, programs=self._programs)

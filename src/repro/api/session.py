@@ -663,6 +663,64 @@ class Session:
             "MonadicProgram, ElogProgram or source text"
         )
 
+    def explain(
+        self,
+        program: object,
+        query: Optional[Sequence[str]] = None,
+        *,
+        edb: Optional[object] = None,
+        domain_size: Optional[int] = None,
+    ):
+        """The evaluation plan of ``program``, cached per program content.
+
+        Accepts the same shapes as :meth:`analyze` (datalog
+        :class:`Program`, :class:`MonadicProgram`, :class:`ElogProgram` —
+        translated through the monadic layer — or source text) and returns
+        an :class:`~repro.analysis.explain.ExplainReport`: the
+        statically-seeded join orders, filter hoist points, advised index
+        keys, estimated cardinalities and ``P00x`` performance diagnostics
+        the session's engines will run with.  ``query`` narrows the demand
+        analysis to the named query predicates.  Reports are cached in the
+        registry's analysis store, keyed by program content + arguments.
+        """
+        from ..analysis.explain import DEFAULT_DOMAIN_SIZE, explain as _explain
+        from ..elog.to_mdatalog import to_monadic_datalog
+
+        size = domain_size if domain_size is not None else DEFAULT_DOMAIN_SIZE
+        if isinstance(program, str):
+            # Parse through the session memos, like analyze()/query().
+            if sniff_kind(program) == ELOG:
+                program = self._parsed_wrapper(program)
+            else:
+                program = self._resolve(program, "semi-naive", None)[1]
+        if isinstance(program, ElogProgram):
+            program = to_monadic_datalog(program)
+        if isinstance(program, MonadicProgram):
+            if query is None:
+                query = tuple(sorted(program.query_predicates))
+            if edb is None:
+                edb = TREE_SIGNATURE
+            program = program.to_datalog_program()
+        if not isinstance(program, Program):
+            raise TypeError(
+                f"cannot explain {type(program).__name__}; expected Program, "
+                "MonadicProgram, ElogProgram or source text"
+            )
+        if edb is not None and not isinstance(edb, str):
+            edb = frozenset(edb)
+        key = (
+            "explain",
+            edb,
+            tuple(query) if query is not None else None,
+            size,
+        )
+        resolved = program
+        return self.registry.analysis_cached(
+            resolved,
+            lambda: _explain(resolved, query, edb=edb, domain_size=size),
+            key=key,
+        )
+
     def _datalog_report(
         self,
         program: Program,

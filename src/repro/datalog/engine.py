@@ -224,12 +224,18 @@ class SemiNaiveEngine:
         # ``share_plans=False``.
         self._stratum_plans: List[List[RulePlan]] = []
         self._stratum_triggers: List[Dict[str, List[Tuple[RulePlan, int]]]] = []
+        # Statically-seeded planning (repro/analysis/cost.py): seed plans
+        # are compiled at registry time; this flag decides whether run()
+        # consults them, and index_advice drives eager index builds.
+        self._seed_plans = options.effective_use_plans and options.seed_plans
+        self._index_advice: Dict[str, Tuple[Tuple[int, ...], ...]] = {}
         if self.share_plans:
             source = registry if registry is not None else shared_registry()
             compiled = source.compiled(program, self.BUILTINS)
             self.strata = compiled.strata
             self._stratum_plans = compiled.stratum_plans
             self._stratum_triggers = compiled.stratum_triggers
+            self._index_advice = compiled.index_advice
         else:
             self.strata = stratify(program)
             if self.use_plans:
@@ -237,6 +243,12 @@ class SemiNaiveEngine:
                     plans, triggers = compile_stratum(stratum_rules, self.BUILTINS)
                     self._stratum_plans.append(plans)
                     self._stratum_triggers.append(triggers)
+                if self._seed_plans:
+                    from ..analysis.cost import seed_rule_plans
+
+                    self._index_advice = seed_rule_plans(
+                        self._stratum_plans, self._stratum_triggers, program
+                    )
         # Join-order memos are database-sized state and therefore NEVER
         # shared: one memo per (possibly shared) plan, owned by this engine.
         self._plan_memos: Dict[int, PlanMemo] = {
@@ -262,6 +274,16 @@ class SemiNaiveEngine:
     def evaluate(self, database: Database) -> Database:
         """Return all derived facts (EDB facts included in the result)."""
         facts = IndexedDatabase(database)
+        if self._seed_plans and self._index_advice:
+            # Pre-build the hash indexes the seeded plans will probe — the
+            # same indexes the lazy path would build on first probe, just
+            # before the fixpoint starts instead of mid-join.
+            for predicate, keys in self._index_advice.items():
+                if not facts.size(predicate):
+                    continue
+                relation = facts.lookup(predicate)
+                for positions in keys:
+                    relation.ensure_index(positions)
         if self.use_plans:
             for plans, triggers in zip(self._stratum_plans, self._stratum_triggers):
                 self._evaluate_stratum_planned(plans, triggers, facts)
@@ -318,12 +340,13 @@ class SemiNaiveEngine:
     ) -> None:
         add_fact = facts.add_fact
         memos = self._plan_memos
+        use_seeds = self._seed_plans
         # Naive first round: every rule fires once without delta restriction.
         collected: Dict[str, List[Tuple[object, ...]]] = {}
         for plan in plans:
             predicate = plan.head_predicate
             new_facts = None
-            for derived in plan.run(facts, memo=memos[id(plan)]):
+            for derived in plan.run(facts, memo=memos[id(plan)], use_seeds=use_seeds):
                 if add_fact(predicate, derived):
                     if new_facts is None:
                         new_facts = collected.setdefault(predicate, [])
@@ -342,7 +365,9 @@ class SemiNaiveEngine:
                 for plan, position in triggers.get(delta_predicate, ()):
                     predicate = plan.head_predicate
                     new_facts = None
-                    for derived in plan.run(facts, delta, position, memos[id(plan)]):
+                    for derived in plan.run(
+                        facts, delta, position, memos[id(plan)], use_seeds
+                    ):
                         if add_fact(predicate, derived):
                             if new_facts is None:
                                 new_facts = collected.setdefault(predicate, [])

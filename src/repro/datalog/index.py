@@ -121,6 +121,27 @@ class RelationIndex:
             buckets.clear()
 
     # -- probing -------------------------------------------------------------
+    def ensure_index(
+        self, positions: Tuple[int, ...]
+    ) -> Dict[Tuple[object, ...], List[Fact]]:
+        """Materialise (once) and return the hash index for ``positions``.
+
+        Normally indexes appear lazily on first :meth:`probe`; the engine
+        also calls this eagerly before a first fixpoint for the key specs
+        the static index advisor (:mod:`repro.analysis.cost`) predicts the
+        compiled plans will probe with.
+        """
+        buckets = self._indexes.get(positions)
+        if buckets is None:
+            buckets = {}
+            last = positions[-1]
+            for fact in self.facts:
+                if last >= len(fact):
+                    continue
+                buckets.setdefault(tuple(fact[p] for p in positions), []).append(fact)
+            self._indexes[positions] = buckets
+        return buckets
+
     def probe(self, positions: Tuple[int, ...], key: Tuple[object, ...]):
         """Facts whose values at ``positions`` (ascending) equal ``key``.
 
@@ -132,16 +153,7 @@ class RelationIndex:
         if not self.facts:
             # Also keeps the shared _EMPTY_RELATION sentinel truly immutable.
             return _EMPTY
-        buckets = self._indexes.get(positions)
-        if buckets is None:
-            buckets = {}
-            last = positions[-1]
-            for fact in self.facts:
-                if last >= len(fact):
-                    continue
-                buckets.setdefault(tuple(fact[p] for p in positions), []).append(fact)
-            self._indexes[positions] = buckets
-        return buckets.get(key, _EMPTY)
+        return self.ensure_index(positions).get(key, _EMPTY)
 
     def index_count(self) -> int:
         """Number of materialised indexes (introspection / tests)."""

@@ -56,6 +56,16 @@ class EngineOptions:
         Evaluate through compile-once rule plans (:mod:`repro.datalog.plan`).
         ``False`` restores the PR-1 per-call indexed join; implies nothing
         when ``use_index`` is already ``False``.
+    seed_plans:
+        Consult the statically-seeded join plans that the registry compiles
+        from :mod:`repro.analysis.cost` estimates at program-compile time
+        (and pre-build the advised indexes before the first fixpoint).
+        ``False`` restores pure runtime planning — the first query per
+        (rule, delta position) re-runs the greedy planner on live sizes.
+        Join order never affects the fixpoint, only latency; the property
+        suite asserts both settings produce identical results.  No effect
+        when ``effective_use_plans`` is ``False``.  Options-object only:
+        there is no legacy constructor kwarg for this knob.
     share_plans:
         Obtain compiled programs (strata, rule plans, trigger maps — and, in
         the monadic layer, TMNF rewrites) from a shared
@@ -82,6 +92,7 @@ class EngineOptions:
 
     use_index: bool = True
     use_plans: bool = True
+    seed_plans: bool = True
     share_plans: bool = True
     cache_size: int = 8
     force_generic: bool = False

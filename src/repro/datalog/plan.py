@@ -63,6 +63,59 @@ def size_bucket(size: int) -> int:
     return size.bit_length()
 
 
+def greedy_join_order(
+    body: Sequence[Literal],
+    relational: Sequence[int],
+    delta_position: Optional[int],
+    sizes: Mapping[int, float],
+    bound: Optional[Set[Variable]] = None,
+) -> List[int]:
+    """Greedy selectivity ordering of the positive relational literals.
+
+    This is THE join-order policy of the engine — shared verbatim between
+    runtime plan compilation (:meth:`RulePlan._compile`, with live relation
+    sizes) and static analysis (:mod:`repro.analysis.dataflow`, with
+    estimated sizes), so the adornments the analyzer reports are exactly
+    the binding patterns the interpreter will probe with.
+
+    The delta literal (when present) seeds the order — it carries the
+    novelty and is typically the smallest relation.  Each following pick
+    maximises the number of already-bound terms (constants plus variables
+    bound by earlier literals, plus any ``bound`` variables the caller
+    supplies, e.g. head variables bound by a demanded adornment) and
+    tie-breaks on smaller relation size.
+    """
+    remaining = list(relational)
+    order: List[int] = []
+    seen: Set[Variable] = set(bound) if bound else set()
+
+    def absorb(position: int) -> None:
+        for term in body[position].atom.terms:
+            if isinstance(term, Variable):
+                seen.add(term)
+
+    if delta_position is not None and delta_position in remaining:
+        remaining.remove(delta_position)
+        order.append(delta_position)
+        absorb(delta_position)
+    while remaining:
+
+        def selectivity(position: int) -> Tuple[int, float]:
+            atom = body[position].atom
+            bound_terms = sum(
+                1
+                for term in atom.terms
+                if isinstance(term, Constant) or term in seen
+            )
+            return (bound_terms, -sizes[position])
+
+        best = max(remaining, key=selectivity)
+        remaining.remove(best)
+        order.append(best)
+        absorb(best)
+    return order
+
+
 class _CompiledFilter:
     """A builtin comparison or negated literal, precompiled to slot form.
 
@@ -186,6 +239,7 @@ class RulePlan:
         "head_spec",
         "head_unbound",
         "_plans",
+        "seed_plans",
     )
 
     def __init__(self, rule: Rule, builtins: Mapping[str, Callable[..., bool]]) -> None:
@@ -240,6 +294,14 @@ class RulePlan:
         #: Engines sharing this plan pass an instance-local memo instead.
         self._plans: PlanMemo = {}
 
+        #: Statically-seeded plans per delta position, compiled once from
+        #: *estimated* relation sizes (repro/analysis/cost.py) instead of
+        #: live ones.  Consulted by :meth:`_plan_for` on a cold memo only —
+        #: join order affects performance, never the fixpoint, so a seed is
+        #: always safe; once live sizes disagree with the estimates enough
+        #: to miss the memo again, the runtime planner takes over.
+        self.seed_plans: Dict[Optional[int], _JoinPlan] = {}
+
     # ------------------------------------------------------------------
     # Plan lookup (bucket-memoised) and compilation
     # ------------------------------------------------------------------
@@ -247,12 +309,23 @@ class RulePlan:
         """Number of compiled join plans in the default memo (tests)."""
         return len(self._plans)
 
+    def seed(self, delta_position: Optional[int], sizes: Mapping[int, int]) -> None:
+        """Compile (once) a statically-seeded plan for ``delta_position``.
+
+        ``sizes`` maps relational body positions to *estimated* relation
+        sizes — typically from :func:`repro.analysis.cost.relation_estimates`
+        at registry compile time, before any database exists.
+        """
+        if delta_position not in self.seed_plans:
+            self.seed_plans[delta_position] = self._compile(delta_position, sizes)
+
     def _plan_for(
         self,
         facts: IndexedDatabase,
         delta: Optional[IndexedDatabase],
         delta_position: Optional[int],
         memo: Optional[PlanMemo] = None,
+        use_seeds: bool = True,
     ) -> _JoinPlan:
         body = self.rule.body
         sizes: List[int] = []
@@ -266,7 +339,18 @@ class RulePlan:
             memo = self._plans
         plan = memo.get(key)
         if plan is None:
-            plan = self._compile(delta_position, dict(zip(self.relational, sizes)))
+            if use_seeds:
+                seed = self.seed_plans.get(delta_position)
+            else:
+                seed = None
+            if seed is not None and all(k[0] != delta_position for k in memo):
+                # Cold memo for this delta position: trust the static seed
+                # and skip the greedy replan.  Later bucket-signature misses
+                # (live sizes drifting from the estimates) recompile
+                # adaptively as before.
+                plan = seed
+            else:
+                plan = self._compile(delta_position, dict(zip(self.relational, sizes)))
             memo[key] = plan
         return plan
 
@@ -279,34 +363,8 @@ class RulePlan:
         # Greedy selectivity order, exactly as the PR-1 join: the delta
         # literal seeds the order, then each pick maximises already-bound
         # terms and tie-breaks on smaller relation size.
-        remaining = list(self.relational)
-        order: List[int] = []
+        order = greedy_join_order(body, self.relational, delta_position, sizes)
         bound: Set[int] = set()
-
-        def absorb(position: int) -> None:
-            for term in body[position].atom.terms:
-                if isinstance(term, Variable):
-                    bound.add(slot_of[term])
-
-        if delta_position is not None and delta_position in remaining:
-            remaining.remove(delta_position)
-            order.append(delta_position)
-            absorb(delta_position)
-        while remaining:
-
-            def selectivity(position: int) -> Tuple[int, int]:
-                atom = body[position].atom
-                bound_terms = sum(
-                    1
-                    for term in atom.terms
-                    if isinstance(term, Constant) or slot_of[term] in bound
-                )
-                return (bound_terms, -sizes[position])
-
-            best = max(remaining, key=selectivity)
-            remaining.remove(best)
-            order.append(best)
-            absorb(best)
 
         # Second pass: per-step layouts plus filter hoist points.
         hoistable = sorted(
@@ -315,7 +373,6 @@ class RulePlan:
         leftover = tuple(
             f for f in self.filters if f.unbound_term is not None
         )
-        bound.clear()
         initial_filters = tuple(f for f in hoistable if not f.slots)
         pending = [f for f in hoistable if f.slots]
         steps: List[_JoinStep] = []
@@ -373,16 +430,19 @@ class RulePlan:
         delta: Optional[IndexedDatabase] = None,
         delta_position: Optional[int] = None,
         memo: Optional[PlanMemo] = None,
+        use_seeds: bool = True,
     ) -> List[Fact]:
         """All head facts derivable by this rule (delta-restricted when asked).
 
         ``memo`` is the join-order memo to consult (defaulting to this
         plan's own); engines that share one plan through the registry pass
         an instance-local memo so their size-bucket histories stay separate.
-        The result is fully materialised before the caller inserts it, so
-        inserting derived facts never mutates a relation mid-probe.
+        ``use_seeds=False`` opts out of statically-seeded plans (the
+        property tests compare both paths).  The result is fully
+        materialised before the caller inserts it, so inserting derived
+        facts never mutates a relation mid-probe.
         """
-        plan = self._plan_for(facts, delta, delta_position, memo)
+        plan = self._plan_for(facts, delta, delta_position, memo, use_seeds)
         row: List[object] = [None] * self.nvars
         for compiled in plan.initial_filters:
             if not compiled.passes(row, facts):

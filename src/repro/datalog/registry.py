@@ -80,7 +80,13 @@ class CompiledProgram:
     ``RulePlan.run`` consults — is supplied per call by each engine.
     """
 
-    __slots__ = ("fingerprint", "strata", "stratum_plans", "stratum_triggers")
+    __slots__ = (
+        "fingerprint",
+        "strata",
+        "stratum_plans",
+        "stratum_triggers",
+        "index_advice",
+    )
 
     def __init__(
         self,
@@ -96,6 +102,17 @@ class CompiledProgram:
             plans, triggers = compile_stratum(stratum_rules, builtins)
             self.stratum_plans.append(plans)
             self.stratum_triggers.append(triggers)
+        # Seed every plan from the static cost model and record which hash
+        # indexes the seeded plans will probe (the engine pre-builds them).
+        # The plans are not yet published to any engine here, so seeding
+        # needs no locking; the import is lazy only to keep the low-level
+        # datalog package importable without the analysis layer at
+        # module-import time (analysis imports plan/stratify from here).
+        from ..analysis.cost import seed_rule_plans
+
+        self.index_advice: Dict[str, Tuple[Tuple[int, ...], ...]] = seed_rule_plans(
+            self.stratum_plans, self.stratum_triggers, program
+        )
 
     def plans(self) -> Iterator[RulePlan]:
         """All rule plans across strata (introspection / memo setup)."""

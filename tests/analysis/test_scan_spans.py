@@ -1,0 +1,54 @@
+"""Scanner span reporting: diagnostics land on enclosing-file coordinates.
+
+Before this fix, a diagnostic for a program embedded in a ``.py`` file
+carried the snippet's own 1-based line numbers — "line 2" for a constant
+defined at line 40 of the file — so CLI output was unclickable.  The
+scanner now shifts every span by the string literal's position.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.scan import ScannedProgram, analyze_scanned, scan_source
+from repro.datalog.ast import Span
+
+SOURCE = '''\
+"""A module whose program constant sits well below line one."""
+
+GREETING = "hello"
+
+
+PROGRAM = """
+p(X) :- root(X), firstchild(X, Y).
+"""
+'''
+
+
+def test_scanner_records_the_literal_line():
+    [scanned] = scan_source(SOURCE, "module.py")
+    assert scanned.name == "PROGRAM"
+    assert scanned.line == 6  # the line of the opening triple quote
+
+
+def test_diagnostic_spans_are_shifted_into_the_file():
+    [(scanned, report)] = analyze_scanned(scan_source(SOURCE, "module.py"))
+    [singleton] = [d for d in report if d.rule_id == "D005"]
+    # The rule sits on snippet line 2 = file line 7 (opening quote on 6).
+    assert singleton.span is not None
+    assert singleton.span.line == 7
+
+
+def test_map_span_shifts_lines_and_keeps_columns():
+    scanned = ScannedProgram(
+        path="module.py", name="P", line=40, kind="datalog", text=""
+    )
+    mapped = scanned.map_span(Span(2, 5, 3, 9))
+    assert mapped == Span(41, 5, 42, 9)
+    # An unset end_line (0) stays unset rather than being shifted.
+    assert scanned.map_span(Span(1, 1)).end_line == 0
+
+
+def test_spanless_diagnostics_pass_through_unchanged():
+    # A whole-program finding (no span) must survive the shift untouched.
+    source = 'P = """\np(X) :- root(X), firstchild(X, Y).\n"""\n'
+    [(_, report)] = analyze_scanned(scan_source(source, "m.py"))
+    assert any(d.span is None for d in report)  # D008 fragment info

@@ -1,0 +1,84 @@
+"""Property: analysis-seeded planning is invisible to every fixpoint.
+
+The registry seeds each compiled :class:`RulePlan` with a join plan derived
+from static cardinality estimates (:func:`repro.analysis.cost.
+seed_rule_plans`) and pre-builds the advised hash indexes before a first
+fixpoint.  Join order and index availability are pure evaluation-strategy
+choices — so an engine running with seeds must produce *exactly* the
+fixpoint of an unseeded engine, over randomised programs (recursion,
+stratified negation, comparison builtins) and randomised databases, and
+across all three Session backends (semi-naive, monadic, automata).
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+
+from repro import EngineOptions, Session
+from repro.automata import leaf_selector_automaton
+from repro.datalog import SemiNaiveEngine, tree_database
+from repro.mdatalog import MonadicProgram
+
+from tests.properties.test_indexed_join_equivalence import databases, programs
+from tests.properties.test_invariants import LABELS, documents
+
+SEEDED = EngineOptions(share_plans=False)
+UNSEEDED = EngineOptions(share_plans=False, seed_plans=False)
+
+MDATALOG_TEXT = """
+mark(X) :- label_a(X).
+mark(X) :- mark(X0), firstchild(X0, X).
+mark(X) :- mark(X0), nextsibling(X0, X).
+deep(X) :- label_b(B), child(B, X), label_c(X).
+"""
+
+
+@settings(max_examples=60, deadline=None)
+@given(program=programs(), database=databases())
+def test_seeded_and_unseeded_fixpoints_are_identical(program, database):
+    seeded = SemiNaiveEngine(program, options=SEEDED).evaluate(database)
+    unseeded = SemiNaiveEngine(program, options=UNSEEDED).evaluate(database)
+    assert seeded == unseeded
+
+
+@settings(max_examples=30, deadline=None)
+@given(program=programs(), database=databases())
+def test_shared_registry_seeding_matches_private_unseeded(program, database):
+    # The default path (shared registry, seeds on) against a fully private,
+    # unseeded compilation — the strongest "seeding changes nothing" claim.
+    shared = SemiNaiveEngine(program)
+    private = SemiNaiveEngine(program, options=UNSEEDED)
+    assert shared.evaluate(database) == private.evaluate(database)
+
+
+@settings(max_examples=25, deadline=None)
+@given(document=documents())
+def test_seeding_is_invisible_on_the_semi_naive_backend_over_trees(document):
+    program = MonadicProgram.parse(MDATALOG_TEXT).to_datalog_program()
+    database = tree_database(document)
+    seeded = SemiNaiveEngine(program, options=SEEDED).evaluate(database)
+    unseeded = SemiNaiveEngine(program, options=UNSEEDED).evaluate(database)
+    assert seeded == unseeded
+
+
+@settings(max_examples=25, deadline=None)
+@given(document=documents())
+def test_seeding_is_invisible_on_the_monadic_backend(document):
+    program = MonadicProgram.parse(MDATALOG_TEXT)
+    seeded = Session(SEEDED).query(program, document)
+    unseeded = Session(UNSEEDED).query(program, document)
+    for predicate in program.query_predicates:
+        assert [n.preorder_index for n in seeded.nodes(predicate)] == [
+            n.preorder_index for n in unseeded.nodes(predicate)
+        ]
+
+
+@settings(max_examples=25, deadline=None)
+@given(document=documents())
+def test_seeding_is_invisible_on_the_automata_backend(document):
+    automaton = leaf_selector_automaton(LABELS)
+    seeded = Session(SEEDED).query(automaton, document, labels=LABELS)
+    unseeded = Session(UNSEEDED).query(automaton, document, labels=LABELS)
+    assert [n.preorder_index for n in seeded.nodes("selected")] == [
+        n.preorder_index for n in unseeded.nodes("selected")
+    ]
