@@ -1,0 +1,122 @@
+"""Scale-out workloads: worker processes versus threads on CPU-bound streams.
+
+PR 9's tentpole claim: Python evaluation is GIL-bound, so the thread-pool
+batch paths buy little on CPU-bound document streams — worker *processes*
+(``workers=`` on the batch APIs, docs/DISTRIB.md) are the first knob that
+buys real parallelism.  The workload is the monadic ITALIC selection over
+10^4 varied trees (reduced under ``--quick``):
+
+* ``distrib_seq_s`` — the sequential ``query_many`` stream;
+* ``distrib_threads_s`` — the same stream on ``max_workers=4`` threads
+  (the GIL ceiling being beaten);
+* ``distrib_4proc_s`` — four worker processes through the distrib
+  subsystem, envelope pickling and per-worker compilation included;
+* ``distrib_speedup_vs_threads_x`` — the headline ratio; on a >= 4-core
+  machine the full-size run must clear 2x.
+
+All ``distrib_*`` workloads go into BENCH_engine.json under the noisy
+prefix list (process scheduling varies across runners).
+"""
+
+from __future__ import annotations
+
+import os
+import random
+
+from repro import DistribOptions, Session
+from repro.mdatalog import MonadicProgram
+from repro.tree import tree
+
+DOCUMENTS = 10_000
+QUICK_DOCUMENTS = 400
+WORKERS = 4
+
+ITALIC = MonadicProgram.parse(
+    """
+    italic(X) :- label_i(X).
+    italic(X) :- italic(X0), firstchild(X0, X).
+    italic(X) :- italic(X0), nextsibling(X0, X).
+    """,
+    query_predicates=["italic"],
+)
+
+LABELS = ("p", "b", "i", "a", "li", "td")
+
+#: Distinct trees in the pool; the stream cycles them round-robin, which
+#: defeats the size-8 fixpoint LRU identically in every mode while keeping
+#: the resident set small.
+POOL = 250
+
+
+def _spec(rng: random.Random, depth: int):
+    label = rng.choice(LABELS)
+    if depth == 0:
+        return (label,)
+    children = tuple(
+        _spec(rng, depth - 1) for _ in range(rng.randint(2, 3))
+    )
+    return (label,) + children
+
+
+def varied_documents(count: int):
+    """``count`` documents cycling a pool of deep varied trees.
+
+    Depth 4-6 with branching 2-3 puts per-document evaluation at ~1-3ms —
+    well above the per-envelope pickling cost, so the workload measures
+    computation, not serialization.
+    """
+    rng = random.Random(20260808)
+    pool = [
+        tree(("doc",) + _spec(rng, rng.randint(4, 6))[1:])
+        for _ in range(min(POOL, count))
+    ]
+    return [pool[i % len(pool)] for i in range(count)]
+
+
+def selected(results) -> int:
+    return sum(len(result.tuples("italic")) for result in results)
+
+
+def test_processes_beat_threads_on_a_cpu_bound_stream(
+    bench_record, best_of, quick
+):
+    count = QUICK_DOCUMENTS if quick else DOCUMENTS
+    documents = varied_documents(count)
+    distrib = DistribOptions(workers=WORKERS, start_method="fork")
+
+    seq_s, seq_results = best_of(
+        lambda: Session().query_many(ITALIC, documents), repeats=1
+    )
+    threads_s, thread_results = best_of(
+        lambda: Session().query_many(ITALIC, documents, max_workers=WORKERS),
+        repeats=1,
+    )
+    proc_s, proc_results = best_of(
+        lambda: Session().query_many(ITALIC, documents, workers=distrib),
+        repeats=1,
+    )
+
+    # Same answers whichever way the stream ran.
+    assert selected(proc_results) == selected(seq_results) == selected(
+        thread_results
+    )
+
+    speedup = threads_s / proc_s
+    bench_record("distrib_seq_s", seq_s)
+    bench_record("distrib_threads_s", threads_s)
+    bench_record(f"distrib_{WORKERS}proc_s", proc_s)
+    bench_record("distrib_speedup_vs_threads_x", speedup)
+
+    print(
+        f"\n[distrib] {count} documents: sequential {seq_s:.3f}s, "
+        f"{WORKERS} threads {threads_s:.3f}s, {WORKERS} processes "
+        f"{proc_s:.3f}s ({speedup:.2f}x vs threads)"
+    )
+
+    cores = os.cpu_count() or 1
+    if not quick and cores >= 4:
+        assert speedup >= 2.0, (
+            f"{WORKERS} worker processes only {speedup:.2f}x over threads "
+            f"on a {cores}-core machine (expected >= 2x on the CPU-bound "
+            "stream)"
+        )

@@ -46,7 +46,11 @@ def load(path: str) -> Dict[str, float]:
 
 #: Workload families whose timings depend on OS thread scheduling; their
 #: effective threshold is doubled (see module docstring).
-NOISY_PREFIXES: Tuple[str, ...] = ("session_concurrency_", "extract_many_parallel_")
+NOISY_PREFIXES: Tuple[str, ...] = (
+    "session_concurrency_",
+    "extract_many_parallel_",
+    "distrib_",
+)
 
 
 def workload_threshold(workload: str, threshold: float) -> float:

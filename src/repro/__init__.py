@@ -31,6 +31,8 @@ from .api import (
     AnalysisError,
     AnalysisReport,
     Diagnostic,
+    DistribInfo,
+    DistribOptions,
     EngineOptions,
     ErrorResult,
     ExtractionResult,
@@ -52,6 +54,8 @@ __all__ = [
     "AnalysisError",
     "AnalysisReport",
     "Diagnostic",
+    "DistribInfo",
+    "DistribOptions",
     "EngineOptions",
     "ErrorResult",
     "ExtractionResult",

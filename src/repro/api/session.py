@@ -40,6 +40,7 @@ concurrency").
 
 from __future__ import annotations
 
+from collections import deque
 from concurrent.futures import ThreadPoolExecutor
 from typing import Dict, Hashable, Iterable, List, Optional, Sequence, Tuple
 
@@ -50,7 +51,16 @@ from ..datalog.ast import Program
 from ..datalog.cache import CacheInfo, LruMap, SingleFlight
 from ..datalog.options import DEFAULT_OPTIONS, EngineOptions
 from ..datalog.parser import DatalogSyntaxError
-from ..datalog.registry import PlanRegistry
+from ..datalog.registry import PlanRegistry, program_fingerprint
+from ..distrib.envelope import TaskEnvelope
+from ..distrib.executor import (
+    DistribInfo,
+    DistribOptions,
+    DistribStats,
+    ProcessExecutor,
+    resolve_distrib,
+)
+from ..distrib.journal import task_id_for
 from ..elog.ast import ElogProgram
 from ..elog.extractor import (
     Extractor,
@@ -123,6 +133,9 @@ class Session:
         # One stats sink for the whole session: every resilient fetcher the
         # session wraps, and every isolated batch error, reports here.
         self._resilience_stats = ResilienceStats()
+        # Likewise for the multi-process batch paths (workers=): dispatch /
+        # ack / requeue counters and per-worker compile accounting.
+        self._distrib_stats = DistribStats()
         self._evaluators: LruMap[Tuple[str, Hashable], object] = LruMap(
             self.MAX_EVALUATORS
         )
@@ -274,12 +287,13 @@ class Session:
     def query_many(
         self,
         program: object,
-        sources: Sequence[object],
+        sources: Iterable[object],
         backend: Optional[str] = None,
         *,
         labels: Optional[Iterable[str]] = None,
         max_workers: Optional[int] = None,
         on_error: Optional[str] = None,
+        workers: Optional[object] = None,
     ) -> List[QueryResult]:
         """The batch path: one compiled evaluator over a source stream.
 
@@ -302,8 +316,35 @@ class Session:
         :class:`~repro.resilience.policy.ErrorResult` in the failed slot
         (result order still matches ``sources``).  A session constructed
         with ``resilience=`` defaults to its policy's ``on_error``.
+
+        ``workers`` scales *out*: ``"process"``, a worker count, or a
+        :class:`~repro.distrib.DistribOptions` runs the batch on worker
+        **processes** through the distrib subsystem (real CPU parallelism,
+        durable journal, crash recovery — see docs/DISTRIB.md); the
+        ``on_error`` slot semantics are unchanged.  ``sources`` may also be
+        a generator: the stream feeds a bounded dispatch window instead of
+        being materialised (label-union derivation then needs an explicit
+        ``labels=`` for the automata backend).
         """
         on_error = self._resolve_on_error(on_error)
+        if workers is not None:
+            return self._query_many_process(
+                program,
+                sources,
+                backend,
+                labels=labels,
+                on_error=on_error,
+                distrib=resolve_distrib(workers),
+            )
+        if not isinstance(sources, Sequence):
+            return self._query_many_stream(
+                program,
+                sources,
+                backend,
+                labels=labels,
+                max_workers=max_workers,
+                on_error=on_error,
+            )
         if labels is None:
             union: set = set()
             for source in sources:
@@ -345,6 +386,136 @@ class Session:
                 )
         else:
             slots = [guarded(index, source) for index, source in enumerate(sources)]
+        if on_error == "skip":
+            return [slot for slot in slots if not isinstance(slot, ErrorResult)]
+        return slots
+
+    def _query_many_stream(
+        self,
+        program: object,
+        sources: Iterable[object],
+        backend: Optional[str],
+        *,
+        labels: Optional[Iterable[str]],
+        max_workers: Optional[int],
+        on_error: str,
+    ) -> List[QueryResult]:
+        """:meth:`query_many` over a generator: one source in memory at a
+        time (sequential) or a bounded thread-pool dispatch window
+        (``max_workers * 4`` submissions in flight), never the whole batch.
+        No label-union pass — that would consume the stream — so the
+        automata backend needs an explicit ``labels=`` here."""
+        resolved, native, label_key = self._resolve(program, backend, labels)
+        self._enforce_diagnostics(resolved, native)
+        evaluator = self._memoised(resolved, native, label_key)
+
+        def evaluate(index: int, source: object) -> QueryResult:
+            if on_error == "raise":
+                return resolved.run(evaluator, source)
+            try:
+                return resolved.run(evaluator, source)
+            except Exception as error:
+                return self._isolated(error, index=index, backend=resolved.name)
+
+        slots: List[QueryResult] = []
+        if max_workers is not None and max_workers > 1:
+            window = max_workers * 4
+            with ThreadPoolExecutor(
+                max_workers=max_workers, thread_name_prefix="repro-query"
+            ) as pool:
+                jobs: deque = deque()
+                for index, source in enumerate(sources):
+                    jobs.append(pool.submit(evaluate, index, source))
+                    if len(jobs) >= window:
+                        slots.append(jobs.popleft().result())
+                while jobs:
+                    slots.append(jobs.popleft().result())
+        else:
+            slots = [
+                evaluate(index, source) for index, source in enumerate(sources)
+            ]
+        if on_error == "skip":
+            return [slot for slot in slots if not isinstance(slot, ErrorResult)]
+        return slots
+
+    def _query_many_process(
+        self,
+        program: object,
+        sources: Iterable[object],
+        backend: Optional[str],
+        *,
+        labels: Optional[Iterable[str]],
+        on_error: str,
+        distrib: DistribOptions,
+    ) -> List[QueryResult]:
+        """:meth:`query_many` on worker processes (the distrib subsystem).
+
+        The program is resolved (and its diagnostics enforced) in the
+        parent, then shipped as source/AST — never compiled plans — and
+        re-hydrated through each worker's own registry, fingerprint-
+        verified.  Sequences still get the automata label-union pass;
+        generators stream straight into the executor's bounded window.
+        """
+        if labels is None and isinstance(sources, Sequence):
+            union: set = set()
+            for source in sources:
+                if isinstance(source, Document):
+                    union.update(source.labels())
+            labels = union or None
+        resolved, native, label_key = self._resolve(program, backend, labels)
+        self._enforce_diagnostics(resolved, native)
+        fingerprint = (
+            program_fingerprint(native) if isinstance(native, Program) else None
+        )
+
+        def envelopes() -> Iterable[TaskEnvelope]:
+            for index, source in enumerate(sources):
+                yield TaskEnvelope(
+                    task_id=task_id_for(index),
+                    index=index,
+                    kind="query",
+                    program=native,
+                    fingerprint=fingerprint,
+                    backend=resolved.name,
+                    labels=label_key,
+                    options=self.options,
+                    resilience=self.resilience,
+                    payload=source,
+                    payload_kind=(
+                        "document" if isinstance(source, Document) else "database"
+                    ),
+                )
+
+        executor = ProcessExecutor(distrib, stats=self._distrib_stats)
+        outcomes = executor.run(envelopes())
+        return self._collect_outcomes(outcomes, on_error, backend=resolved.name)
+
+    def _collect_outcomes(
+        self, outcomes, on_error: str, *, backend: str
+    ) -> List[QueryResult]:
+        """Distrib results back into batch-slot semantics.
+
+        ``"raise"`` re-raises the lowest-index failure (the distributed
+        batch has already drained — workers evaluate independently, so
+        "abort on first failure" means "fail with the first slot's
+        error"); ``"skip"`` / ``"collect"`` mirror the thread paths,
+        including the :meth:`_isolated` accounting.
+        """
+        slots: List[QueryResult] = []
+        for outcome in outcomes:
+            if outcome.ok:
+                slots.append(outcome.result)
+            elif on_error == "raise":
+                raise outcome.error
+            else:
+                slots.append(
+                    self._isolated(
+                        outcome.error,
+                        index=outcome.index,
+                        url=outcome.url,
+                        backend=backend,
+                    )
+                )
         if on_error == "skip":
             return [slot for slot in slots if not isinstance(slot, ErrorResult)]
         return slots
@@ -430,12 +601,13 @@ class Session:
     def extract_many(
         self,
         program: "ElogProgram | str",
-        documents: Sequence[Document] = (),
+        documents: Iterable[Document] = (),
         *,
-        urls: Sequence[str] = (),
+        urls: Iterable[str] = (),
         fetcher: Optional[Fetcher] = None,
         max_workers: Optional[int] = None,
         on_error: Optional[str] = None,
+        workers: Optional[object] = None,
     ) -> List[ExtractionResult]:
         """The batch extraction path for server-style document streams.
 
@@ -464,8 +636,26 @@ class Session:
         additionally routes every fetch through a
         :class:`~repro.resilience.retry.ResilientFetcher` and defaults
         ``on_error`` to its policy's.
+
+        ``workers`` scales *out* (``"process"`` / a worker count /
+        :class:`~repro.distrib.DistribOptions`): the stream runs on worker
+        processes through the distrib subsystem — see docs/DISTRIB.md.
+        ``documents`` / ``urls`` may be generators; they then stream into a
+        bounded dispatch window instead of being materialised (the URL
+        prefetch overlap applies to sequence inputs only).
         """
         on_error = self._resolve_on_error(on_error)
+        if workers is not None:
+            return self._extract_many_process(
+                program, documents, urls, fetcher, on_error,
+                resolve_distrib(workers),
+            )
+        if not (
+            isinstance(documents, Sequence) and isinstance(urls, Sequence)
+        ):
+            return self._extract_many_stream(
+                program, documents, urls, fetcher, max_workers, on_error
+            )
         extractor = self.wrapper(program, fetcher)
         run_fetcher = fetcher
         if self.resilience is not None and fetcher is not None:
@@ -592,6 +782,124 @@ class Session:
         finally:
             if fetch_pool is not None:
                 fetch_pool.shutdown()
+
+    def _extract_many_stream(
+        self,
+        program: "ElogProgram | str",
+        documents: Iterable[Document],
+        urls: Iterable[str],
+        fetcher: Optional[Fetcher],
+        max_workers: Optional[int],
+        on_error: str,
+    ) -> List[ExtractionResult]:
+        """:meth:`extract_many` over generators: bounded dispatch window,
+        no batch materialisation, no up-front URL prefetch pass (fetches
+        overlap through the pool threads themselves)."""
+        extractor = self.wrapper(program, fetcher)
+        if self.resilience is not None and fetcher is not None:
+            extractor = extractor.with_fetcher(self._resilient(fetcher))
+        auxiliary = extractor.program.auxiliary_patterns
+
+        def stream() -> Iterable[Tuple[str, object]]:
+            for doc in documents:
+                yield ("document", doc)
+            for url in urls:
+                yield ("url", url)
+
+        def evaluate(index: int, kind: str, item: object) -> ExtractionResult:
+            url = item if kind == "url" else getattr(item, "url", None)
+            try:
+                if kind == "url":
+                    base = extractor.extract(url=item)
+                else:
+                    base = extractor.extract(document=item)
+                return ExtractionResult(base, auxiliary=auxiliary)
+            except Exception as error:
+                if on_error == "raise":
+                    raise
+                return self._isolated(error, index=index, url=url, backend="elog")
+
+        slots: List[ExtractionResult] = []
+        if max_workers is not None and max_workers > 1:
+            window = max_workers * 4
+            with ThreadPoolExecutor(
+                max_workers=max_workers, thread_name_prefix="repro-extract"
+            ) as pool:
+                jobs: deque = deque()
+                for index, (kind, item) in enumerate(stream()):
+                    jobs.append(pool.submit(evaluate, index, kind, item))
+                    if len(jobs) >= window:
+                        slots.append(jobs.popleft().result())
+                while jobs:
+                    slots.append(jobs.popleft().result())
+        else:
+            slots = [
+                evaluate(index, kind, item)
+                for index, (kind, item) in enumerate(stream())
+            ]
+        if on_error == "skip":
+            return [slot for slot in slots if not isinstance(slot, ErrorResult)]
+        return slots
+
+    def _extract_many_process(
+        self,
+        program: "ElogProgram | str",
+        documents: Iterable[Document],
+        urls: Iterable[str],
+        fetcher: Optional[Fetcher],
+        on_error: str,
+        distrib: DistribOptions,
+    ) -> List[ExtractionResult]:
+        """:meth:`extract_many` on worker processes.
+
+        The wrapper parses (and its diagnostics apply) in the parent;
+        workers re-build their interpreter from the shipped
+        :class:`~repro.elog.ast.ElogProgram` once each.  ``fetcher``
+        travels inside each URL envelope, and each worker's session wraps
+        it under the session's resilience policy exactly like the
+        in-process paths; worker-side fetch logs stay in the worker.
+        """
+        if isinstance(program, str):
+            program = self._parsed_wrapper(program)
+        if self.options.on_diagnostics != "ignore":
+            apply_policy(
+                self._elog_report(program),
+                self.options.on_diagnostics,
+                "elog wrapper",
+            )
+        wrapper_program = program
+
+        def envelopes() -> Iterable[TaskEnvelope]:
+            index = 0
+            for doc in documents:
+                yield TaskEnvelope(
+                    task_id=task_id_for(index),
+                    index=index,
+                    kind="extract",
+                    program=wrapper_program,
+                    options=self.options,
+                    resilience=self.resilience,
+                    payload=doc,
+                    payload_kind="document",
+                )
+                index += 1
+            for url in urls:
+                yield TaskEnvelope(
+                    task_id=task_id_for(index),
+                    index=index,
+                    kind="extract",
+                    program=wrapper_program,
+                    options=self.options,
+                    resilience=self.resilience,
+                    payload=url,
+                    payload_kind="url",
+                    fetcher=fetcher,
+                )
+                index += 1
+
+        executor = ProcessExecutor(distrib, stats=self._distrib_stats)
+        outcomes = executor.run(envelopes())
+        return self._collect_outcomes(outcomes, on_error, backend="elog")
 
     # ------------------------------------------------------------------
     # Pipelines
@@ -798,6 +1106,14 @@ class Session:
         isolating ``on_error=``) is used."""
         return self._resilience_stats.snapshot()
 
+    def distrib_info(self) -> DistribInfo:
+        """The session's scale-out accounting: tasks dispatched / acked /
+        requeued across every ``workers=`` batch, worker crash events,
+        current queue depth, and per-worker-pid compile counts (how the
+        tests pin "one compilation per program per worker").  All zeros
+        until a ``workers=`` batch runs."""
+        return self._distrib_stats.snapshot()
+
     def info(self) -> Dict[str, object]:
         """A monitoring snapshot of everything the session owns."""
         return {
@@ -807,6 +1123,7 @@ class Session:
             "extractors": len(self._extractors),
             "plan_registry": self.registry.info(),
             "resilience": self._resilience_stats.snapshot(),
+            "distrib": self._distrib_stats.snapshot(),
         }
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

@@ -1,0 +1,62 @@
+"""Multi-process scale-out: a durable, checkpointed work queue.
+
+The distrib subsystem fans the façade's batch paths
+(:meth:`repro.api.Session.query_many`,
+:meth:`repro.api.Session.extract_many`,
+:meth:`repro.server.pipeline.TransformationServer.run_all`) out over
+worker *processes* — real CPU parallelism for the GIL-bound evaluators —
+without ever shipping compiled state:
+
+* :mod:`~repro.distrib.envelope` — the pickle-safe wire protocol
+  (:class:`TaskEnvelope` / :class:`ResultEnvelope`; compiled plans are
+  rejected at construction);
+* :mod:`~repro.distrib.worker` — the worker entry point: one memoised
+  :class:`~repro.api.Session` per options/policy pair, so each distinct
+  program compiles **once per worker** through the worker's own
+  :class:`~repro.datalog.registry.PlanRegistry`
+  (:meth:`~repro.datalog.registry.PlanRegistry.rehydrate`);
+* :mod:`~repro.distrib.journal` — the durable queue: append-only JSONL
+  journal + atomic checkpoint, lease/ack/requeue records;
+* :mod:`~repro.distrib.executor` — the crash-tolerant pool driver
+  (:class:`ProcessExecutor`), its knobs (:class:`DistribOptions`,
+  :class:`CrashPlan`) and accounting (:class:`DistribStats` →
+  :class:`DistribInfo`).
+
+Crash contract: a killed worker loses at most its in-flight documents —
+each is requeued (bounded by ``max_requeues``) and re-run exactly once
+per crash; with a journal, a killed *parent* resumes re-running only the
+leased-but-unacked tail.  See docs/DISTRIB.md.
+"""
+
+from .envelope import PAYLOAD_KINDS, TASK_KINDS, ResultEnvelope, TaskEnvelope
+from .executor import (
+    START_METHODS,
+    CrashPlan,
+    DistribInfo,
+    DistribOptions,
+    DistribStats,
+    ProcessExecutor,
+    default_start_method,
+    resolve_distrib,
+)
+from .journal import JournalState, WorkJournal, task_id_for
+from .worker import run_task
+
+__all__ = [
+    "PAYLOAD_KINDS",
+    "TASK_KINDS",
+    "ResultEnvelope",
+    "TaskEnvelope",
+    "START_METHODS",
+    "CrashPlan",
+    "DistribInfo",
+    "DistribOptions",
+    "DistribStats",
+    "ProcessExecutor",
+    "default_start_method",
+    "resolve_distrib",
+    "JournalState",
+    "WorkJournal",
+    "task_id_for",
+    "run_task",
+]

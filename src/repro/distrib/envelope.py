@@ -1,0 +1,155 @@
+"""The distrib wire protocol: pickle-safe task and result envelopes.
+
+A :class:`TaskEnvelope` is everything a worker process needs to evaluate
+one document with *no* shared memory: the program (source text or a plain
+AST — never compiled plans), its content fingerprint (so the worker can
+verify its re-hydrated compilation matches the sender's), the
+:class:`~repro.datalog.options.EngineOptions` and
+:class:`~repro.resilience.policy.ResiliencePolicy` to evaluate under, and
+the document payload itself.  A :class:`ResultEnvelope` carries the slot's
+outcome back, plus the worker's identity and compile accounting for
+:meth:`repro.api.Session.distrib_info`.
+
+Compiled artifacts are rejected at construction, not at pickling time:
+:class:`~repro.datalog.plan.RulePlan` and
+:class:`~repro.datalog.registry.CompiledProgram` close over the engine's
+builtin callables and must never cross a process boundary — workers
+re-hydrate through their own :class:`~repro.datalog.registry.PlanRegistry`
+(:meth:`~repro.datalog.registry.PlanRegistry.rehydrate`), which is the
+whole point of the fingerprint-keyed registry design.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Optional, Tuple
+
+from ..datalog.options import DEFAULT_OPTIONS, EngineOptions
+from ..datalog.plan import RulePlan
+from ..datalog.registry import CompiledProgram
+from ..resilience.policy import ResiliencePolicy
+
+#: Task kinds the worker protocol understands.
+TASK_KINDS = ("query", "extract", "pipe")
+
+#: Payload shapes a task can carry.
+PAYLOAD_KINDS = ("document", "database", "url", "pipe")
+
+
+def _reject_compiled(value: object, role: str) -> None:
+    """Refuse compiled evaluation artifacts anywhere in an envelope.
+
+    Shallow by design: the hazard is a caller handing the envelope a
+    ``RulePlan`` / ``CompiledProgram`` (or a list of them) instead of the
+    program; deeply nested compiled state would already fail to pickle.
+    """
+    probes = [value]
+    if isinstance(value, (list, tuple, set, frozenset)):
+        probes.extend(value)
+    for probe in probes:
+        if isinstance(probe, (RulePlan, CompiledProgram)):
+            raise TypeError(
+                f"TaskEnvelope.{role} must not carry compiled artifacts "
+                f"({type(probe).__name__}); ship the program source/AST and "
+                "let the worker re-hydrate through its own PlanRegistry"
+            )
+
+
+@dataclass(frozen=True)
+class TaskEnvelope:
+    """One unit of distributable work (see module docstring).
+
+    Attributes
+    ----------
+    task_id:
+        Stable identity across requeues and journal resumes (derived from
+        the batch index, so a resumed run re-keys identically).
+    index:
+        The slot in the caller's batch — result order is restored from it.
+    kind:
+        ``"query"`` (datalog / monadic / automata over a document or
+        database), ``"extract"`` (Elog over a document or URL), or
+        ``"pipe"`` (a whole :class:`~repro.server.pipeline.InformationPipe`
+        run).
+    program:
+        Source text or a plain program AST; ``None`` for ``"pipe"`` tasks.
+    fingerprint:
+        The sender's :func:`~repro.datalog.registry.program_fingerprint`
+        when the program is a datalog :class:`~repro.datalog.ast.Program`;
+        the worker verifies its re-hydrated compilation against it.
+    payload / payload_kind:
+        The document, database, URL, or pipe this task evaluates.
+    fetcher:
+        Required by ``"extract"`` tasks over URLs (pickled per envelope —
+        worker-side fetch logs stay in the worker).
+    attempt:
+        0 on first dispatch; bumped by every crash requeue.
+    crash:
+        Chaos-injection flag: a worker receiving ``crash=True`` SIGKILLs
+        itself *after* logging the execution — deterministic worker death
+        for the recovery tests (see :class:`~repro.distrib.executor.
+        CrashPlan`).
+    task_log:
+        Optional path of an append-only per-execution audit log (chaos
+        tests count actual re-executions from it).
+    """
+
+    task_id: str
+    index: int
+    kind: str
+    program: object = None
+    fingerprint: Optional[int] = None
+    backend: Optional[str] = None
+    labels: Optional[Tuple[str, ...]] = None
+    options: EngineOptions = DEFAULT_OPTIONS
+    resilience: Optional[ResiliencePolicy] = None
+    payload: object = None
+    payload_kind: str = "document"
+    fetcher: object = None
+    attempt: int = 0
+    crash: bool = False
+    task_log: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if self.kind not in TASK_KINDS:
+            raise ValueError(
+                f"TaskEnvelope.kind={self.kind!r}: expected one of {TASK_KINDS}"
+            )
+        if self.payload_kind not in PAYLOAD_KINDS:
+            raise ValueError(
+                f"TaskEnvelope.payload_kind={self.payload_kind!r}: "
+                f"expected one of {PAYLOAD_KINDS}"
+            )
+        _reject_compiled(self.program, "program")
+        _reject_compiled(self.payload, "payload")
+
+    def requeued(self) -> "TaskEnvelope":
+        """A copy dispatched after a worker crash: the attempt counter
+        moves and the chaos flag resets (arming is per-dispatch — the
+        executor's :class:`~repro.distrib.executor.CrashPlan` decides
+        afresh against the new attempt number)."""
+        return replace(self, attempt=self.attempt + 1, crash=False)
+
+
+@dataclass
+class ResultEnvelope:
+    """One task's outcome travelling back from a worker.
+
+    ``ok`` results carry the evaluated ``result`` (a
+    :class:`~repro.api.results.QueryResult` /
+    :class:`~repro.api.results.ExtractionResult` / pipe results mapping);
+    failed ones carry the ``error`` exactly as the in-process batch paths
+    would have seen it, so the parent applies identical ``on_error`` slot
+    semantics.  ``pid`` and ``compile_count`` feed the per-worker compile
+    accounting of :class:`~repro.distrib.executor.DistribStats`.
+    """
+
+    task_id: str
+    index: int
+    ok: bool
+    result: object = None
+    error: Optional[BaseException] = None
+    pid: int = 0
+    compile_count: int = 0
+    elapsed_s: float = 0.0
+    url: Optional[str] = field(default=None)

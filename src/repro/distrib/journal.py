@@ -1,0 +1,172 @@
+"""The durable work queue: an append-only JSONL journal plus a checkpoint.
+
+Every state transition of a distributed batch is one JSON line appended to
+the journal file, flushed immediately so a killed parent (or worker) loses
+nothing already recorded:
+
+* ``{"type": "task", "id": ..., "index": ...}`` — the task entered the
+  queue;
+* ``{"type": "lease", "id": ..., "attempt": n}`` — the task was dispatched
+  to a worker (attempt ``n``, 0-based);
+* ``{"type": "ack", "id": ..., "result": "<base64 pickle>"}`` — the task
+  finished; the acknowledgement carries the whole pickled
+  :class:`~repro.distrib.envelope.ResultEnvelope`, so a resumed run
+  returns complete results without re-running acknowledged work;
+* ``{"type": "requeue", "id": ..., "attempt": n, "reason": ...}`` — a
+  worker died holding the lease; the task re-enters the queue.
+
+The checkpoint file (``<journal>.checkpoint``) is a tiny JSON summary —
+acked / dispatched / requeued counts — rewritten atomically after every
+acknowledgement, so monitoring can read queue progress without replaying
+the journal.
+
+Crash semantics: a task is re-run **iff** it was leased but never acked —
+the killed worker's in-flight document(s), nothing else.
+:func:`WorkJournal.load` replays a journal into a :class:`JournalState`;
+:meth:`~repro.distrib.executor.ProcessExecutor.run` consults it and
+dispatches only unacknowledged tasks.
+"""
+
+from __future__ import annotations
+
+import base64
+import json
+import os
+import pickle
+import threading
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from .envelope import ResultEnvelope
+
+
+@dataclass
+class JournalState:
+    """A replayed journal: what already happened in a previous run."""
+
+    acked: Dict[str, ResultEnvelope] = field(default_factory=dict)
+    lease_counts: Dict[str, int] = field(default_factory=dict)
+    requeue_counts: Dict[str, int] = field(default_factory=dict)
+
+    def is_acked(self, task_id: str) -> bool:
+        return task_id in self.acked
+
+
+class WorkJournal:
+    """Append-only journal of one distributed batch (see module docstring).
+
+    All writes run under an internal lock and flush to the OS immediately;
+    ``fsync=True`` additionally forces the lines to disk per record (off by
+    default — the tests' crash model kills *workers*, and the parent's OS
+    survives to flush its page cache).
+    """
+
+    def __init__(self, path: str, *, fsync: bool = False) -> None:
+        self.path = str(path)
+        self.checkpoint_path = self.path + ".checkpoint"
+        self._fsync = fsync
+        self._lock = threading.Lock()
+        self._file = open(self.path, "a", encoding="utf-8")
+        self._counts = {"task": 0, "lease": 0, "ack": 0, "requeue": 0}
+
+    # -- record appends --------------------------------------------------
+    def _append(self, record: Dict[str, object]) -> None:
+        with self._lock:
+            self._file.write(json.dumps(record, sort_keys=True) + "\n")
+            self._file.flush()
+            if self._fsync:
+                os.fsync(self._file.fileno())
+            kind = str(record["type"])
+            self._counts[kind] = self._counts.get(kind, 0) + 1
+
+    def task(self, task_id: str, index: int) -> None:
+        self._append({"type": "task", "id": task_id, "index": index})
+
+    def lease(self, task_id: str, attempt: int) -> None:
+        self._append({"type": "lease", "id": task_id, "attempt": attempt})
+
+    def ack(self, result: ResultEnvelope) -> None:
+        encoded = base64.b64encode(pickle.dumps(result)).decode("ascii")
+        self._append({"type": "ack", "id": result.task_id, "result": encoded})
+        self._write_checkpoint()
+
+    def requeue(self, task_id: str, attempt: int, reason: str) -> None:
+        self._append(
+            {"type": "requeue", "id": task_id, "attempt": attempt, "reason": reason}
+        )
+
+    # -- checkpoint ------------------------------------------------------
+    def _write_checkpoint(self) -> None:
+        with self._lock:
+            payload = dict(self._counts)
+        payload["pending"] = payload.get("task", 0) - payload.get("ack", 0)
+        # Write-then-rename: a reader never sees a torn checkpoint.
+        tmp = self.checkpoint_path + ".tmp"
+        with open(tmp, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, sort_keys=True)
+        os.replace(tmp, self.checkpoint_path)
+
+    def counts(self) -> Dict[str, int]:
+        with self._lock:
+            return dict(self._counts)
+
+    def close(self) -> None:
+        with self._lock:
+            if not self._file.closed:
+                self._file.close()
+
+    def __enter__(self) -> "WorkJournal":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # -- replay ----------------------------------------------------------
+    @staticmethod
+    def load(path: str) -> JournalState:
+        """Replay ``path`` into the state a resuming executor consults.
+
+        Tolerates a torn final line (the parent died mid-append): the
+        partial record is ignored, which at worst re-runs one task — the
+        same guarantee a lost worker gives.
+        """
+        state = JournalState()
+        if not os.path.exists(path):
+            return state
+        with open(path, "r", encoding="utf-8") as handle:
+            for line in handle:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    record = json.loads(line)
+                except ValueError:
+                    continue  # torn tail record: treat as never written
+                kind = record.get("type")
+                task_id = record.get("id")
+                if not isinstance(task_id, str):
+                    continue
+                if kind == "lease":
+                    state.lease_counts[task_id] = (
+                        state.lease_counts.get(task_id, 0) + 1
+                    )
+                elif kind == "requeue":
+                    state.requeue_counts[task_id] = (
+                        state.requeue_counts.get(task_id, 0) + 1
+                    )
+                elif kind == "ack":
+                    try:
+                        result = pickle.loads(
+                            base64.b64decode(record.get("result", ""))
+                        )
+                    except Exception:
+                        continue  # unreadable ack: re-run the task
+                    if isinstance(result, ResultEnvelope):
+                        state.acked[task_id] = result
+        return state
+
+
+def task_id_for(index: int) -> str:
+    """The stable task identity of batch slot ``index`` (resume re-keys
+    the same batch identically)."""
+    return f"t{index:08d}"

@@ -1,0 +1,158 @@
+"""The worker side of the distrib protocol: one function, one process memo.
+
+:func:`run_task` is the only entry point a
+:class:`~concurrent.futures.ProcessPoolExecutor` ever calls.  It is a
+module-level function so every start method pickles it by reference
+(``spawn`` and ``forkserver`` cannot ship closures), and all worker state
+lives in a module-level memo:
+
+* one :class:`~repro.api.Session` per distinct ``(EngineOptions,
+  ResiliencePolicy)`` pair — the session owns the worker's private
+  :class:`~repro.datalog.registry.PlanRegistry`, so **each distinct
+  program compiles once per worker, not once per document**.  The
+  re-hydration path is explicit: datalog programs go through
+  :meth:`~repro.datalog.registry.PlanRegistry.rehydrate`, which verifies
+  the compilation against the envelope's fingerprint before any document
+  is evaluated.
+
+Compile accounting: every result reports the worker's cumulative compile
+count (registry compilations + Elog interpreter constructions), so the
+parent's :class:`~repro.distrib.executor.DistribStats` can assert the
+once-per-worker property across a whole stream.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import time
+from typing import Dict, Tuple
+
+from ..datalog.ast import Program
+from ..datalog.engine import SemiNaiveEngine
+from .envelope import ResultEnvelope, TaskEnvelope
+
+#: Per-process session memo (see module docstring).  Keyed by the frozen
+#: options/policy pair; both are hashable dataclasses.
+_SESSIONS: Dict[Tuple[object, object], object] = {}
+
+
+def _session_for(envelope: TaskEnvelope):
+    from ..api.session import Session
+
+    key = (envelope.options, envelope.resilience)
+    session = _SESSIONS.get(key)
+    if session is None:
+        session = Session(envelope.options, resilience=envelope.resilience)
+        _SESSIONS[key] = session
+    return session
+
+
+def _compile_count(session) -> int:
+    """The worker's cumulative compilations (plans + Elog interpreters)."""
+    return session.registry.compile_count() + session._extractors.info().misses
+
+
+def _log_execution(envelope: TaskEnvelope) -> None:
+    """Append one ``index pid attempt`` line to the chaos audit log.
+
+    Logged *before* evaluation (and before an injected crash), so the log
+    counts actual executions — a killed worker's in-flight document shows
+    its first, doomed run.  ``O_APPEND`` single-write appends are atomic
+    for lines this short, so concurrent workers never interleave bytes.
+    """
+    if envelope.task_log is None:
+        return
+    line = f"{envelope.index} {os.getpid()} {envelope.attempt}\n"
+    descriptor = os.open(
+        envelope.task_log, os.O_WRONLY | os.O_CREAT | os.O_APPEND, 0o644
+    )
+    try:
+        os.write(descriptor, line.encode("ascii"))
+    finally:
+        os.close(descriptor)
+
+
+def _picklable(error: BaseException) -> BaseException:
+    """``error`` if it survives pickling, else a faithful stand-in.
+
+    The pool transport pickles every return value; an unpicklable
+    exception would turn one failed document into a broken future with a
+    confusing pickling traceback."""
+    import pickle
+
+    try:
+        pickle.loads(pickle.dumps(error))
+        return error
+    except Exception:
+        stand_in = RuntimeError(f"{type(error).__name__}: {error}")
+        stand_in.resilience_attempts = getattr(error, "resilience_attempts", 1)
+        return stand_in
+
+
+def _evaluate(envelope: TaskEnvelope, session):
+    if envelope.kind == "query":
+        program = envelope.program
+        if isinstance(program, Program):
+            # The explicit re-hydration path: compile (or reuse) through
+            # the worker's own registry and verify against the sender's
+            # fingerprint before touching any document.
+            session.registry.rehydrate(
+                program, SemiNaiveEngine.BUILTINS, envelope.fingerprint
+            )
+        return session.query(
+            program,
+            envelope.payload,
+            envelope.backend,
+            labels=envelope.labels,
+        )
+    if envelope.kind == "extract":
+        if envelope.payload_kind == "url":
+            return session.extract(
+                envelope.program, url=envelope.payload, fetcher=envelope.fetcher
+            )
+        return session.extract(envelope.program, document=envelope.payload)
+    # kind == "pipe": the payload is a whole InformationPipe; its run()
+    # output (component name -> XmlElement) is the result.
+    return envelope.payload.run()
+
+
+def run_task(envelope: TaskEnvelope) -> ResultEnvelope:
+    """Evaluate one :class:`TaskEnvelope` and return its result envelope.
+
+    Never raises for *task* failures — evaluation and fetch errors travel
+    back inside the envelope so the parent can apply ``on_error`` slot
+    semantics identical to the in-process batch paths.  (A raise here
+    would also poison the pool transport for unpicklable errors.)
+    """
+    _log_execution(envelope)
+    if envelope.crash:
+        # Chaos injection: die exactly like a SIGKILLed worker — no
+        # cleanup, no exception, the parent sees a broken pool.
+        os.kill(os.getpid(), signal.SIGKILL)
+    started = time.perf_counter()
+    url = envelope.payload if envelope.payload_kind == "url" else None
+    try:
+        session = _session_for(envelope)
+        result = _evaluate(envelope, session)
+    except Exception as error:  # noqa: BLE001 - the slot carries the error
+        return ResultEnvelope(
+            task_id=envelope.task_id,
+            index=envelope.index,
+            ok=False,
+            error=_picklable(error),
+            pid=os.getpid(),
+            compile_count=_compile_count(_session_for(envelope)),
+            elapsed_s=time.perf_counter() - started,
+            url=url,
+        )
+    return ResultEnvelope(
+        task_id=envelope.task_id,
+        index=envelope.index,
+        ok=True,
+        result=result,
+        pid=os.getpid(),
+        compile_count=_compile_count(session),
+        elapsed_s=time.perf_counter() - started,
+        url=url,
+    )

@@ -54,6 +54,44 @@ PERCENT_PATTERN = r"-?\d+(?:[.,]\d+)?\s?%"
 ConceptFunction = Callable[[str], bool]
 
 
+class RegexConcept:
+    """A regex-backed concept predicate.
+
+    A class (not a closure) so registries built from regexes pickle —
+    wrapper components carrying a concept registry cross the distrib
+    process boundary (docs/DISTRIB.md).  The compiled pattern is a cache
+    rebuilt on unpickle; only the source pattern travels.
+    """
+
+    def __init__(self, pattern: str, full_match: bool = False) -> None:
+        self.pattern = pattern
+        self.full_match = full_match
+        self._compiled = re.compile(pattern, re.IGNORECASE)
+
+    def __call__(self, value: str) -> bool:
+        if self.full_match:
+            return bool(self._compiled.fullmatch(value.strip()))
+        return bool(self._compiled.search(value))
+
+    def __getstate__(self):
+        return {"pattern": self.pattern, "full_match": self.full_match}
+
+    def __setstate__(self, state) -> None:
+        self.__dict__.update(state)
+        self._compiled = re.compile(self.pattern, re.IGNORECASE)
+
+
+class VocabularyConcept:
+    """A vocabulary-membership concept predicate (picklable, like
+    :class:`RegexConcept`)."""
+
+    def __init__(self, words: Iterable[str]) -> None:
+        self.vocabulary = frozenset(word.strip().lower() for word in words)
+
+    def __call__(self, value: str) -> bool:
+        return value.strip().lower() in self.vocabulary
+
+
 class ConceptRegistry:
     """Named unary string predicates, extensible at run time."""
 
@@ -66,20 +104,10 @@ class ConceptRegistry:
         self._functions[name] = function
 
     def register_regex(self, name: str, pattern: str, full_match: bool = False) -> None:
-        compiled = re.compile(pattern, re.IGNORECASE)
-
-        def predicate(value: str) -> bool:
-            return bool(compiled.fullmatch(value.strip()) if full_match else compiled.search(value))
-
-        self._functions[name] = predicate
+        self._functions[name] = RegexConcept(pattern, full_match=full_match)
 
     def register_vocabulary(self, name: str, words: Iterable[str]) -> None:
-        vocabulary = {word.strip().lower() for word in words}
-
-        def predicate(value: str) -> bool:
-            return value.strip().lower() in vocabulary
-
-        self._functions[name] = predicate
+        self._functions[name] = VocabularyConcept(words)
 
     # -- lookup / evaluation -------------------------------------------------
     def names(self) -> Iterable[str]:

@@ -22,6 +22,7 @@ from .errors import (
     FetchError,
     PermanentFetchError,
     TransientFetchError,
+    WorkerCrashError,
     is_transient,
 )
 from .faults import FaultDecision, FaultPlan, FaultyFetcher
@@ -43,6 +44,7 @@ __all__ = [
     "FetchError",
     "PermanentFetchError",
     "TransientFetchError",
+    "WorkerCrashError",
     "is_transient",
     "FaultDecision",
     "FaultPlan",

@@ -23,6 +23,14 @@ from typing import Dict, List, Optional, Tuple
 
 from ..datalog.cache import CacheInfo
 from ..datalog.registry import plan_registry_info
+from ..distrib.envelope import TaskEnvelope
+from ..distrib.executor import (
+    DistribInfo,
+    DistribStats,
+    ProcessExecutor,
+    resolve_distrib,
+)
+from ..distrib.journal import task_id_for
 from ..resilience.policy import ON_ERROR_POLICIES, ErrorResult
 from ..xmlgen.document import XmlElement
 from .components import Component, DelivererComponent
@@ -197,6 +205,8 @@ class TransformationServer:
         self._pipes: Dict[str, ScheduledPipe] = {}
         self.clock: int = 0
         self.run_log: List[Tuple[int, str]] = []
+        # Scale-out accounting for run_all(distrib=...) activations.
+        self._distrib_stats = DistribStats()
 
     # -- registration ------------------------------------------------------
     def register(self, pipe: InformationPipe, period: int = 1) -> InformationPipe:
@@ -226,7 +236,7 @@ class TransformationServer:
         return ran
 
     def run_all(
-        self, *, executor=None, on_error: str = "raise"
+        self, *, executor=None, on_error: str = "raise", distrib=None
     ) -> Dict[str, object]:
         """Run every registered pipe once, immediately.
 
@@ -249,11 +259,26 @@ class TransformationServer:
         slot.  A failed pipe discards its own prefetched futures either way
         (see :meth:`InformationPipe.run`), so isolation never strands a
         minutes-old snapshot for a later activation.
+
+        ``distrib`` (``"process"`` / a worker count /
+        :class:`~repro.distrib.DistribOptions`) runs every pipe in a
+        **worker process** instead — real CPU parallelism across pipes,
+        with the distrib layer's crash recovery (a pipe whose worker dies
+        is requeued; see docs/DISTRIB.md).  Each pipe travels to its
+        worker by pickle; the parent applies the scheduler bookkeeping and
+        caches each pipe's results in ``last_results``, but worker-side
+        component *side effects* — deliverer sends, per-component fetch
+        logs and fault-plan counters — happen in the worker and are not
+        copied back.  An unpicklable pipe fails fast with a
+        :class:`PipelineError` naming it (``Pipeline.build(
+        distributable=True)`` catches this at build time, per stage).
         """
         if on_error not in ON_ERROR_POLICIES:
             raise ValueError(
                 f"run_all(on_error={on_error!r}): expected one of {ON_ERROR_POLICIES}"
             )
+        if distrib is not None:
+            return self._run_all_distrib(on_error, resolve_distrib(distrib))
         results: Dict[str, object] = {}
         try:
             if executor is not None:
@@ -279,6 +304,53 @@ class TransformationServer:
             raise
         return results
 
+    def _run_all_distrib(self, on_error: str, options) -> Dict[str, object]:
+        """The multi-process :meth:`run_all` body (one pipe per task)."""
+        import pickle
+
+        names = list(self._pipes)
+        for name in names:
+            try:
+                pickle.dumps(self._pipes[name].pipe)
+            except Exception as error:
+                raise PipelineError(
+                    f"pipe {name!r} cannot be distributed: it does not "
+                    f"pickle ({type(error).__name__}: {error}).  Stages "
+                    "holding lambdas, open handles or engine-bound state "
+                    "must be rebuilt from declarative parts, or the pipe "
+                    "run in-process"
+                ) from error
+        envelopes = [
+            TaskEnvelope(
+                task_id=task_id_for(index),
+                index=index,
+                kind="pipe",
+                payload=self._pipes[name].pipe,
+                payload_kind="pipe",
+            )
+            for index, name in enumerate(names)
+        ]
+        executor = ProcessExecutor(options, stats=self._distrib_stats)
+        outcomes = executor.run(envelopes)
+        results: Dict[str, object] = {}
+        for name, outcome in zip(names, outcomes):
+            scheduled = self._pipes[name]
+            if outcome.ok:
+                results[name] = outcome.result
+                # The parent-side bookkeeping the in-process run() would
+                # have done: later change detection and monitoring read
+                # the pipe's last snapshot from here.
+                scheduled.pipe.last_results = outcome.result
+            elif on_error == "raise":
+                raise outcome.error
+            elif on_error == "collect":
+                results[name] = ErrorResult.from_exception(
+                    outcome.error, url=f"pipe:{name}", backend="pipe"
+                )
+            scheduled.next_activation = self.clock + scheduled.period
+            self.run_log.append((self.clock, name))
+        return results
+
     # -- monitoring ----------------------------------------------------------
     def resilience_report(self):
         """Per-component failure accounting across every hosted pipe
@@ -296,3 +368,9 @@ class TransformationServer:
         handful of programs really paid a handful of compilations.
         """
         return plan_registry_info()
+
+    def distrib_info(self) -> DistribInfo:
+        """The server's scale-out accounting across every
+        ``run_all(distrib=...)`` activation (dispatch / ack / requeue
+        counters, worker crash events, per-worker compile counts)."""
+        return self._distrib_stats.snapshot()

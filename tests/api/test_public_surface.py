@@ -18,6 +18,8 @@ PUBLIC_SURFACE = {
         "AnalysisError",
         "AnalysisReport",
         "Diagnostic",
+        "DistribInfo",
+        "DistribOptions",
         "EngineOptions",
         "ErrorResult",
         "ExtractionResult",
@@ -41,12 +43,15 @@ PUBLIC_SURFACE = {
         "ChangeGatedDeliverer",
         "ChangeReport",
         "Component",
+        "CrashPlan",
         "DEFAULT_OPTIONS",
         "DEFAULT_RESILIENCE",
         "DelivererComponent",
         "Delivery",
         "Diagnostic",
         "DiagnosticWarning",
+        "DistribInfo",
+        "DistribOptions",
         "EmailDeliverer",
         "EngineOptions",
         "ErrorResult",
@@ -67,6 +72,8 @@ PUBLIC_SURFACE = {
         "Session",
         "SmsDeliverer",
         "TransformationServer",
+        "WorkJournal",
+        "WorkerCrashError",
         "XmlDeliverer",
         "analyze",
         "available_backends",

@@ -1,0 +1,214 @@
+"""Worker-crash chaos: SIGKILL a worker mid-batch, lose at most one run.
+
+The crash model (docs/DISTRIB.md): a :class:`CrashPlan` arms chosen task
+indexes, and the armed worker SIGKILLs itself *after* logging the
+execution — exactly a worker dying mid-document.  The acceptance contract:
+
+* the batch still completes, byte-equal to a crash-free sequential run;
+* the task log (one ``index pid attempt`` line per actual evaluation)
+  shows **at most one** re-executed document per crash with one worker,
+  and at most ``workers`` with more (the pool fails every in-flight
+  future when a member dies; only the executing ones were mid-run);
+* a journal-backed batch resumes after the crash re-running *nothing*
+  already acknowledged;
+* a task that crashes on every attempt burns its requeue budget and
+  fails its slot with :class:`WorkerCrashError` — the batch survives.
+
+Chaos here is deterministic (the plan names its victims), but the suite
+keeps the ``CHAOS_SEED`` convention of tests/resilience/ so CI can vary
+the document mix and replay failures exactly.
+"""
+
+from __future__ import annotations
+
+import os
+import random
+from collections import Counter
+
+import pytest
+
+from repro import DistribOptions, Session
+from repro.api import CrashPlan, ErrorResult
+from repro.datalog import parse_program
+from repro.resilience import WorkerCrashError
+from repro.web import SimulatedWeb
+from repro.xmlgen.serializer import to_compact_xml
+
+SEED = int(os.environ.get("CHAOS_SEED", "20260808"))
+
+REACH = """
+reach(X, Y) :- edge(X, Y).
+reach(X, Y) :- reach(X, Z), edge(Z, Y).
+"""
+
+WRAPPER = "item(S, X) <- document(_, S), subelem(S, ?.p, X)"
+
+
+def chain_databases(count: int):
+    rng = random.Random(SEED)
+    return [
+        {"edge": {(i, i + 1) for i in range(rng.randint(2, 6))}}
+        for _ in range(count)
+    ]
+
+
+def executed_indexes(task_log: str):
+    """index -> number of actual evaluations, parsed from the audit log."""
+    counts: Counter = Counter()
+    if os.path.exists(task_log):
+        with open(task_log, encoding="utf-8") as handle:
+            for line in handle:
+                if line.strip():
+                    counts[int(line.split()[0])] += 1
+    return counts
+
+
+def rerun_indexes(task_log: str):
+    return sorted(
+        index for index, runs in executed_indexes(task_log).items() if runs > 1
+    )
+
+
+def test_single_worker_crash_reruns_exactly_the_inflight_document(tmp_path):
+    program = parse_program(REACH)
+    databases = chain_databases(8)
+    sequential = Session().query_many(program, databases)
+
+    log_path = str(tmp_path / "task.log")
+    options = DistribOptions(
+        workers=1,
+        start_method="fork",
+        crash_plan=CrashPlan(crash_indexes={3}),
+        task_log=log_path,
+    )
+    session = Session()
+    survived = session.query_many(program, databases, workers=options)
+
+    # Byte-equal recovery: the crash is invisible in the results.
+    assert len(survived) == len(sequential)
+    for got, want in zip(survived, sequential):
+        assert got.tuples("reach") == want.tuples("reach")
+
+    # The audit log proves at most the armed document re-ran.
+    assert rerun_indexes(log_path) == [3]
+    assert executed_indexes(log_path)[3] == 2
+
+    info = session.distrib_info()
+    assert info.worker_crashes == 1
+    assert info.tasks_acked == len(databases)
+
+
+def test_multi_worker_crash_reruns_at_most_workers_documents(tmp_path):
+    program = parse_program(REACH)
+    databases = chain_databases(10)
+    sequential = Session().query_many(program, databases)
+
+    log_path = str(tmp_path / "task.log")
+    options = DistribOptions(
+        workers=2,
+        start_method="fork",
+        crash_plan=CrashPlan(crash_indexes={5}),
+        task_log=log_path,
+    )
+    survived = Session().query_many(program, databases, workers=options)
+    for got, want in zip(survived, sequential):
+        assert got.tuples("reach") == want.tuples("reach")
+
+    # A dying pool member fails every in-flight future, but only the
+    # documents actually executing were mid-run: at most one per worker.
+    reruns = rerun_indexes(log_path)
+    assert 5 in reruns
+    assert len(reruns) <= options.workers
+
+
+def test_crashed_extraction_batch_recovers_byte_equal(tmp_path):
+    web = SimulatedWeb()
+    urls = []
+    for i in range(6):
+        url = f"chaos.test/{i}"
+        web.publish(url, f"<html><body><p>rec-{i}</p></body></html>")
+        urls.append(url)
+    sequential = Session().extract_many(WRAPPER, urls=urls, fetcher=web)
+
+    options = DistribOptions(
+        workers=1,
+        start_method="fork",
+        crash_plan=CrashPlan(crash_indexes={2}),
+        task_log=str(tmp_path / "task.log"),
+    )
+    survived = Session().extract_many(
+        WRAPPER, urls=urls, fetcher=web, workers=options
+    )
+    for got, want in zip(survived, sequential):
+        assert to_compact_xml(got.to_xml()) == to_compact_xml(want.to_xml())
+    assert rerun_indexes(options.task_log) == [2]
+
+
+def test_journal_resume_reruns_nothing_already_acknowledged(tmp_path):
+    program = parse_program(REACH)
+    databases = chain_databases(6)
+    journal_path = str(tmp_path / "batch.jsonl")
+    first_log = str(tmp_path / "first.log")
+
+    first = Session().query_many(
+        program,
+        databases,
+        workers=DistribOptions(
+            workers=1,
+            start_method="fork",
+            journal_path=journal_path,
+            crash_plan=CrashPlan(crash_indexes={1}),
+            task_log=first_log,
+        ),
+    )
+    assert rerun_indexes(first_log) == [1]
+
+    # Resume the same batch against the same journal: every task is
+    # acknowledged, so the second run evaluates *nothing*...
+    second_log = str(tmp_path / "second.log")
+    second = Session().query_many(
+        program,
+        databases,
+        workers=DistribOptions(
+            workers=1,
+            start_method="fork",
+            journal_path=journal_path,
+            task_log=second_log,
+        ),
+    )
+    assert executed_indexes(second_log) == Counter()
+    # ...and still returns the full, identical result set from the journal.
+    assert len(second) == len(first)
+    for got, want in zip(second, first):
+        assert got.tuples("reach") == want.tuples("reach")
+
+
+def test_a_task_that_always_crashes_burns_its_budget_into_its_slot(tmp_path):
+    program = parse_program(REACH)
+    databases = chain_databases(4)
+    options = DistribOptions(
+        workers=1,
+        start_method="fork",
+        max_requeues=1,
+        crash_plan=CrashPlan(crash_indexes={2}, only_first_attempt=False),
+        task_log=str(tmp_path / "task.log"),
+    )
+    session = Session()
+    results = session.query_many(
+        program, databases, workers=options, on_error="collect"
+    )
+
+    # The poisoned slot carries the crash diagnosis; the rest survived.
+    assert len(results) == 4
+    slot = results[2]
+    assert isinstance(slot, ErrorResult) and not slot.ok
+    assert isinstance(slot.error, WorkerCrashError)
+    assert slot.error.index == 2
+    for index in (0, 1, 3):
+        assert results[index].ok
+
+    # attempt 0 plus max_requeues=1 retries, each crashing.
+    assert executed_indexes(options.task_log)[2] == 2
+
+    with pytest.raises(WorkerCrashError):
+        Session().query_many(program, databases, workers=options)

@@ -1,0 +1,305 @@
+"""The process executor wired into the batch APIs.
+
+Scale-out must be a *transparent* knob: ``workers=`` on ``query_many`` /
+``extract_many`` (and ``distrib=`` on ``run_all``) returns exactly what
+the in-process paths return — same order, same ``on_error`` slot
+semantics, same results — while actually running on worker processes.
+These tests pin that contract plus the distrib accounting
+(``distrib_info()``) and the option-validation errors.
+"""
+
+from __future__ import annotations
+
+import pickle
+
+import pytest
+
+from repro import DistribOptions, Session
+from repro.api import ErrorResult, Pipeline
+from repro.datalog import parse_program
+from repro.distrib import DistribInfo, DistribStats, resolve_distrib
+from repro.mdatalog import MonadicProgram
+from repro.resilience import PermanentFetchError
+from repro.server import InformationPipe, PipelineError, TransformationServer
+from repro.tree import tree
+from repro.web import SimulatedWeb
+from repro.xmlgen import XmlElement
+from repro.xmlgen.serializer import to_compact_xml
+
+REACH = """
+reach(X, Y) :- edge(X, Y).
+reach(X, Y) :- reach(X, Z), edge(Z, Y).
+"""
+
+ITALIC = MonadicProgram.parse(
+    """
+    italic(X) :- label_i(X).
+    italic(X) :- italic(X0), firstchild(X0, X).
+    italic(X) :- italic(X0), nextsibling(X0, X).
+    """,
+    query_predicates=["italic"],
+)
+
+WRAPPER = "item(S, X) <- document(_, S), subelem(S, ?.p, X)"
+
+FAST = DistribOptions(workers=2, start_method="fork")
+
+
+def chain_database(n: int):
+    return {"edge": {(i, i + 1) for i in range(n)}}
+
+
+def page(*texts: str) -> str:
+    body = "".join(f"<p>{text}</p>" for text in texts)
+    return f"<html><body>{body}</body></html>"
+
+
+def publish_shop(web: SimulatedWeb, count: int) -> list:
+    urls = []
+    for i in range(count):
+        url = f"shop.test/{i}"
+        web.publish(url, page(f"alpha-{i}", f"beta-{i}"))
+        urls.append(url)
+    return urls
+
+
+# ---------------------------------------------------------------------------
+# query_many: process path mirrors the in-process path
+# ---------------------------------------------------------------------------
+def test_query_many_process_matches_sequential_in_order():
+    program = parse_program(REACH)
+    databases = [chain_database(n) for n in (2, 3, 4, 5, 6)]
+    sequential = Session().query_many(program, databases)
+    distributed = Session().query_many(program, databases, workers=FAST)
+    assert len(distributed) == len(sequential)
+    for got, want in zip(distributed, sequential):
+        assert got.tuples("reach") == want.tuples("reach")
+
+
+def test_query_many_process_handles_monadic_documents():
+    docs = [
+        tree(("doc", ("i", ("b",)), ("a",))),
+        tree(("doc", ("a",), ("i",))),
+        tree(("doc", ("b",))),
+    ]
+    sequential = Session().query_many(ITALIC, docs)
+    distributed = Session().query_many(ITALIC, docs, workers=FAST)
+    for got, want in zip(distributed, sequential):
+        assert got.tuples("italic") == want.tuples("italic")
+
+
+def test_query_many_process_accepts_a_generator_batch():
+    program = parse_program(REACH)
+    session = Session()
+    stream = (chain_database(n) for n in (2, 3, 4))
+    results = session.query_many(program, stream, workers=FAST)
+    assert [len(r.tuples("reach")) for r in results] == [3, 6, 10]
+
+
+def test_query_many_process_records_distrib_counters():
+    session = Session()
+    results = session.query_many(
+        parse_program(REACH),
+        [chain_database(n) for n in (2, 3, 4)],
+        workers=FAST,
+    )
+    assert len(results) == 3
+    info = session.distrib_info()
+    assert info.tasks_dispatched == 3
+    assert info.tasks_acked == 3
+    assert info.tasks_requeued == 0 and info.worker_crashes == 0
+    assert info.queue_depth == 0
+
+
+def test_workers_compile_each_program_once_not_once_per_document():
+    session = Session()
+    session.query_many(
+        parse_program(REACH),
+        [chain_database(n) for n in range(2, 10)],
+        workers=FAST,
+    )
+    info = session.distrib_info()
+    # 8 documents over 2 workers: every worker reports exactly one compile.
+    assert info.worker_compiles
+    assert all(count == 1 for _, count in info.worker_compiles)
+
+
+def test_in_process_paths_leave_distrib_counters_untouched():
+    session = Session()
+    program = parse_program(REACH)
+    databases = [chain_database(3), chain_database(4)]
+    plain = session.query_many(program, databases)
+    threaded = session.query_many(program, databases, max_workers=2)
+    for got, want in zip(threaded, plain):
+        assert got.tuples("reach") == want.tuples("reach")
+    assert session.distrib_info() == DistribInfo()
+
+
+# ---------------------------------------------------------------------------
+# extract_many: documents, urls, and the on_error matrix
+# ---------------------------------------------------------------------------
+def test_extract_many_process_matches_sequential_byte_for_byte():
+    web = SimulatedWeb()
+    urls = publish_shop(web, 6)
+    sequential = Session().extract_many(WRAPPER, urls=urls, fetcher=web)
+    distributed = Session().extract_many(
+        WRAPPER, urls=urls, fetcher=web, workers=FAST
+    )
+    for got, want in zip(distributed, sequential):
+        assert to_compact_xml(got.to_xml()) == to_compact_xml(want.to_xml())
+
+
+def test_extract_many_process_on_error_collect_fills_the_failed_slot():
+    web = SimulatedWeb()
+    urls = publish_shop(web, 3)
+    urls.insert(1, "missing.test/404")  # never published: permanent error
+    session = Session()
+    results = session.extract_many(
+        WRAPPER, urls=urls, fetcher=web, workers=FAST, on_error="collect"
+    )
+    assert len(results) == 4
+    assert results[0].ok and results[2].ok and results[3].ok
+    slot = results[1]
+    assert isinstance(slot, ErrorResult) and not slot.ok
+    assert slot.url == "missing.test/404"
+    assert isinstance(slot.error, PermanentFetchError)
+
+
+def test_extract_many_process_on_error_skip_drops_the_failed_slot():
+    web = SimulatedWeb()
+    urls = publish_shop(web, 2)
+    results = Session().extract_many(
+        WRAPPER,
+        urls=[urls[0], "missing.test/404", urls[1]],
+        fetcher=web,
+        workers=FAST,
+        on_error="skip",
+    )
+    assert len(results) == 2
+    assert all(result.ok for result in results)
+
+
+def test_extract_many_process_on_error_raise_surfaces_the_first_failure():
+    web = SimulatedWeb()
+    urls = publish_shop(web, 2)
+    with pytest.raises(PermanentFetchError):
+        Session().extract_many(
+            WRAPPER,
+            urls=[urls[0], "missing.test/404", urls[1]],
+            fetcher=web,
+            workers=FAST,
+            on_error="raise",
+        )
+
+
+def test_extract_many_process_mixes_documents_and_urls_in_order():
+    from repro.html.parser import parse_html
+
+    web = SimulatedWeb()
+    urls = publish_shop(web, 2)
+    docs = [parse_html(page("local-a")), parse_html(page("local-b"))]
+    results = Session().extract_many(
+        WRAPPER, docs, urls=urls, fetcher=web, workers=FAST
+    )
+    texts = [result.texts("item") for result in results]
+    assert texts[0] == ("local-a",)
+    assert texts[1] == ("local-b",)
+    assert texts[2] == ("alpha-0", "beta-0")
+    assert texts[3] == ("alpha-1", "beta-1")
+
+
+# ---------------------------------------------------------------------------
+# The workers= knob and its validation
+# ---------------------------------------------------------------------------
+def test_resolve_distrib_accepts_the_three_spellings():
+    assert resolve_distrib("process") == DistribOptions()
+    assert resolve_distrib(3) == DistribOptions(workers=3)
+    options = DistribOptions(workers=1, max_requeues=0)
+    assert resolve_distrib(options) is options
+
+
+@pytest.mark.parametrize("bad", ["threads", True, 1.5, object()])
+def test_resolve_distrib_rejects_other_spellings(bad):
+    with pytest.raises(ValueError, match="workers"):
+        resolve_distrib(bad)
+
+
+def test_distrib_options_validate_their_knobs():
+    with pytest.raises(ValueError, match="workers"):
+        DistribOptions(workers=0)
+    with pytest.raises(ValueError, match="max_requeues"):
+        DistribOptions(max_requeues=-1)
+    with pytest.raises(ValueError, match="window_per_worker"):
+        DistribOptions(window_per_worker=0)
+    with pytest.raises(ValueError, match="start_method"):
+        DistribOptions(start_method="greenlet")
+
+
+def test_distrib_stats_snapshot_starts_empty():
+    assert DistribStats().snapshot() == DistribInfo()
+
+
+# ---------------------------------------------------------------------------
+# The Transformation Server: run_all(distrib=) and the build gate
+# ---------------------------------------------------------------------------
+def make_catalog() -> XmlElement:
+    root = XmlElement("catalog")
+    book = root.add("book")
+    book.add("title", text="A")
+    book.add("price", text="10")
+    return root
+
+
+def picklable_pipe(name: str) -> InformationPipe:
+    return Pipeline.builder(name).source("source", make_catalog).build().pipe
+
+
+def test_run_all_distrib_matches_the_in_process_run():
+    plain_server = TransformationServer()
+    plain_server.register(picklable_pipe("books"))
+    plain = plain_server.run_all()
+
+    distrib_server = TransformationServer()
+    distrib_server.register(picklable_pipe("books"))
+    distributed = distrib_server.run_all(distrib=FAST)
+
+    assert set(distributed) == set(plain) == {"books"}
+    assert to_compact_xml(distributed["books"]["source"]) == to_compact_xml(
+        plain["books"]["source"]
+    )
+    # Scheduler bookkeeping matches the in-process run...
+    assert distrib_server.run_log == plain_server.run_log
+    # ...the pipe keeps its last_results for change detection...
+    pipe = distrib_server.pipe("books")
+    assert pipe.last_results is not None
+    # ...and the distrib counters saw the batch.
+    assert distrib_server.distrib_info().tasks_acked == 1
+
+
+def test_run_all_distrib_rejects_an_unpicklable_pipe():
+    pipe = (
+        Pipeline.builder("closure")
+        .source("source", lambda: make_catalog())
+        .build()
+        .pipe
+    )
+    server = TransformationServer()
+    server.register(pipe)
+    with pytest.raises(PipelineError, match="does not pickle"):
+        server.run_all(distrib=FAST)
+
+
+def test_pipeline_build_distributable_gate():
+    built = (
+        Pipeline.builder("clean")
+        .source("source", make_catalog)
+        .build(distributable=True)
+    )
+    assert pickle.dumps(built.pipe) is not None
+
+    with pytest.raises(PipelineError, match="not distributable"):
+        (
+            Pipeline.builder("dirty")
+            .source("source", lambda: make_catalog())
+            .build(distributable=True)
+        )

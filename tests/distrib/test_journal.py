@@ -1,0 +1,154 @@
+"""The durable work queue: journal append, checkpoint, and replay.
+
+The journal is the crash-recovery contract (docs/DISTRIB.md): every state
+transition is one flushed JSONL record, the checkpoint is an atomic
+summary, and :func:`WorkJournal.load` replays the file into exactly the
+state a resuming executor needs — acked results returned verbatim,
+leased-but-unacked tasks re-run, torn or unreadable records degraded to
+"re-run one task", never to a crash.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+from repro.distrib import (
+    JournalState,
+    ResultEnvelope,
+    WorkJournal,
+    task_id_for,
+)
+
+
+def make_result(index: int, value: object = None) -> ResultEnvelope:
+    return ResultEnvelope(
+        task_id=task_id_for(index),
+        index=index,
+        ok=True,
+        result=value if value is not None else {"index": index},
+        error=None,
+        pid=1234,
+        compile_count=1,
+        elapsed_s=0.001,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Appending and counting
+# ---------------------------------------------------------------------------
+def test_journal_appends_one_json_line_per_transition(tmp_path):
+    path = str(tmp_path / "batch.jsonl")
+    with WorkJournal(path) as journal:
+        journal.task(task_id_for(0), 0)
+        journal.lease(task_id_for(0), 0)
+        journal.ack(make_result(0))
+        journal.task(task_id_for(1), 1)
+        journal.lease(task_id_for(1), 0)
+        journal.requeue(task_id_for(1), 0, "worker crashed")
+
+    lines = [json.loads(line) for line in open(path, encoding="utf-8")]
+    assert [record["type"] for record in lines] == [
+        "task", "lease", "ack", "task", "lease", "requeue",
+    ]
+    assert lines[5]["reason"] == "worker crashed"
+
+
+def test_journal_counts_track_record_types(tmp_path):
+    journal = WorkJournal(str(tmp_path / "b.jsonl"))
+    journal.task(task_id_for(0), 0)
+    journal.lease(task_id_for(0), 0)
+    journal.lease(task_id_for(0), 1)
+    journal.ack(make_result(0))
+    assert journal.counts() == {"task": 1, "lease": 2, "ack": 1, "requeue": 0}
+    journal.close()
+
+
+def test_checkpoint_is_rewritten_after_every_ack(tmp_path):
+    path = str(tmp_path / "b.jsonl")
+    journal = WorkJournal(path)
+    journal.task(task_id_for(0), 0)
+    journal.task(task_id_for(1), 1)
+    journal.ack(make_result(0))
+    first = json.load(open(journal.checkpoint_path, encoding="utf-8"))
+    assert first["ack"] == 1 and first["pending"] == 1
+    journal.ack(make_result(1))
+    second = json.load(open(journal.checkpoint_path, encoding="utf-8"))
+    assert second["ack"] == 2 and second["pending"] == 0
+    journal.close()
+    # atomic write: no stray tmp file survives
+    assert not os.path.exists(journal.checkpoint_path + ".tmp")
+
+
+# ---------------------------------------------------------------------------
+# Replay
+# ---------------------------------------------------------------------------
+def test_load_of_a_missing_journal_is_an_empty_state(tmp_path):
+    state = WorkJournal.load(str(tmp_path / "never-written.jsonl"))
+    assert state.acked == {} and state.lease_counts == {}
+
+
+def test_replay_returns_acked_results_and_lease_counts(tmp_path):
+    path = str(tmp_path / "b.jsonl")
+    with WorkJournal(path) as journal:
+        journal.task(task_id_for(0), 0)
+        journal.lease(task_id_for(0), 0)
+        journal.ack(make_result(0, value=["alpha"]))
+        journal.task(task_id_for(1), 1)
+        journal.lease(task_id_for(1), 0)
+        journal.requeue(task_id_for(1), 0, "killed")
+        journal.lease(task_id_for(1), 1)
+
+    state = WorkJournal.load(path)
+    assert state.is_acked(task_id_for(0))
+    assert state.acked[task_id_for(0)].result == ["alpha"]
+    # task 1 was leased twice, requeued once, never acked: it must re-run
+    assert not state.is_acked(task_id_for(1))
+    assert state.lease_counts[task_id_for(1)] == 2
+    assert state.requeue_counts[task_id_for(1)] == 1
+
+
+def test_replay_tolerates_a_torn_tail_record(tmp_path):
+    path = str(tmp_path / "b.jsonl")
+    with WorkJournal(path) as journal:
+        journal.task(task_id_for(0), 0)
+        journal.ack(make_result(0))
+    # the parent died mid-append: the final line is half a record
+    with open(path, "a", encoding="utf-8") as handle:
+        handle.write('{"type": "ack", "id": "t0000')
+
+    state = WorkJournal.load(path)
+    assert state.is_acked(task_id_for(0))  # intact records still replay
+
+
+def test_replay_treats_an_unreadable_ack_as_never_acked(tmp_path):
+    path = str(tmp_path / "b.jsonl")
+    with WorkJournal(path) as journal:
+        journal.task(task_id_for(0), 0)
+        journal.lease(task_id_for(0), 0)
+    # an ack whose payload does not unpickle (corrupt base64)
+    with open(path, "a", encoding="utf-8") as handle:
+        handle.write(
+            json.dumps({"type": "ack", "id": task_id_for(0), "result": "!!!"})
+            + "\n"
+        )
+
+    state = WorkJournal.load(path)
+    # degraded to "re-run the task", not a crash
+    assert not state.is_acked(task_id_for(0))
+    assert state.lease_counts[task_id_for(0)] == 1
+
+
+def test_replay_skips_records_without_a_task_id(tmp_path):
+    path = str(tmp_path / "b.jsonl")
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(json.dumps({"type": "lease", "attempt": 0}) + "\n")
+        handle.write(json.dumps({"type": "noise"}) + "\n")
+        handle.write("\n")
+    assert WorkJournal.load(path) == JournalState()
+
+
+def test_task_ids_are_stable_and_sortable():
+    ids = [task_id_for(i) for i in (0, 1, 9, 10, 99, 1000)]
+    assert ids == sorted(ids)
+    assert task_id_for(3) == task_id_for(3)

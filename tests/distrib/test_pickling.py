@@ -1,0 +1,316 @@
+"""The picklability audit: everything the distrib wire protocol carries.
+
+The worker protocol (docs/DISTRIB.md) ships programs, options, policies,
+payloads and results across process boundaries by pickle.  These tests pin
+the contract: every envelope ingredient round-trips *unchanged*, compiled
+artifacts are rejected outright, and the known-lossy cases
+(:class:`PlanRegistry` travels empty, ``SelectionResult`` drops its
+auxiliary resolver) lose exactly what they are documented to lose.
+"""
+
+from __future__ import annotations
+
+import pickle
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import EngineOptions, ResiliencePolicy, Session
+from repro.api import CrashPlan, DistribOptions, ErrorResult
+from repro.datalog import parse_program
+from repro.datalog.engine import SemiNaiveEngine
+from repro.datalog.registry import PlanRegistry, program_fingerprint
+from repro.distrib import TaskEnvelope, task_id_for
+from repro.elog.concepts import ConceptRegistry
+from repro.elog.parser import parse_elog
+from repro.mdatalog import MonadicProgram
+from repro.resilience import (
+    FaultPlan,
+    PermanentFetchError,
+    RetryPolicy,
+    TransientFetchError,
+    WorkerCrashError,
+)
+from repro.resilience.policy import ResilienceStats
+from repro.resilience.retry import CircuitBreaker
+from repro.tree import tree
+from repro.web import SimulatedWeb
+from repro.xmlgen.serializer import to_compact_xml
+
+REACH = """
+reach(X, Y) :- edge(X, Y).
+reach(X, Y) :- reach(X, Z), edge(Z, Y).
+"""
+
+ITALIC = MonadicProgram.parse(
+    """
+    italic(X) :- label_i(X).
+    italic(X) :- italic(X0), firstchild(X0, X).
+    italic(X) :- italic(X0), nextsibling(X0, X).
+    """,
+    query_predicates=["italic"],
+)
+
+WRAPPER = "item(S, X) <- document(_, S), subelem(S, ?.p, X)"
+
+
+def roundtrip(value):
+    return pickle.loads(pickle.dumps(value))
+
+
+# ---------------------------------------------------------------------------
+# Programs and configuration
+# ---------------------------------------------------------------------------
+def test_datalog_program_roundtrips_with_equal_fingerprint():
+    program = parse_program(REACH)
+    clone = roundtrip(program)
+    assert program_fingerprint(clone) == program_fingerprint(program)
+    assert [str(rule) for rule in clone.rules] == [
+        str(rule) for rule in program.rules
+    ]
+
+
+def test_monadic_and_elog_programs_roundtrip():
+    monadic = roundtrip(ITALIC)
+    assert monadic.query_predicates == ITALIC.query_predicates
+    elog = parse_elog(WRAPPER)
+    clone = roundtrip(elog)
+    assert [str(rule) for rule in clone.rules] == [str(rule) for rule in elog.rules]
+
+
+def test_engine_options_and_resilience_policy_roundtrip_unchanged():
+    options = EngineOptions(cache_size=3, on_diagnostics="ignore")
+    assert roundtrip(options) == options
+    policy = ResiliencePolicy(
+        retry=RetryPolicy(max_attempts=4, backoff_base_s=0.0, jitter=0.0, seed=7),
+        on_error="collect",
+    )
+    assert roundtrip(policy) == policy
+
+
+def test_distrib_options_and_crash_plan_roundtrip():
+    options = DistribOptions(
+        workers=3,
+        start_method="fork",
+        max_requeues=1,
+        crash_plan=CrashPlan(crash_indexes={2, 5}),
+    )
+    clone = roundtrip(options)
+    assert clone == options
+    assert clone.crash_plan.should_crash(5, 0)
+    assert not clone.crash_plan.should_crash(5, 1)
+
+
+# ---------------------------------------------------------------------------
+# Results
+# ---------------------------------------------------------------------------
+def test_query_results_roundtrip_with_equal_views():
+    session = Session()
+    facts = session.query(parse_program(REACH), {"edge": {(1, 2), (2, 3)}})
+    clone = roundtrip(facts)
+    assert clone.tuples("reach") == facts.tuples("reach")
+    assert clone.predicates() == facts.predicates()
+
+    doc = tree(("doc", ("i", ("b",)), ("a",)))
+    selection = session.query(ITALIC, doc)
+    sel_clone = roundtrip(selection)
+    assert sel_clone.tuples("italic") == selection.tuples("italic")
+    assert [n.label for n in sel_clone.nodes("italic")] == [
+        n.label for n in selection.nodes("italic")
+    ]
+
+
+def test_selection_result_drops_only_the_auxiliary_resolver():
+    session = Session()
+    doc = tree(("doc", ("i", ("b",)), ("a",)))
+    selection = session.query(ITALIC, doc)
+    clone = roundtrip(selection)
+    # Declared query predicates answer identically...
+    assert clone.tuples("italic") == selection.tuples("italic")
+    # ...and the lazily-resolved auxiliary surface is documented to come
+    # back empty (the resolver is a bound evaluator method).
+    assert clone._resolver is None
+
+
+def test_extraction_result_roundtrips_byte_equal():
+    web = SimulatedWeb()
+    web.publish("a.test/p", "<html><body><p>alpha</p><p>beta</p></body></html>")
+    session = Session()
+    result = session.extract(WRAPPER, url="a.test/p", fetcher=web)
+    clone = roundtrip(result)
+    assert to_compact_xml(clone.to_xml()) == to_compact_xml(result.to_xml())
+    assert clone.texts("item") == result.texts("item")
+
+
+def test_error_result_roundtrips_with_metadata():
+    error = ErrorResult.from_exception(
+        TransientFetchError("boom", url="x.test/p"), index=3, url="x.test/p"
+    )
+    clone = roundtrip(error)
+    assert not clone.ok
+    assert clone.index == 3 and clone.url == "x.test/p"
+    assert type(clone.error) is type(error.error)
+    assert clone.attempts == error.attempts
+
+
+# ---------------------------------------------------------------------------
+# The failure vocabulary (keyword-only kwargs need custom __reduce__)
+# ---------------------------------------------------------------------------
+@pytest.mark.parametrize(
+    "error",
+    [
+        TransientFetchError("transient", url="u.test/a"),
+        PermanentFetchError("permanent", url="u.test/b"),
+        WorkerCrashError("crashed", index=4, requeues=2),
+    ],
+)
+def test_fetch_error_family_roundtrips(error):
+    error.resilience_attempts = 3
+    error.resilience_elapsed_s = 0.25
+    clone = roundtrip(error)
+    assert type(clone) is type(error)
+    assert str(clone) == str(error)
+    assert clone.url == error.url
+    assert clone.resilience_attempts == 3
+    assert clone.resilience_elapsed_s == 0.25
+
+
+def test_worker_crash_error_carries_slot_metadata():
+    clone = roundtrip(WorkerCrashError("dead", index=7, requeues=1))
+    assert clone.index == 7 and clone.requeues == 1
+
+
+# ---------------------------------------------------------------------------
+# Lock-holding infrastructure: state crosses, locks are recreated
+# ---------------------------------------------------------------------------
+def test_resilience_stats_and_breaker_and_fault_plan_roundtrip():
+    stats = ResilienceStats()
+    stats.bump("attempts")
+    stats.bump("errors_isolated", by=2)
+    assert roundtrip(stats).snapshot() == stats.snapshot()
+
+    breaker = CircuitBreaker(threshold=2, cooldown_s=60.0)
+    clone = roundtrip(breaker)
+    assert clone.state_of("host.test") == breaker.state_of("host.test")
+
+    plan = FaultPlan(seed=5).fail_transient("u.test/a", times=1)
+    assert roundtrip(plan) is not None
+
+
+def test_simulated_web_fault_state_survives_pickling():
+    web = SimulatedWeb()
+    web.publish("flaky.test/p", "<html><body><p>x</p></body></html>")
+    web.install_faults(FaultPlan().fail_transient("flaky.test/p", times=1))
+    clone = roundtrip(web)
+    # The replayed twin injects the same first-fetch fault...
+    with pytest.raises(TransientFetchError):
+        clone.fetch_html("flaky.test/p")
+    # ...and recovers on retry exactly like the original.
+    assert "<p>" in clone.fetch_html("flaky.test/p")
+
+
+def test_plan_registry_pickles_to_an_empty_registry():
+    registry = PlanRegistry()
+    program = parse_program(REACH)
+    registry.compiled(program, SemiNaiveEngine.BUILTINS)
+    assert registry.misses == 1
+    clone = roundtrip(registry)
+    # Compiled plans close over engine builtins and must not travel: the
+    # clone starts cold and recompiles on first use.
+    assert clone.misses == 0 and clone.hits == 0
+    compiled = clone.rehydrate(
+        program, SemiNaiveEngine.BUILTINS, program_fingerprint(program)
+    )
+    assert compiled.fingerprint == program_fingerprint(program)
+
+
+def test_rehydrate_rejects_a_mismatched_fingerprint():
+    registry = PlanRegistry()
+    program = parse_program(REACH)
+    with pytest.raises(ValueError, match="fingerprint"):
+        registry.rehydrate(program, SemiNaiveEngine.BUILTINS, 0xDEAD)
+
+
+# ---------------------------------------------------------------------------
+# The envelope: pickle-safe by construction
+# ---------------------------------------------------------------------------
+def test_task_envelope_roundtrips():
+    program = parse_program(REACH)
+    envelope = TaskEnvelope(
+        task_id=task_id_for(0),
+        index=0,
+        kind="query",
+        program=program,
+        fingerprint=program_fingerprint(program),
+        payload={"edge": frozenset({(1, 2)})},
+        payload_kind="database",
+    )
+    clone = roundtrip(envelope)
+    assert clone.task_id == envelope.task_id
+    assert program_fingerprint(clone.program) == envelope.fingerprint
+
+
+def test_task_envelope_rejects_compiled_artifacts():
+    registry = PlanRegistry()
+    program = parse_program(REACH)
+    compiled = registry.compiled(program, SemiNaiveEngine.BUILTINS)
+    with pytest.raises(TypeError, match="re-hydrate"):
+        TaskEnvelope(task_id="t0", index=0, kind="query", program=compiled)
+    plans = [plan for stratum in compiled.stratum_plans for plan in stratum]
+    with pytest.raises(TypeError, match="compiled artifacts"):
+        TaskEnvelope(task_id="t0", index=0, kind="query", payload=plans)
+
+
+def test_task_envelope_validates_kinds():
+    with pytest.raises(ValueError, match="kind"):
+        TaskEnvelope(task_id="t0", index=0, kind="nope")
+    with pytest.raises(ValueError, match="payload_kind"):
+        TaskEnvelope(task_id="t0", index=0, kind="query", payload_kind="nope")
+
+
+def test_requeued_bumps_attempt_and_disarms_the_chaos_flag():
+    envelope = TaskEnvelope(
+        task_id="t0", index=0, kind="query", crash=True, attempt=0
+    )
+    requeued = envelope.requeued()
+    assert requeued.attempt == 1 and not requeued.crash
+
+
+# ---------------------------------------------------------------------------
+# Property tests: arbitrary programs and options round-trip
+# ---------------------------------------------------------------------------
+names = st.sampled_from(["p", "q", "r", "edge", "reach"])
+
+
+@st.composite
+def programs(draw):
+    count = draw(st.integers(min_value=1, max_value=4))
+    rules = []
+    for i in range(count):
+        head = draw(names)
+        body = draw(names)
+        rules.append(f"{head}(X, Y) :- {body}(X, Y).")
+    return parse_program("\n".join(rules))
+
+
+@given(programs())
+@settings(max_examples=25, deadline=None)
+def test_any_program_roundtrips_fingerprint_stable(program):
+    clone = pickle.loads(pickle.dumps(program))
+    assert program_fingerprint(clone) == program_fingerprint(program)
+
+
+@given(
+    st.integers(min_value=1, max_value=64),
+    st.sampled_from(["warn", "strict", "ignore"]),
+    st.booleans(),
+)
+@settings(max_examples=25, deadline=None)
+def test_any_engine_options_roundtrip(cache_size, policy, share):
+    options = EngineOptions(
+        cache_size=cache_size,
+        on_diagnostics=policy,
+        share_plans=share,
+    )
+    assert pickle.loads(pickle.dumps(options)) == options
