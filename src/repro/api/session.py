@@ -49,6 +49,7 @@ from ..analysis.datalog_checks import TREE_SIGNATURE
 from ..analysis.diagnostics import AnalysisReport, apply_policy
 from ..datalog.ast import Program
 from ..datalog.cache import CacheInfo, LruMap, SingleFlight
+from ..datalog.engine import EngineInfo, aggregate_engine_info
 from ..datalog.options import DEFAULT_OPTIONS, EngineOptions
 from ..datalog.parser import DatalogSyntaxError
 from ..datalog.registry import PlanRegistry, program_fingerprint
@@ -1097,6 +1098,28 @@ class Session:
     def plan_registry_info(self) -> CacheInfo:
         """Hit/miss statistics of the session-owned compiled-plan registry."""
         return self.registry.info()
+
+    def engine_info(self) -> EngineInfo:
+        """Aggregated storage/executor counters of the session's engines.
+
+        Sums :meth:`~repro.datalog.engine.SemiNaiveEngine.engine_info`
+        across every memoised evaluator that evaluates relationally (the
+        semi-naive backend, plus monadic/automata evaluators running on the
+        generic fallback engine); the ``storage`` / ``index_keys`` fields
+        report what the session's options resolve to.  All-zero until a
+        query actually evaluates.
+        """
+        infos = []
+        for evaluator in self._evaluators.values():
+            probe = getattr(evaluator, "engine_info", None)
+            if probe is None:
+                continue
+            info = probe()
+            if info is not None:
+                infos.append(info)
+        return aggregate_engine_info(
+            self.options.effective_storage, self.options.index_keys, infos
+        )
 
     def resilience_info(self) -> ResilienceInfo:
         """The session-wide failure accounting: attempts/retries/failures of

@@ -357,6 +357,15 @@ class LruMap(Generic[KeyT, ResultT]):
             self.hits = 0
             self.misses = 0
 
+    def values(self) -> List[ResultT]:
+        """A snapshot of the cached values, LRU → MRU (no recency refresh).
+
+        Introspection only (e.g. ``Session.engine_info`` aggregating over
+        its memoised evaluators) — iterating must not perturb eviction.
+        """
+        with self._lock:
+            return list(self._entries.values())
+
     def info(self) -> CacheInfo:
         with self._lock:
             return CacheInfo(self.hits, self.misses, len(self._entries), self.capacity)

@@ -4,34 +4,44 @@ This is the reference engine the theory packages compare against.  It works
 for arbitrary (function-free, safe) datalog programs over an extensional
 database given as ``{predicate: set of tuples}``.
 
-Evaluation architecture (see ROADMAP.md for the full picture):
+Evaluation architecture (see ROADMAP.md and docs/ENGINE.md for the full
+picture):
 
 1. **Plan compilation** (:mod:`repro.datalog.plan`) — every rule is compiled
    once into a :class:`~repro.datalog.plan.RulePlan`: a variable→slot
    layout, precompiled filters and head projection, and a per-(delta-
-   position, size-bucket) memo of greedy join orders.  Each stratum also
-   gets a predicate→(rule, position) trigger map so semi-naive iterations
-   fire only the rules a delta actually touches.  Compilation happens once
-   per distinct *program*, not per engine: the process-wide registry
-   (:mod:`repro.datalog.registry`) shares strata, plans and trigger maps
-   across every engine constructed over content-equal programs
+   position, size-bucket) memo of greedy join orders, each specialised at
+   compile time into a chain of per-step closures (with a fused terminal
+   step that emits head tuples straight out of the last probe).  Each
+   stratum also gets a predicate→(rule, position) trigger map so semi-naive
+   iterations fire only the rules a delta actually touches.  Compilation
+   happens once per distinct *program*, not per engine: the process-wide
+   registry (:mod:`repro.datalog.registry`) shares strata, plans and
+   trigger maps across every engine constructed over content-equal programs
    (``share_plans=False`` opts out); join-order memos stay per-engine.
-2. **Indexed join** (:mod:`repro.datalog.index`) — body literals are matched
-   by probing hash indexes on their bound argument positions; indexes are
-   built lazily and maintained incrementally.
+2. **Storage** (:mod:`repro.datalog.columns` / :mod:`repro.datalog.index`)
+   — under the default ``storage="columnar"``, relations intern rows into
+   append-only arrays and serve probes from lazily materialised posting
+   sets (or composite hash keys under ``index_keys="full"``) that catch up
+   to the row array in batch on first use after appends.  The tuple-at-a-
+   time :class:`~repro.datalog.index.IndexedDatabase` stays behind
+   ``storage="tuple"``; both sit behind one storage protocol, so compiled
+   plans are storage-agnostic.
 3. **Semi-naive loop** — a naive first round followed by delta iteration.
-   Delta storage is recycled across iterations (bucket dictionaries are
-   cleared in place, not reallocated) and each iteration's new facts are
-   loaded with batched index updates, cutting allocator pressure on deep
-   recursions.
+   Columnar deltas are :class:`~repro.datalog.columns.ColumnarWindow`
+   row-id range slices over the interned row arrays (no per-iteration
+   copying); derived facts land via batched ``add_batch`` appends.  The
+   tuple path recycles delta storage across iterations (bucket
+   dictionaries cleared in place) with batched index updates.
 4. **Fixpoint caching** (:mod:`repro.datalog.cache`) — ``fixpoint()`` keeps
    an LRU of evaluated databases keyed by cheap content hashes with exact
    verification on hit, sized for the several hot documents of the
    :mod:`repro.server.pipeline` access pattern.
 
-The PR-1 plan-free indexed join is kept behind ``use_plans=False`` and the
-seed nested-loop strategy behind ``use_index=False`` as ablation baselines;
-property tests assert all three paths compute identical fixpoints.
+The tuple-at-a-time storage is kept behind ``storage="tuple"``, the PR-1
+plan-free indexed join behind ``use_plans=False``, and the seed nested-loop
+strategy behind ``use_index=False`` as ablation baselines; property tests
+assert all paths compute identical fixpoints.
 
 The specialised linear-time evaluation for monadic datalog over trees
 (Theorem 2.4) lives in :mod:`repro.mdatalog.evaluator`; property-based tests
@@ -40,10 +50,21 @@ check both engines agree.
 
 from __future__ import annotations
 
-from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
+from typing import (
+    Dict,
+    FrozenSet,
+    Iterable,
+    List,
+    NamedTuple,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+)
 
 from .ast import Atom, Constant, Database, Literal, Program, Rule, Term, Variable
 from .cache import CacheInfo, FixpointCache
+from .columns import ColumnarDatabase, ColumnarWindow, StorageStats
 from .index import IndexedDatabase, RelationIndex
 from .options import UNSET, EngineOptions, resolve_options
 from .plan import PlanMemo, RulePlan, compile_stratum
@@ -53,6 +74,45 @@ from .stratify import stratify
 Substitution = Dict[Variable, object]
 
 _EMPTY_EXTENSION: FrozenSet[Tuple[object, ...]] = frozenset()
+
+
+class EngineInfo(NamedTuple):
+    """Storage/executor counters of one engine (``engine_info()``).
+
+    ``closure_compiles`` counts the specialised executor chains resident in
+    this engine's join-order memos (one per distinct (delta position,
+    size-bucket signature) the fixpoints actually exercised); the storage
+    counters come from :class:`~repro.datalog.columns.StorageStats` and
+    stay zero under ``storage="tuple"``.
+    """
+
+    storage: str
+    index_keys: str
+    rows_interned: int
+    posting_intersections: int
+    delta_batches: int
+    delta_rows: int
+    max_delta_batch: int
+    closure_compiles: int
+
+
+def aggregate_engine_info(
+    storage: str, index_keys: str, infos: Iterable[EngineInfo]
+) -> EngineInfo:
+    """Sum counters across engines (:meth:`repro.api.Session.engine_info`)."""
+    rows = intersections = batches = delta_rows = compiles = 0
+    max_batch = 0
+    for info in infos:
+        rows += info.rows_interned
+        intersections += info.posting_intersections
+        batches += info.delta_batches
+        delta_rows += info.delta_rows
+        compiles += info.closure_compiles
+        if info.max_delta_batch > max_batch:
+            max_batch = info.max_delta_batch
+    return EngineInfo(
+        storage, index_keys, rows, intersections, batches, delta_rows, max_batch, compiles
+    )
 
 
 class EvaluationError(RuntimeError):
@@ -216,6 +276,8 @@ class SemiNaiveEngine:
         self.use_index = options.use_index
         self.use_plans = options.effective_use_plans
         self.share_plans = options.effective_share_plans
+        self.storage = options.effective_storage
+        self._storage_stats = StorageStats()
         self._fixpoint_cache: FixpointCache[EvaluationResult] = FixpointCache(
             options.cache_size
         )
@@ -273,10 +335,15 @@ class SemiNaiveEngine:
     # ------------------------------------------------------------------
     def evaluate(self, database: Database) -> Database:
         """Return all derived facts (EDB facts included in the result)."""
-        facts = IndexedDatabase(database)
+        if self.storage == "columnar":
+            facts: "ColumnarDatabase | IndexedDatabase" = ColumnarDatabase(
+                database, self.options.index_keys, self._storage_stats
+            )
+        else:
+            facts = IndexedDatabase(database, self.options.index_keys)
         if self._seed_plans and self._index_advice:
-            # Pre-build the hash indexes the seeded plans will probe — the
-            # same indexes the lazy path would build on first probe, just
+            # Pre-build the access paths the seeded plans will probe — the
+            # same ones the lazy path would build on first probe, just
             # before the fixpoint starts instead of mid-join.
             for predicate, keys in self._index_advice.items():
                 if not facts.size(predicate):
@@ -284,13 +351,37 @@ class SemiNaiveEngine:
                 relation = facts.lookup(predicate)
                 for positions in keys:
                     relation.ensure_index(positions)
-        if self.use_plans:
+        if self.storage == "columnar":
+            assert isinstance(facts, ColumnarDatabase)
+            for plans, triggers in zip(self._stratum_plans, self._stratum_triggers):
+                self._evaluate_stratum_columnar(plans, triggers, facts)
+        elif self.use_plans:
+            assert isinstance(facts, IndexedDatabase)
             for plans, triggers in zip(self._stratum_plans, self._stratum_triggers):
                 self._evaluate_stratum_planned(plans, triggers, facts)
         else:
+            assert isinstance(facts, IndexedDatabase)
             for stratum_rules in self.strata:
                 self._evaluate_stratum(stratum_rules, facts)
         return facts.to_database()
+
+    def engine_info(self) -> EngineInfo:
+        """Storage/executor counters (see :class:`EngineInfo`).
+
+        Counters are monotonic across every ``evaluate``/``fixpoint`` this
+        engine ran, like :meth:`fixpoint_cache_info`.
+        """
+        stats = self._storage_stats
+        return EngineInfo(
+            storage=self.storage,
+            index_keys=self.options.index_keys,
+            rows_interned=stats.rows_interned,
+            posting_intersections=stats.posting_intersections,
+            delta_batches=stats.delta_batches,
+            delta_rows=stats.delta_rows,
+            max_delta_batch=stats.max_delta_batch,
+            closure_compiles=sum(len(memo) for memo in self._plan_memos.values()),
+        )
 
     def fixpoint(self, database: Database) -> EvaluationResult:
         """Evaluate with LRU memoisation per database content.
@@ -375,6 +466,86 @@ class SemiNaiveEngine:
             spare.clear()
             spare.load(collected)
             delta, spare = spare, delta
+
+    # ------------------------------------------------------------------
+    # Columnar evaluation (batched deltas over append-only row arrays)
+    # ------------------------------------------------------------------
+    def _evaluate_stratum_columnar(
+        self,
+        plans: List[RulePlan],
+        triggers: Dict[str, List[Tuple[RulePlan, int]]],
+        facts: ColumnarDatabase,
+    ) -> None:
+        """Semi-naive iteration as watermark advancement.
+
+        Columnar relations are append-only with interned rows, so "the
+        facts derived last iteration" is exactly the row-id range between
+        two watermarks — no delta database is built, cleared or re-indexed.
+        Each round advances one watermark per derived predicate and slides
+        a reusable :class:`~repro.datalog.columns.ColumnarWindow` over the
+        new range; everything else (plans, triggers, filters) is the same
+        machinery as the tuple path.
+        """
+        memos = self._plan_memos
+        use_seeds = self._seed_plans
+        stats = self._storage_stats
+        heads = list({plan.head_predicate for plan in plans})
+        # Rows at or past the watermark were not yet applied as a delta.
+        consumed = {predicate: facts.row_count(predicate) for predicate in heads}
+        # Naive first round: every rule fires once without delta
+        # restriction; derived facts append past the watermarks.
+        for plan in plans:
+            derived = plan.run(facts, memo=memos[id(plan)], use_seeds=use_seeds)
+            if derived:
+                facts.add_batch(plan.head_predicate, derived)
+        # Per-head sweep state, resolved once: the reusable delta window,
+        # the head relation the derivations append into, and each trigger's
+        # (run, position, memo, target-relation) quad — the sweep below runs
+        # tens of thousands of times on recursive workloads, so no dict or
+        # attribute lookups happen inside it.
+        scratch = [predicate for predicate in heads if predicate not in facts]
+        # Mutable sweep entries: [window, rows, consumed-watermark, fired].
+        # The row array reference is stable (relations persist across the
+        # whole stratum), so the high watermark is a bare len() per sweep.
+        sweep = []
+        for predicate in heads:
+            fired = [
+                (plan.run, position, memos[id(plan)], facts.relation(plan.head_predicate))
+                for plan, position in triggers.get(predicate, ())
+            ]
+            window = facts.window(predicate)
+            sweep.append([window, window.relation.rows, consumed[predicate], fired])
+        batches = rows_applied = max_batch = 0
+        try:
+            while True:
+                advanced = False
+                for entry in sweep:
+                    window, rows, lo, fired = entry
+                    hi = len(rows)
+                    if hi <= lo:
+                        continue
+                    advanced = True
+                    entry[2] = hi
+                    if not fired:
+                        continue
+                    batches += 1
+                    rows_applied += hi - lo
+                    if hi - lo > max_batch:
+                        max_batch = hi - lo
+                    window.lo = lo
+                    window.hi = hi
+                    for run, position, memo, head_rel in fired:
+                        derived = run(facts, window, position, memo, use_seeds)
+                        if derived:
+                            head_rel.add_batch(derived)
+                if not advanced:
+                    facts.prune_empty(scratch)
+                    return
+        finally:
+            stats.delta_batches += batches
+            stats.delta_rows += rows_applied
+            if max_batch > stats.max_delta_batch:
+                stats.max_delta_batch = max_batch
 
     # ------------------------------------------------------------------
     # Legacy (PR-1) evaluation loop — ablation baseline for the plans

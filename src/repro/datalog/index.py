@@ -1,4 +1,4 @@
-"""Hash-index layer for datalog relations.
+"""Hash-index layer for datalog relations, and THE storage protocol.
 
 The generic semi-naive engine originally matched every body literal by
 scanning the whole relation once per partial substitution — an
@@ -19,17 +19,83 @@ O(|R|^k) nested-loop join.  This module provides the indexed alternative:
 The engine probes an index with the currently-bound prefix of a literal
 (bound variables plus constants), turning each join step into expected
 O(matching facts) instead of O(|R|).
+
+**Storage protocol.**  This tuple-at-a-time layer and the columnar layer
+(:mod:`repro.datalog.columns`) are interchangeable behind two structural
+protocols: :class:`ProbeSource` (what one relation answers — ``probe`` /
+``probe1`` / iteration / ``len``) and :class:`FactStorage` (the
+predicate-keyed database surface).  The compiled rule executors of
+:mod:`repro.datalog.plan` are written against the protocols only, so one
+compiled program serves every storage backend — which is what keeps plan
+sharing and fixpoint caching storage-invariant.
+
+**Index keys.**  Both backends support two key modes for multi-position
+probes (``EngineOptions.index_keys``): ``"full"`` materialises one
+composite index per bound-position *tuple* (one hash lookup per probe,
+one index per binding pattern), while ``"prefix"`` materialises only
+single-position access paths and narrows the remaining positions by
+filtering (tuple layer) or posting-set intersection (columnar layer).
+The ``index_key_*`` workloads of ``benchmarks/bench_rule_plans.py``
+measure the trade-off; ``"full"`` is the measured default.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, Iterator, List, Optional, Set, Tuple
+from typing import Dict, Iterable, Iterator, List, Optional, Protocol, Set, Tuple
 
 from .ast import Database
 
 Fact = Tuple[object, ...]
 
 _EMPTY: Tuple[Fact, ...] = ()
+
+#: Accepted values of the ``key_mode`` knob (``EngineOptions.index_keys``).
+KEY_MODES = ("full", "prefix")
+
+
+class ProbeSource(Protocol):
+    """One relation as the rule executors see it (structural)."""
+
+    def __len__(self) -> int: ...
+
+    def __iter__(self) -> Iterator[Fact]: ...
+
+    def probe(
+        self, positions: Tuple[int, ...], key: Tuple[object, ...]
+    ) -> Iterable[Fact]: ...
+
+    def probe1(self, position: int, value: object) -> Iterable[Fact]: ...
+
+
+class DeltaSource(Protocol):
+    """What a semi-naive delta must answer: a relation per predicate.
+
+    Satisfied by full databases (:class:`IndexedDatabase`,
+    :class:`~repro.datalog.columns.ColumnarDatabase`) and by the columnar
+    row-range windows (:class:`~repro.datalog.columns.ColumnarWindow`).
+    """
+
+    def lookup(self, predicate: str) -> ProbeSource: ...
+
+
+class FactStorage(Protocol):
+    """The predicate-keyed database surface shared by both backends."""
+
+    def relation(self, predicate: str) -> ProbeSource: ...
+
+    def lookup(self, predicate: str) -> ProbeSource: ...
+
+    def facts_of(self, predicate: str) -> Set[Fact]: ...
+
+    def size(self, predicate: str) -> int: ...
+
+    def contains_fact(self, predicate: str, fact: Fact) -> bool: ...
+
+    def add_fact(self, predicate: str, fact: Fact) -> bool: ...
+
+    def load(self, batches: Dict[str, List[Fact]]) -> None: ...
+
+    def to_database(self) -> Database: ...
 
 
 class RelationIndex:
@@ -39,12 +105,23 @@ class RelationIndex:
     for a key holds every fact whose projection onto those positions equals
     the key.  Facts too short for an index's positions are simply absent
     from that index (they can never match a probe on those positions).
+
+    ``key_mode="full"`` (default) materialises one composite index per
+    probed position tuple; ``"prefix"`` answers multi-position probes from
+    the first position's single-column index, filtering the rest — fewer
+    indexes to maintain, more facts touched per probe.
     """
 
-    __slots__ = ("facts", "_indexes")
+    __slots__ = ("facts", "key_mode", "_indexes")
 
-    def __init__(self, facts: Iterable[Fact] = ()) -> None:
+    def __init__(self, facts: Iterable[Fact] = (), key_mode: str = "full") -> None:
+        if key_mode not in KEY_MODES:
+            raise ValueError(
+                f"RelationIndex.key_mode must be one of {KEY_MODES}, "
+                f"got {key_mode!r}"
+            )
         self.facts: Set[Fact] = set(facts)
+        self.key_mode = key_mode
         self._indexes: Dict[Tuple[int, ...], Dict[Tuple[object, ...], List[Fact]]] = {}
 
     # -- container protocol -------------------------------------------------
@@ -131,6 +208,10 @@ class RelationIndex:
         the static index advisor (:mod:`repro.analysis.cost`) predicts the
         compiled plans will probe with.
         """
+        if self.key_mode == "prefix" and len(positions) > 1:
+            # Prefix keys: only single-position indexes are materialised;
+            # multi-position probes narrow through probe() instead.
+            positions = (positions[0],)
         buckets = self._indexes.get(positions)
         if buckets is None:
             buckets = {}
@@ -142,18 +223,38 @@ class RelationIndex:
             self._indexes[positions] = buckets
         return buckets
 
-    def probe(self, positions: Tuple[int, ...], key: Tuple[object, ...]):
+    def probe(self, positions: Tuple[int, ...], key: Tuple[object, ...]) -> Iterable[Fact]:
         """Facts whose values at ``positions`` (ascending) equal ``key``.
 
         With no bound positions this is a full scan by definition; otherwise
         the positions index is materialised on first use and probed in O(1).
+        Under ``key_mode="prefix"`` a multi-position probe reads the first
+        position's index and filters the remaining bound positions.
         """
         if not positions:
             return self.facts
         if not self.facts:
             # Also keeps the shared _EMPTY_RELATION sentinel truly immutable.
             return _EMPTY
+        if self.key_mode == "prefix" and len(positions) > 1:
+            prefix = self.ensure_index((positions[0],)).get((key[0],), _EMPTY)
+            if not prefix:
+                return _EMPTY
+            rest = tuple(zip(positions[1:], key[1:]))
+            return [
+                fact
+                for fact in prefix
+                if positions[-1] < len(fact)
+                and all(fact[p] == v for p, v in rest)
+            ]
         return self.ensure_index(positions).get(key, _EMPTY)
+
+    def probe1(self, position: int, value: object) -> Iterable[Fact]:
+        """Single-position probe without key-tuple allocation (hot path of
+        the compiled rule executors)."""
+        if not self.facts:
+            return _EMPTY
+        return self.ensure_index((position,)).get((value,), _EMPTY)
 
     def index_count(self) -> int:
         """Number of materialised indexes (introspection / tests)."""
@@ -161,22 +262,33 @@ class RelationIndex:
 
 
 class IndexedDatabase:
-    """A set of :class:`RelationIndex` instances keyed by predicate name."""
+    """A set of :class:`RelationIndex` instances keyed by predicate name.
 
-    __slots__ = ("relations",)
+    ``key_mode`` is applied to every relation (see :class:`RelationIndex`).
+    """
 
-    def __init__(self, database: Optional[Database] = None) -> None:
+    __slots__ = ("relations", "key_mode")
+
+    def __init__(
+        self, database: Optional[Database] = None, key_mode: str = "full"
+    ) -> None:
+        if key_mode not in KEY_MODES:
+            raise ValueError(
+                f"IndexedDatabase.key_mode must be one of {KEY_MODES}, "
+                f"got {key_mode!r}"
+            )
         self.relations: Dict[str, RelationIndex] = {}
+        self.key_mode = key_mode
         if database:
             for predicate, facts in database.items():
-                self.relations[predicate] = RelationIndex(facts)
+                self.relations[predicate] = RelationIndex(facts, key_mode)
 
     # -- access --------------------------------------------------------------
     def relation(self, predicate: str) -> RelationIndex:
         """The (possibly empty, lazily created) relation for ``predicate``."""
         index = self.relations.get(predicate)
         if index is None:
-            index = self.relations[predicate] = RelationIndex()
+            index = self.relations[predicate] = RelationIndex((), self.key_mode)
         return index
 
     def lookup(self, predicate: str) -> RelationIndex:

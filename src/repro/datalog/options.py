@@ -73,6 +73,27 @@ class EngineOptions:
         program pay one compilation.  Which registry is used is orthogonal:
         engines default to the process-wide singleton, while engines built
         by a :class:`repro.api.Session` use the session-owned registry.
+    storage:
+        Relation storage backend of the semi-naive engine.  ``"columnar"``
+        (default) evaluates over :mod:`repro.datalog.columns` — append-only
+        row arrays with posting-set indexes, batched delta windows —
+        ``"tuple"`` over the tuple-at-a-time
+        :mod:`repro.datalog.index` layer (the ablation baseline).
+        Storage is engine-internal scratch: it never affects the fixpoint
+        (the property suite proves all backends identical), compiled plans
+        are shared across storages, and every cache fingerprint is
+        storage-invariant.  Columnar evaluation runs through compiled rule
+        plans, so it requires ``effective_use_plans``; with plans disabled
+        the engine falls back to tuple storage (see
+        :attr:`effective_storage`).
+    index_keys:
+        Multi-position probe strategy of both storage backends.
+        ``"full"`` (default — the winner of the ``index_key_*`` benchmark
+        study) materialises one composite index per bound-position tuple;
+        ``"prefix"`` keeps only single-column access paths and narrows the
+        remaining positions by posting-set intersection (columnar) or
+        filtering (tuple).  Like join order, this affects latency only,
+        never the fixpoint.
     cache_size:
         Capacity of every per-engine fixpoint LRU (one entry per distinct
         hot database / document).
@@ -97,6 +118,8 @@ class EngineOptions:
     cache_size: int = 8
     force_generic: bool = False
     on_diagnostics: str = "warn"
+    storage: str = "columnar"
+    index_keys: str = "full"
 
     def __post_init__(self) -> None:
         if self.cache_size < 1:
@@ -107,6 +130,16 @@ class EngineOptions:
             raise ValueError(
                 "EngineOptions.on_diagnostics must be 'ignore', 'warn' or "
                 f"'strict', got {self.on_diagnostics!r}"
+            )
+        if self.storage not in ("columnar", "tuple"):
+            raise ValueError(
+                "EngineOptions.storage must be 'columnar' or 'tuple', "
+                f"got {self.storage!r}"
+            )
+        if self.index_keys not in ("full", "prefix"):
+            raise ValueError(
+                "EngineOptions.index_keys must be 'full' or 'prefix', "
+                f"got {self.index_keys!r}"
             )
 
     # ------------------------------------------------------------------
@@ -123,6 +156,11 @@ class EngineOptions:
     def effective_share_plans(self) -> bool:
         """Sharing applies to compiled plans only, so it requires them."""
         return self.effective_use_plans and self.share_plans
+
+    @property
+    def effective_storage(self) -> str:
+        """Columnar evaluation needs compiled plans; otherwise tuple."""
+        return "columnar" if self.storage == "columnar" and self.effective_use_plans else "tuple"
 
 
 #: The default options every constructor resolves to when nothing is passed.

@@ -24,15 +24,31 @@ This module moves all of that work to compile time:
   database-sized state: when a plan is shared across engines through
   :mod:`repro.datalog.registry`, each engine passes its own memo into
   ``run`` so one engine's relation sizes never steer another's joins.
-* :class:`_JoinStep` — one probe of the interpreter: the bound argument
+* :class:`_JoinStep` — one probe of the join: the bound argument
   positions, a precompiled key spec (constants inlined, variables as slots),
   a bind spec for newly-bound slots, intra-atom equality checks for repeated
   variables, and the filters that become ready once this step has bound its
   variables (the hoist points are resolved ahead of time).
+* **Specialised executors** — every :class:`_JoinPlan` is lowered at
+  compile time into a chain of per-step closures (probe → intersect/check →
+  filter → project) with the step's constants bound in closure cells, plus
+  a projection closure; ``RulePlan.run`` just resolves the delta relation
+  and calls the chain.  Hot step shapes (full scans binding one or two
+  slots, single-slot-key probes extending one slot) get dedicated closure
+  bodies without the generic spec interpretation; everything else falls
+  back to a generic closure that mirrors the old interpreted loop exactly.
+  Executors are built wherever plans are built — including the statically
+  seeded plans the registry compiles (:mod:`repro.analysis.cost`), so a
+  shared program carries its specialised executors with it.
 
-The interpreter produces exactly the facts the PR-1 indexed join produced —
+Plans and executors are written against the storage *protocols* of
+:mod:`repro.datalog.index` (``FactStorage`` / ``ProbeSource``), so one
+compiled program runs unchanged over the tuple-at-a-time backend and the
+columnar backend (:mod:`repro.datalog.columns`).
+
+The executors produce exactly the facts the PR-1 indexed join produced —
 the property tests assert equivalence against both the legacy indexed path
-and the seed nested-loop join.
+and the seed nested-loop join, on every storage backend.
 """
 
 from __future__ import annotations
@@ -40,9 +56,18 @@ from __future__ import annotations
 from typing import Callable, Dict, List, Mapping, Optional, Sequence, Set, Tuple
 
 from .ast import Constant, Literal, Rule, Variable
-from .index import IndexedDatabase
+from .index import DeltaSource, FactStorage, ProbeSource
 
 Fact = Tuple[object, ...]
+
+#: A compiled step closure: ``(rows, facts, delta_rel) -> rows``.
+StepRunner = Callable[[List[List[object]], FactStorage, Optional[ProbeSource]], List[List[object]]]
+
+#: A compiled projection closure: ``(rows, facts) -> facts``.
+Projector = Callable[[List[List[object]], FactStorage], List[Fact]]
+
+#: A compiled whole-rule executor: ``(facts, delta_rel) -> facts``.
+Executor = Callable[[FactStorage, Optional[ProbeSource]], List[Fact]]
 
 #: ``(is_slot, payload)`` — payload is a slot index when ``is_slot`` else a
 #: constant value.  Used for probe keys, filter arguments and head terms.
@@ -156,7 +181,7 @@ class _CompiledFilter:
         self.spec: ValueSpec = tuple(spec)
         self.slots = frozenset(slots)
 
-    def passes(self, row: List[object], facts: IndexedDatabase) -> bool:
+    def passes(self, row: List[object], facts: FactStorage) -> bool:
         if self.unbound_term is not None:
             # Matches the seed _ground_terms error (it reuses the head
             # message even for body filters).
@@ -210,20 +235,490 @@ class _JoinStep:
         self.filters_after = filters_after
 
 
-class _JoinPlan:
-    """A fixed join order plus per-step layouts, interpreted by RulePlan.run."""
+def _build_step_runner(step: _JoinStep) -> StepRunner:
+    """Lower one join step into a closure with its constants in cells.
 
-    __slots__ = ("steps", "initial_filters", "leftover_filters")
+    The hot shapes get dedicated bodies (no spec interpretation per tuple):
+
+    * **scan+bind1 / scan+bind2** — an unbound literal (typically the
+      delta seed) binding one or two fresh slots;
+    * **probe1+bind1** — one slot-valued bound position extending one slot
+      (the classic index-nested-loop step), probed through the storage
+      layer's ``probe1`` so no key tuple is allocated.
+
+    Everything else (constants in keys, repeated variables, hoisted
+    filters, multi-position keys) runs the generic body, which replicates
+    the old interpreted loop exactly.
+    """
+    predicate = step.predicate
+    from_delta = step.from_delta
+    arity = step.arity
+    positions = step.bound_positions
+    key_spec = step.key_spec
+    bind_spec = step.bind_spec
+    check_spec = step.check_spec
+    filters_after = step.filters_after
+
+    if from_delta:
+        def source_relation(
+            facts: FactStorage, delta_rel: Optional[ProbeSource]
+        ) -> ProbeSource:
+            assert delta_rel is not None
+            return delta_rel
+    else:
+        def source_relation(
+            facts: FactStorage, delta_rel: Optional[ProbeSource]
+        ) -> ProbeSource:
+            return facts.lookup(predicate)
+
+    plain = not check_spec and not filters_after
+    if plain and not positions and len(bind_spec) == 1:
+        ((index0, slot0),) = bind_spec
+
+        def run_scan1(
+            rows: List[List[object]],
+            facts: FactStorage,
+            delta_rel: Optional[ProbeSource],
+        ) -> List[List[object]]:
+            relation = source_relation(facts, delta_rel)
+            out: List[List[object]] = []
+            append = out.append
+            for row in rows:
+                for f in relation:
+                    if len(f) == arity:
+                        new = row[:]
+                        new[slot0] = f[index0]
+                        append(new)
+            return out
+
+        return run_scan1
+    if plain and not positions and len(bind_spec) == 2:
+        (index0, slot0), (index1, slot1) = bind_spec
+
+        def run_scan2(
+            rows: List[List[object]],
+            facts: FactStorage,
+            delta_rel: Optional[ProbeSource],
+        ) -> List[List[object]]:
+            relation = source_relation(facts, delta_rel)
+            out: List[List[object]] = []
+            append = out.append
+            for row in rows:
+                for f in relation:
+                    if len(f) == arity:
+                        new = row[:]
+                        new[slot0] = f[index0]
+                        new[slot1] = f[index1]
+                        append(new)
+            return out
+
+        return run_scan2
+    if (
+        plain
+        and len(positions) == 1
+        and len(bind_spec) == 1
+        and key_spec[0][0]
+    ):
+        position0 = positions[0]
+        key_slot = key_spec[0][1]
+        ((index0, slot0),) = bind_spec
+
+        def run_probe1(
+            rows: List[List[object]],
+            facts: FactStorage,
+            delta_rel: Optional[ProbeSource],
+        ) -> List[List[object]]:
+            relation = source_relation(facts, delta_rel)
+            probe1 = relation.probe1
+            out: List[List[object]] = []
+            append = out.append
+            for row in rows:
+                for f in probe1(position0, row[key_slot]):
+                    if len(f) == arity:
+                        new = row[:]
+                        new[slot0] = f[index0]
+                        append(new)
+            return out
+
+        return run_probe1
+
+    def run_generic(
+        rows: List[List[object]],
+        facts: FactStorage,
+        delta_rel: Optional[ProbeSource],
+    ) -> List[List[object]]:
+        relation = source_relation(facts, delta_rel)
+        probe = relation.probe
+        out: List[List[object]] = []
+        append = out.append
+        for row in rows:
+            key = tuple(row[p] if s else p for s, p in key_spec)
+            for fact in probe(positions, key):
+                if len(fact) != arity:
+                    continue
+                if check_spec:
+                    if any(fact[i] != fact[j] for i, j in check_spec):
+                        continue
+                new = row[:]
+                for index, slot in bind_spec:
+                    new[slot] = fact[index]
+                if filters_after:
+                    if not all(f.passes(new, facts) for f in filters_after):
+                        continue
+                append(new)
+        return out
+
+    return run_generic
+
+
+def _build_projector(
+    head_spec: ValueSpec,
+    head_unbound: Optional[Variable],
+    leftover_filters: Tuple[_CompiledFilter, ...],
+) -> Projector:
+    """Lower the head projection (plus leftover filters) into a closure."""
+    if head_unbound is None and not leftover_filters:
+        if all(is_slot for is_slot, _ in head_spec):
+            slots = tuple(payload for _, payload in head_spec)
+            if len(slots) == 1:
+                (head0,) = slots
+
+                def project1(rows: List[List[object]], facts: FactStorage) -> List[Fact]:
+                    return [(row[head0],) for row in rows]
+
+                return project1
+            if len(slots) == 2:
+                head0, head1 = slots
+
+                def project2(rows: List[List[object]], facts: FactStorage) -> List[Fact]:
+                    return [(row[head0], row[head1]) for row in rows]
+
+                return project2
+
+        def project_spec(rows: List[List[object]], facts: FactStorage) -> List[Fact]:
+            return [tuple(row[p] if s else p for s, p in head_spec) for row in rows]
+
+        return project_spec
+
+    def project_guarded(rows: List[List[object]], facts: FactStorage) -> List[Fact]:
+        out: List[Fact] = []
+        emit = out.append
+        for row in rows:
+            if leftover_filters:
+                if not all(f.passes(row, facts) for f in leftover_filters):
+                    continue
+            if head_unbound is not None:
+                from .engine import EvaluationError
+
+                raise EvaluationError(
+                    f"unbound variable {head_unbound} in rule head"
+                )
+            emit(tuple(row[p] if s else p for s, p in head_spec))
+        return out
+
+    return project_guarded
+
+
+def _build_fused_terminal(step: _JoinStep, head_spec: ValueSpec) -> Optional[StepRunner]:
+    """Fuse the last join step with the head projection when possible.
+
+    For a plain final step (no repeated-variable checks, no hoisted
+    filters) whose matches feed straight into a slot-only head, the
+    executor can emit head tuples directly from the probe — no extended
+    row is ever copied and no separate projection pass runs.  This is the
+    per-tuple hot path of every linear-recursive rule (transitive closure,
+    reachability, same-generation).  Returns ``None`` when the shape does
+    not apply; the caller falls back to the unfused chain.
+    """
+    if step.check_spec or step.filters_after:
+        return None
+    if not all(is_slot for is_slot, _ in head_spec):
+        return None
+    last_binds = {slot: index for index, slot in step.bind_spec}
+    #: Per head term: (from_fact, index) — fact column or row slot.
+    emit_spec = tuple(
+        (True, last_binds[payload]) if payload in last_binds else (False, payload)
+        for _, payload in head_spec
+    )
+    predicate = step.predicate
+    from_delta = step.from_delta
+    arity = step.arity
+    positions = step.bound_positions
+    key_spec = step.key_spec
+
+    if from_delta:
+        def source_relation(
+            facts: FactStorage, delta_rel: Optional[ProbeSource]
+        ) -> ProbeSource:
+            assert delta_rel is not None
+            return delta_rel
+    else:
+        def source_relation(
+            facts: FactStorage, delta_rel: Optional[ProbeSource]
+        ) -> ProbeSource:
+            return facts.lookup(predicate)
+
+    probe1_shape = len(positions) == 1 and len(key_spec) == 1 and key_spec[0][0]
+    scan_shape = not positions
+    if not probe1_shape and not scan_shape:
+        return None
+
+    if probe1_shape:
+        position0 = positions[0]
+        key_slot = key_spec[0][1]
+        if len(emit_spec) == 1:
+            ((fact0, index0),) = emit_spec
+            if fact0:
+
+                def fused_probe1_f(rows, facts, delta_rel):
+                    probe1 = source_relation(facts, delta_rel).probe1
+                    out: List[Fact] = []
+                    append = out.append
+                    for row in rows:
+                        for f in probe1(position0, row[key_slot]):
+                            if len(f) == arity:
+                                append((f[index0],))
+                    return out
+
+                return fused_probe1_f
+
+            def fused_probe1_r(rows, facts, delta_rel):
+                probe1 = source_relation(facts, delta_rel).probe1
+                out: List[Fact] = []
+                append = out.append
+                for row in rows:
+                    head = (row[index0],)
+                    for f in probe1(position0, row[key_slot]):
+                        if len(f) == arity:
+                            append(head)
+                return out
+
+            return fused_probe1_r
+        if len(emit_spec) == 2:
+            (fact0, index0), (fact1, index1) = emit_spec
+            if fact0 and not fact1:
+
+                def fused_probe1_fr(rows, facts, delta_rel):
+                    probe1 = source_relation(facts, delta_rel).probe1
+                    out: List[Fact] = []
+                    append = out.append
+                    for row in rows:
+                        value1 = row[index1]
+                        for f in probe1(position0, row[key_slot]):
+                            if len(f) == arity:
+                                append((f[index0], value1))
+                    return out
+
+                return fused_probe1_fr
+            if not fact0 and fact1:
+
+                def fused_probe1_rf(rows, facts, delta_rel):
+                    probe1 = source_relation(facts, delta_rel).probe1
+                    out: List[Fact] = []
+                    append = out.append
+                    for row in rows:
+                        value0 = row[index0]
+                        for f in probe1(position0, row[key_slot]):
+                            if len(f) == arity:
+                                append((value0, f[index1]))
+                    return out
+
+                return fused_probe1_rf
+            if fact0 and fact1:
+
+                def fused_probe1_ff(rows, facts, delta_rel):
+                    probe1 = source_relation(facts, delta_rel).probe1
+                    out: List[Fact] = []
+                    append = out.append
+                    for row in rows:
+                        for f in probe1(position0, row[key_slot]):
+                            if len(f) == arity:
+                                append((f[index0], f[index1]))
+                    return out
+
+                return fused_probe1_ff
+
+            def fused_probe1_rr(rows, facts, delta_rel):
+                probe1 = source_relation(facts, delta_rel).probe1
+                out: List[Fact] = []
+                append = out.append
+                for row in rows:
+                    head = (row[index0], row[index1])
+                    for f in probe1(position0, row[key_slot]):
+                        if len(f) == arity:
+                            append(head)
+                return out
+
+            return fused_probe1_rr
+
+        def fused_probe1(rows, facts, delta_rel):
+            probe1 = source_relation(facts, delta_rel).probe1
+            out: List[Fact] = []
+            append = out.append
+            for row in rows:
+                for f in probe1(position0, row[key_slot]):
+                    if len(f) == arity:
+                        append(tuple(f[i] if g else row[i] for g, i in emit_spec))
+            return out
+
+        return fused_probe1
+
+    # Scan shape (single-literal rules, copy rules): emit per matching fact.
+    if len(emit_spec) == 1 and emit_spec[0][0]:
+        ((_, index0),) = emit_spec
+
+        def fused_scan_f(rows, facts, delta_rel):
+            relation = source_relation(facts, delta_rel)
+            out: List[Fact] = []
+            append = out.append
+            for row in rows:
+                for f in relation:
+                    if len(f) == arity:
+                        append((f[index0],))
+            return out
+
+        return fused_scan_f
+
+    def fused_scan(rows, facts, delta_rel):
+        relation = source_relation(facts, delta_rel)
+        out: List[Fact] = []
+        append = out.append
+        for row in rows:
+            for f in relation:
+                if len(f) == arity:
+                    append(tuple(f[i] if g else row[i] for g, i in emit_spec))
+        return out
+
+    return fused_scan
+
+
+def _build_executor(
+    steps: Tuple[_JoinStep, ...],
+    initial_filters: Tuple[_CompiledFilter, ...],
+    project: Projector,
+    nvars: int,
+    head_spec: ValueSpec,
+    head_unbound: Optional[Variable],
+    leftover_filters: Tuple[_CompiledFilter, ...],
+) -> Executor:
+    """Chain the step closures into one whole-rule executor.
+
+    When the rule's tail allows it, the last step and the projection fuse
+    into a single closure (:func:`_build_fused_terminal`); the common
+    shapes (no constants-only initial filters, one or two join steps —
+    every linear and binary-recursive rule) are unrolled.
+    """
+    terminal: Optional[StepRunner] = None
+    if steps and head_unbound is None and not leftover_filters:
+        terminal = _build_fused_terminal(steps[-1], head_spec)
+    if terminal is not None:
+        runners = tuple(_build_step_runner(step) for step in steps[:-1])
+        emit = terminal
+        if not initial_filters and len(runners) == 0:
+
+            def execute_t0(
+                facts: FactStorage, delta_rel: Optional[ProbeSource]
+            ) -> List[Fact]:
+                return emit([[None] * nvars], facts, delta_rel)
+
+            return execute_t0
+        if not initial_filters and len(runners) == 1:
+            (run0,) = runners
+
+            def execute_t1(
+                facts: FactStorage, delta_rel: Optional[ProbeSource]
+            ) -> List[Fact]:
+                rows = run0([[None] * nvars], facts, delta_rel)
+                return emit(rows, facts, delta_rel) if rows else []
+
+            return execute_t1
+        if not initial_filters and len(runners) == 2:
+            run0, run1 = runners
+
+            def execute_t2(
+                facts: FactStorage, delta_rel: Optional[ProbeSource]
+            ) -> List[Fact]:
+                rows = run0([[None] * nvars], facts, delta_rel)
+                if not rows:
+                    return []
+                rows = run1(rows, facts, delta_rel)
+                return emit(rows, facts, delta_rel) if rows else []
+
+            return execute_t2
+
+        def execute_t(
+            facts: FactStorage, delta_rel: Optional[ProbeSource]
+        ) -> List[Fact]:
+            row: List[object] = [None] * nvars
+            for compiled in initial_filters:
+                if not compiled.passes(row, facts):
+                    return []
+            rows = [row]
+            for run in runners:
+                rows = run(rows, facts, delta_rel)
+                if not rows:
+                    return []
+            return emit(rows, facts, delta_rel)
+
+        return execute_t
+
+    runners = tuple(_build_step_runner(step) for step in steps)
+    if not initial_filters and len(runners) == 1:
+        (run0,) = runners
+
+        def execute1(facts: FactStorage, delta_rel: Optional[ProbeSource]) -> List[Fact]:
+            rows = run0([[None] * nvars], facts, delta_rel)
+            return project(rows, facts) if rows else []
+
+        return execute1
+    if not initial_filters and len(runners) == 2:
+        run0, run1 = runners
+
+        def execute2(facts: FactStorage, delta_rel: Optional[ProbeSource]) -> List[Fact]:
+            rows = run0([[None] * nvars], facts, delta_rel)
+            if not rows:
+                return []
+            rows = run1(rows, facts, delta_rel)
+            return project(rows, facts) if rows else []
+
+        return execute2
+
+    def execute(facts: FactStorage, delta_rel: Optional[ProbeSource]) -> List[Fact]:
+        row: List[object] = [None] * nvars
+        for compiled in initial_filters:
+            if not compiled.passes(row, facts):
+                return []
+        rows = [row]
+        for run in runners:
+            rows = run(rows, facts, delta_rel)
+            if not rows:
+                return []
+        return project(rows, facts)
+
+    return execute
+
+
+class _JoinPlan:
+    """A fixed join order lowered to a specialised executor closure chain.
+
+    The step/filter layouts are kept alongside the executor for
+    introspection (``analysis/explain`` renders them) — evaluation goes
+    through :attr:`executor` only.
+    """
+
+    __slots__ = ("steps", "initial_filters", "leftover_filters", "executor")
 
     def __init__(
         self,
         steps: Tuple[_JoinStep, ...],
         initial_filters: Tuple[_CompiledFilter, ...],
         leftover_filters: Tuple[_CompiledFilter, ...],
+        executor: Executor,
     ) -> None:
         self.steps = steps
         self.initial_filters = initial_filters
         self.leftover_filters = leftover_filters
+        self.executor = executor
 
 
 class RulePlan:
@@ -238,6 +733,9 @@ class RulePlan:
         "filters",
         "head_spec",
         "head_unbound",
+        "_project",
+        "_rel_preds",
+        "_body_preds",
         "_plans",
         "seed_plans",
     )
@@ -272,6 +770,12 @@ class RulePlan:
                 if isinstance(term, Variable):
                     relational_slots.add(slot_of[term])
         self.relational = tuple(relational)
+        #: Predicate names hoisted out of the AST for the per-firing hot
+        #: path (plan lookup and delta resolution touch these every call).
+        self._rel_preds = tuple(
+            rule.body[position].atom.predicate for position in relational
+        )
+        self._body_preds = tuple(literal.atom.predicate for literal in rule.body)
         self.filters = tuple(
             _CompiledFilter(literal, position, slot_of, relational_slots, builtins)
             for position, literal in enumerate(rule.body)
@@ -289,6 +793,15 @@ class RulePlan:
                 if slot_of[term] not in relational_slots and self.head_unbound is None:
                     self.head_unbound = term
         self.head_spec: ValueSpec = tuple(head_spec)
+
+        #: The projection closure is rule-static (the head spec, the
+        #: unbound-head guard and the leftover filters do not depend on the
+        #: join order), so it is built once and shared by every _JoinPlan.
+        self._project = _build_projector(
+            self.head_spec,
+            self.head_unbound,
+            tuple(f for f in self.filters if f.unbound_term is not None),
+        )
 
         #: Default join-order memo, used when the caller supplies none.
         #: Engines sharing this plan pass an instance-local memo instead.
@@ -321,20 +834,23 @@ class RulePlan:
 
     def _plan_for(
         self,
-        facts: IndexedDatabase,
-        delta: Optional[IndexedDatabase],
+        facts: FactStorage,
+        delta: Optional[DeltaSource],
         delta_position: Optional[int],
         memo: Optional[PlanMemo] = None,
         use_seeds: bool = True,
     ) -> _JoinPlan:
-        body = self.rule.body
-        sizes: List[int] = []
-        for position in self.relational:
-            predicate = body[position].atom.predicate
-            source = delta if (position == delta_position and delta is not None) else facts
-            sizes.append(len(source.lookup(predicate)))
-        signature = tuple(size_bucket(size) for size in sizes)
-        key = (delta_position, signature)
+        # size_bucket() inlined: this runs once per rule firing, so the hit
+        # path computes only the bucket signature; the full size map is
+        # rebuilt on a memo miss (compile time dwarfs the extra lookups).
+        signature: List[int] = []
+        append = signature.append
+        for position, predicate in zip(self.relational, self._rel_preds):
+            if position == delta_position and delta is not None:
+                append(len(delta.lookup(predicate)).bit_length())
+            else:
+                append(len(facts.lookup(predicate)).bit_length())
+        key = (delta_position, tuple(signature))
         if memo is None:
             memo = self._plans
         plan = memo.get(key)
@@ -350,7 +866,17 @@ class RulePlan:
                 # adaptively as before.
                 plan = seed
             else:
-                plan = self._compile(delta_position, dict(zip(self.relational, sizes)))
+                sizes = {
+                    position: len(
+                        (
+                            delta
+                            if (position == delta_position and delta is not None)
+                            else facts
+                        ).lookup(predicate)
+                    )
+                    for position, predicate in zip(self.relational, self._rel_preds)
+                }
+                plan = self._compile(delta_position, sizes)
             memo[key] = plan
         return plan
 
@@ -419,15 +945,29 @@ class RulePlan:
         # Any hoistable filter still pending would need a slot no relational
         # literal binds — excluded by construction (unbound_term is set).
         assert not pending
-        return _JoinPlan(tuple(steps), initial_filters, leftover)
+        steps_tuple = tuple(steps)
+        return _JoinPlan(
+            steps_tuple,
+            initial_filters,
+            leftover,
+            _build_executor(
+                steps_tuple,
+                initial_filters,
+                self._project,
+                self.nvars,
+                self.head_spec,
+                self.head_unbound,
+                leftover,
+            ),
+        )
 
     # ------------------------------------------------------------------
-    # Plan interpretation
+    # Plan execution
     # ------------------------------------------------------------------
     def run(
         self,
-        facts: IndexedDatabase,
-        delta: Optional[IndexedDatabase] = None,
+        facts: FactStorage,
+        delta: Optional[DeltaSource] = None,
         delta_position: Optional[int] = None,
         memo: Optional[PlanMemo] = None,
         use_seeds: bool = True,
@@ -441,60 +981,16 @@ class RulePlan:
         property tests compare both paths).  The result is fully
         materialised before the caller inserts it, so inserting derived
         facts never mutates a relation mid-probe.
+
+        ``facts`` / ``delta`` may be any storage backend satisfying the
+        protocols of :mod:`repro.datalog.index`; evaluation dispatches to
+        the plan's precompiled executor closure chain.
         """
         plan = self._plan_for(facts, delta, delta_position, memo, use_seeds)
-        row: List[object] = [None] * self.nvars
-        for compiled in plan.initial_filters:
-            if not compiled.passes(row, facts):
-                return []
-        rows = [row]
-        for step in plan.steps:
-            source = delta if step.from_delta else facts
-            relation = source.lookup(step.predicate)  # type: ignore[union-attr]
-            probe = relation.probe
-            positions = step.bound_positions
-            key_spec = step.key_spec
-            bind_spec = step.bind_spec
-            check_spec = step.check_spec
-            filters_after = step.filters_after
-            arity = step.arity
-            next_rows: List[List[object]] = []
-            append = next_rows.append
-            for row in rows:
-                key = tuple(row[p] if s else p for s, p in key_spec)
-                for fact in probe(positions, key):
-                    if len(fact) != arity:
-                        continue
-                    if check_spec:
-                        if any(fact[i] != fact[j] for i, j in check_spec):
-                            continue
-                    new = row[:]
-                    for index, slot in bind_spec:
-                        new[slot] = fact[index]
-                    if filters_after:
-                        if not all(f.passes(new, facts) for f in filters_after):
-                            continue
-                    append(new)
-            rows = next_rows
-            if not rows:
-                return []
-        leftover = plan.leftover_filters
-        head_spec = self.head_spec
-        head_unbound = self.head_unbound
-        out: List[Fact] = []
-        emit = out.append
-        for row in rows:
-            if leftover:
-                if not all(f.passes(row, facts) for f in leftover):
-                    continue
-            if head_unbound is not None:
-                from .engine import EvaluationError
-
-                raise EvaluationError(
-                    f"unbound variable {head_unbound} in rule head"
-                )
-            emit(tuple(row[p] if s else p for s, p in head_spec))
-        return out
+        delta_rel: Optional[ProbeSource] = None
+        if delta is not None and delta_position is not None:
+            delta_rel = delta.lookup(self._body_preds[delta_position])
+        return plan.executor(facts, delta_rel)
 
 
 def compile_stratum(

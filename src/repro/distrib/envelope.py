@@ -16,7 +16,12 @@ Compiled artifacts are rejected at construction, not at pickling time:
 builtin callables and must never cross a process boundary — workers
 re-hydrate through their own :class:`~repro.datalog.registry.PlanRegistry`
 (:meth:`~repro.datalog.registry.PlanRegistry.rehydrate`), which is the
-whole point of the fingerprint-keyed registry design.
+whole point of the fingerprint-keyed registry design.  The same applies to
+the specialised executors (``_JoinPlan`` closure chains) and to columnar
+storage (:class:`~repro.datalog.columns.ColumnarRelation` /
+:class:`~repro.datalog.columns.ColumnarDatabase`): storage is
+engine-internal scratch a worker rebuilds from the plain database payload,
+so shipping it would only smuggle process-local state across the boundary.
 """
 
 from __future__ import annotations
@@ -24,8 +29,9 @@ from __future__ import annotations
 from dataclasses import dataclass, field, replace
 from typing import Optional, Tuple
 
+from ..datalog.columns import ColumnarDatabase, ColumnarRelation, ColumnarWindow
 from ..datalog.options import DEFAULT_OPTIONS, EngineOptions
-from ..datalog.plan import RulePlan
+from ..datalog.plan import RulePlan, _JoinPlan
 from ..datalog.registry import CompiledProgram
 from ..resilience.policy import ResiliencePolicy
 
@@ -36,22 +42,38 @@ TASK_KINDS = ("query", "extract", "pipe")
 PAYLOAD_KINDS = ("document", "database", "url", "pipe")
 
 
+#: Engine-internal artifacts that must never cross the process boundary:
+#: compiled plans/programs (close over builtin callables) and columnar
+#: storage (interned rows, posting sets, windows — worker-local scratch).
+_REJECTED_TYPES = (
+    RulePlan,
+    CompiledProgram,
+    _JoinPlan,
+    ColumnarRelation,
+    ColumnarDatabase,
+    ColumnarWindow,
+)
+
+
 def _reject_compiled(value: object, role: str) -> None:
-    """Refuse compiled evaluation artifacts anywhere in an envelope.
+    """Refuse compiled/engine-internal artifacts anywhere in an envelope.
 
     Shallow by design: the hazard is a caller handing the envelope a
-    ``RulePlan`` / ``CompiledProgram`` (or a list of them) instead of the
-    program; deeply nested compiled state would already fail to pickle.
+    ``RulePlan`` / ``CompiledProgram`` / columnar storage (or a list of
+    them) instead of the program or the plain database; deeply nested
+    compiled state would already fail to pickle.
     """
     probes = [value]
     if isinstance(value, (list, tuple, set, frozenset)):
         probes.extend(value)
     for probe in probes:
-        if isinstance(probe, (RulePlan, CompiledProgram)):
+        if isinstance(probe, _REJECTED_TYPES):
             raise TypeError(
-                f"TaskEnvelope.{role} must not carry compiled artifacts "
-                f"({type(probe).__name__}); ship the program source/AST and "
-                "let the worker re-hydrate through its own PlanRegistry"
+                f"TaskEnvelope.{role} must not carry compiled or "
+                f"engine-internal artifacts ({type(probe).__name__}); ship "
+                "the program source/AST and plain databases — the worker "
+                "re-hydrates plans through its own PlanRegistry and "
+                "rebuilds storage from the payload"
             )
 
 

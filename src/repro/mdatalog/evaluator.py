@@ -141,6 +141,15 @@ class MonadicTreeEvaluator:
             return self._generic_engine.fixpoint_cache_info()
         return self._ground_cache.info()
 
+    def engine_info(self):
+        """Storage/executor counters of the generic fallback engine, or
+        ``None`` when the Theorem-2.4 ground+LTUR pipeline is active (it
+        evaluates propositionally — there is no relational storage to
+        count)."""
+        if self._generic_engine is not None:
+            return self._generic_engine.engine_info()
+        return None
+
     # ------------------------------------------------------------------
     def evaluate(self, document: Document) -> Dict[str, List[Node]]:
         """Evaluate and return {query predicate: nodes in document order}."""

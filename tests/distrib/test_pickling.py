@@ -258,8 +258,33 @@ def test_task_envelope_rejects_compiled_artifacts():
     with pytest.raises(TypeError, match="re-hydrate"):
         TaskEnvelope(task_id="t0", index=0, kind="query", program=compiled)
     plans = [plan for stratum in compiled.stratum_plans for plan in stratum]
-    with pytest.raises(TypeError, match="compiled artifacts"):
+    with pytest.raises(TypeError, match="engine-internal artifacts"):
         TaskEnvelope(task_id="t0", index=0, kind="query", payload=plans)
+
+
+def test_task_envelope_rejects_columnar_storage_and_executors():
+    # Columnar storage and the specialised executor chains are worker-local
+    # scratch: a worker rebuilds storage from the plain database payload
+    # and re-hydrates plans through its own registry, so every columnar
+    # type (and a _JoinPlan closure chain) is refused at construction in
+    # both the program and payload roles — bare or inside a container.
+    from repro.datalog import ColumnarDatabase, ColumnarRelation
+
+    database = ColumnarDatabase({"edge": {(1, 2), (2, 3)}})
+    relation = database.lookup("edge")
+    window = database.window("edge", 0, 2)
+    registry = PlanRegistry()
+    compiled = registry.compiled(parse_program(REACH), SemiNaiveEngine.BUILTINS)
+    plan = compiled.stratum_plans[0][0]
+    plan.seed(None, {position: 4 for position in plan.relational})
+    join_plan = plan.seed_plans[None]
+    for artifact in (database, relation, window, join_plan):
+        with pytest.raises(TypeError, match="rebuilds storage"):
+            TaskEnvelope(task_id="t0", index=0, kind="query", payload=artifact)
+        with pytest.raises(TypeError, match="engine-internal artifacts"):
+            TaskEnvelope(task_id="t0", index=0, kind="query", program=artifact)
+        with pytest.raises(TypeError, match="engine-internal artifacts"):
+            TaskEnvelope(task_id="t0", index=0, kind="query", payload=[artifact])
 
 
 def test_task_envelope_validates_kinds():
